@@ -1,0 +1,108 @@
+"""Accuracy matrix: every detector on every dataset family (extension).
+
+The paper compares algorithms by *efficiency* (Table 1) and argues
+accuracy qualitatively.  This bench completes the picture: a detector x
+dataset matrix of anomaly recovery (top-3 detections vs planted ground
+truth, 30 % overlap rule) covering both the paper's algorithms and the
+related-work baselines implemented in :mod:`repro.baselines`.
+
+Expected shape: the grammar-based detectors (density, RRA) recover the
+anomaly across all families; the fixed-grid related-work baselines
+(WCAD, bitmap) are hit-or-miss — which is exactly the paper's critique
+of them.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.bitmap import bitmap_anomalies
+from repro.baselines.wcad import wcad_anomalies
+from repro.core.pipeline import GrammarAnomalyDetector
+from repro.datasets import (
+    ecg_qtdb_0606_like,
+    respiration_like,
+    tek_like,
+    video_gun_like,
+)
+from repro.discord.hotsax import hotsax_discords
+
+FAMILIES = [
+    ("ecg", lambda: ecg_qtdb_0606_like()),
+    ("video", lambda: video_gun_like(num_cycles=12, anomaly_cycles=(6,))),
+    ("tek14", lambda: tek_like("TEK14")),
+    ("respiration", lambda: respiration_like()),
+]
+
+MIN_OVERLAP = 0.3
+TOP_K = 3
+
+
+def _hits(dataset, intervals) -> bool:
+    return any(
+        dataset.contains_hit(start, end, min_overlap=MIN_OVERLAP)
+        for start, end in intervals
+    )
+
+
+def _evaluate(dataset) -> dict[str, bool]:
+    detector = GrammarAnomalyDetector(
+        dataset.window, dataset.paa_size, dataset.alphabet_size
+    )
+    detector.fit(dataset.series)
+
+    density = detector.density_anomalies(max_anomalies=TOP_K)
+    rra = detector.discords(num_discords=TOP_K)
+    hotsax = hotsax_discords(
+        dataset.series, dataset.window, num_discords=TOP_K,
+        paa_size=dataset.paa_size, alphabet_size=dataset.alphabet_size,
+    )
+    wcad = wcad_anomalies(dataset.series, dataset.window,
+                          num_anomalies=TOP_K)
+    bitmap = bitmap_anomalies(
+        dataset.series,
+        num_anomalies=TOP_K,
+        lag=2 * dataset.window,
+        lead=dataset.window,
+        stride=4,
+    )
+    return {
+        "density": _hits(dataset, [(a.start, a.end) for a in density]),
+        "rra": _hits(dataset, [(d.start, d.end) for d in rra.discords]),
+        "hotsax": _hits(dataset, [(d.start, d.end) for d in hotsax.discords]),
+        "wcad": _hits(dataset, [(a.start, a.end) for a in wcad]),
+        "bitmap": _hits(dataset, [(a.start, a.end) for a in bitmap]),
+    }
+
+
+def test_accuracy_matrix(benchmark, results):
+    def run():
+        return [(name, _evaluate(factory())) for name, factory in FAMILIES]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    detectors = ["density", "rra", "hotsax", "wcad", "bitmap"]
+    lines = [
+        f"top-{TOP_K} detections vs planted truth "
+        f"(hit = >= {int(MIN_OVERLAP * 100)}% overlap of the shorter interval)",
+        f"{'dataset':>12s} " + " ".join(f"{d:>8s}" for d in detectors),
+    ]
+    totals = {d: 0 for d in detectors}
+    for name, outcome in rows:
+        lines.append(
+            f"{name:>12s} "
+            + " ".join(
+                f"{'hit' if outcome[d] else '-':>8s}" for d in detectors
+            )
+        )
+        for d in detectors:
+            totals[d] += outcome[d]
+    lines.append(
+        f"{'total':>12s} "
+        + " ".join(f"{totals[d]}/{len(rows)}".rjust(8) for d in detectors)
+    )
+    results("accuracy_matrix", "\n".join(lines))
+
+    # the grammar-based detectors recover every planted anomaly
+    assert totals["density"] == len(rows)
+    assert totals["rra"] == len(rows)
+    # and they do at least as well as each related-work baseline
+    assert totals["rra"] >= max(totals["wcad"], totals["bitmap"])

@@ -1,0 +1,86 @@
+"""Figure 3: multiple discord discovery in Dutch-power-demand data.
+
+Top panel: a year-like span of weekly power demand with holiday
+anomalies.  Middle panel: the rule density curve — it finds the best
+discord but struggles to discriminate the others.  Bottom panel: the
+NN-distance profile that lets RRA rank all three.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pipeline import GrammarAnomalyDetector
+from repro.datasets import dutch_power_demand_like
+from repro.visualization import density_strip, marker_line, sparkline
+from repro.visualization.svg import COLOR_BAND, COLOR_BAND_ALT, FigurePlot
+
+HOLIDAYS = ((4, 2), (6, 0), (8, 3))
+
+
+def _run():
+    dataset = dutch_power_demand_like(weeks=12, holiday_weeks=HOLIDAYS)
+    detector = GrammarAnomalyDetector(
+        dataset.window, dataset.paa_size, dataset.alphabet_size
+    )
+    detector.fit(dataset.series)
+    rra = detector.discords(num_discords=3)
+    return dataset, detector, rra
+
+
+def test_fig03_three_holiday_discords(benchmark, results, figures):
+    dataset, detector, rra = benchmark.pedantic(_run, rounds=1, iterations=1)
+    curve = detector.density_curve().astype(float)
+
+    assert len(rra.discords) == 3
+
+    # at least 2 of the top-3 RRA discords are true holidays (the paper
+    # recovers all 3; we require the bulk and report the exact count)
+    hits = sum(
+        dataset.contains_hit(d.start, d.end, min_overlap=0.2)
+        for d in rra.discords
+    )
+    assert hits >= 2, f"only {hits}/3 discords are true holidays"
+
+    # the density curve's top minimum also marks a true holiday (the
+    # paper: density "was able to discover the best discord", while the
+    # others are hard to discriminate without distances)
+    density = detector.density_anomalies(max_anomalies=1)[0]
+    w = dataset.window
+    assert any(
+        density.start < t1 + w and t0 - w < density.end
+        for t0, t1 in dataset.anomalies
+    ), f"density top minimum [{density.start}, {density.end}) marks no holiday"
+
+    results(
+        "fig03_power_discords",
+        "\n".join(
+            [
+                f"Dutch-power-demand-like, length {dataset.length} "
+                f"(12 weeks), holidays planted at {dataset.anomalies}",
+                "demand  | " + sparkline(dataset.series),
+                "density | " + density_strip(curve),
+                "truth   | " + marker_line(dataset.length, dataset.anomalies),
+                "found   | " + marker_line(
+                    dataset.length, [(d.start, d.end) for d in rra.discords]
+                ),
+                f"{hits}/3 top discords are true holidays; "
+                f"{rra.distance_calls} distance calls",
+            ]
+            + [
+                f"  #{d.rank}: [{d.start:6d}, {d.end:6d}) length {d.length:4d} "
+                f"NN dist {d.nn_distance:.4f}"
+                for d in rra.discords
+            ]
+        ),
+    )
+
+    figure = FigurePlot(dataset.length)
+    figure.title = "Figure 3: Dutch power demand — holidays and RRA discords"
+    truth_bands = [(t0, t1, COLOR_BAND) for t0, t1 in dataset.anomalies]
+    found_bands = [(d.start, d.end, COLOR_BAND_ALT) for d in rra.discords]
+    figure.add_line_panel("power demand (holidays shaded)", dataset.series,
+                          bands=truth_bands)
+    figure.add_line_panel("rule density (discords shaded)", curve,
+                          bands=found_bands, steps=True, color="#7c3aed")
+    figures("fig03_power_discords", figure.render())

@@ -1,0 +1,79 @@
+"""Figure 6: Hilbert space-filling curve approximations + trail encoding.
+
+The paper's figure shows the first- and second-order Hilbert curves and
+an example trajectory converted to the curve's visit order ("the
+trajectory ... is converted into the sequence {0,3,2,2,2,7,7,8,11,13,
+13,2,1,1}").  We regenerate both curve layouts, verify the adjacency
+property at every order used, and encode an example trail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trajectory.convert import BoundingBox, TrajectoryPoint, trail_to_series
+from repro.trajectory.hilbert import hilbert_curve_points, hilbert_xy2d
+
+
+def _run():
+    order1 = hilbert_curve_points(1)
+    order2 = hilbert_curve_points(2)
+    # An example trail wandering across the order-2 grid.
+    cells = [(0, 0), (1, 1), (1, 0), (1, 0), (2, 1), (3, 1), (2, 3), (1, 3), (0, 2)]
+    bbox = BoundingBox(0.0, 4.0, 0.0, 4.0)
+    trail = [
+        TrajectoryPoint(float(i), y + 0.5, x + 0.5)
+        for i, (x, y) in enumerate(cells)
+    ]
+    series = trail_to_series(trail, order=2, bbox=bbox)
+    return order1, order2, cells, series
+
+
+def _grid_drawing(points: np.ndarray, side: int) -> str:
+    """Render the visit order as a small grid of indices."""
+    grid = [["  "] * side for _ in range(side)]
+    for d, (x, y) in enumerate(points):
+        grid[side - 1 - y][x] = f"{d:2d}"
+    return "\n".join(" ".join(row) for row in grid)
+
+
+def test_fig06_hilbert_curve_and_trail_conversion(benchmark, results, figures):
+    order1, order2, cells, series = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    # left panel: the order-1 curve visits the 4 quadrants in order
+    np.testing.assert_array_equal(order1, [[0, 0], [0, 1], [1, 1], [1, 0]])
+
+    # adjacency property at both orders (consecutive cells share an edge)
+    for points in (order1, order2):
+        diffs = np.abs(np.diff(points, axis=0)).sum(axis=1)
+        assert (diffs == 1).all()
+
+    # the conversion maps each fix to its enclosing cell's visit index
+    expected = [hilbert_xy2d(2, x, y) for x, y in cells]
+    np.testing.assert_array_equal(series.astype(int), expected)
+
+    # repeated cells produce repeated indices (the figure's {...2,2,2...})
+    assert series[2] == series[3]
+
+    results(
+        "fig06_hilbert",
+        "\n".join(
+            [
+                "order-1 Hilbert curve (visit indices on the 2x2 grid):",
+                _grid_drawing(order1, 2),
+                "",
+                "order-2 Hilbert curve (visit indices on the 4x4 grid):",
+                _grid_drawing(order2, 4),
+                "",
+                f"example trail cells: {cells}",
+                f"converted sequence:  {[int(v) for v in series]}",
+                "(cf. the paper's example sequence "
+                "{0,3,2,2,2,7,7,8,11,13,13,2,1,1})",
+            ]
+        ),
+    )
+
+    from repro.visualization.svg import hilbert_plot
+
+    figures("fig06_hilbert_order1", hilbert_plot(1, cell=80))
+    figures("fig06_hilbert_order2", hilbert_plot(2, cell=60))

@@ -1,0 +1,136 @@
+"""Streaming extension bench (paper §7 future work, beyond the paper).
+
+Quantifies the online detector on a long periodic stream with planted
+events:
+
+* **equivalence** — the online SAX+Sequitur front end produces exactly
+  the offline token stream and grammar;
+* **early detection** — every planted event is alarmed long before the
+  stream ends, and the detection delay is a small multiple of the
+  window;
+* **lag trade-off** — sweeping the confirmation lag trades delay
+  against premature (immature) alarms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import detection_delays, score_detections
+from repro.sax.discretize import discretize
+from repro.streaming import StreamingAnomalyDetector
+from repro.streaming.online_sax import OnlineDiscretizer
+
+
+def _stream(length=12_000, period=100, events=(3000, 7500), seed=3):
+    """Periodic stream with two *differently shaped* planted events.
+
+    The shapes must differ: two identical planted events would repeat,
+    the grammar would compress them into a rule, and they would —
+    correctly — count as a motif rather than anomalies.
+    """
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    series = np.sin(2 * np.pi * t / period) + rng.normal(0, 0.03, length)
+    truth = []
+    # Event 1: a level shift; event 2: a local frequency doubling.
+    first, second = events
+    series[first : first + 100] += 2.0
+    truth.append((first, first + 100))
+    ta = np.arange(100)
+    series[second : second + 100] = np.sin(2 * np.pi * 2 * ta / period)
+    series[second : second + 100] += rng.normal(0, 0.03, 100)
+    truth.append((second, second + 100))
+    return series, truth
+
+
+def test_streaming_online_equals_offline(benchmark, results):
+    """The streaming front end is byte-identical to the offline one."""
+    series, _ = _stream()
+
+    def run():
+        online = OnlineDiscretizer(50, 4, 4)
+        emitted = [w for w in (online.push(v) for v in series) if w is not None]
+        return emitted
+
+    emitted = benchmark.pedantic(run, rounds=1, iterations=1)
+    offline = discretize(series, 50, 4, 4)
+    assert [(w.word, w.offset) for w in offline.words] == [
+        (w.word, w.offset) for w in emitted
+    ]
+    results(
+        "streaming_equivalence",
+        f"{series.size} streamed points -> {len(emitted)} tokens, "
+        f"identical to the offline discretization "
+        f"({offline.raw_word_count} raw words)",
+    )
+
+
+def test_streaming_detection_delay(benchmark, results):
+    """Every event is alarmed early; delay scales with the lag knob."""
+    series, truth = _stream()
+
+    def run():
+        rows = []
+        for confirmation in (10, 25, 50):
+            detector = StreamingAnomalyDetector(
+                50, 4, 4, confirmation_tokens=confirmation
+            )
+            alarms = detector.push_many(series) + detector.flush()
+            scores = score_detections(
+                [(a.start, a.end) for a in alarms], truth, min_overlap=0.3
+            )
+            delays = detection_delays(
+                [((a.start, a.end), a.detected_at) for a in alarms], truth
+            )
+            rows.append((confirmation, alarms, scores, delays))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        f"stream of {series.size} points, events at {truth}",
+        f"{'confirm':>8s} {'alarms':>7s} {'precision':>10s} {'recall':>7s} "
+        f"{'delays':>16s}",
+    ]
+    for confirmation, alarms, scores, delays in rows:
+        lines.append(
+            f"{confirmation:>8d} {len(alarms):>7d} {scores.precision:>10.2f} "
+            f"{scores.recall:>7.2f} {str(delays):>16s}"
+        )
+        # every event recovered at every lag setting
+        assert scores.recall == 1.0, (
+            f"lag {confirmation}: missed an event "
+            f"({[(a.start, a.end) for a in alarms]})"
+        )
+        # detection happens well before the end of the stream
+        for delay, (start, _) in zip(delays, truth):
+            assert start + delay < series.size - 1000
+
+    # delays grow with the confirmation lag (it is a lower bound on them)
+    mean_delays = [float(np.mean(r[3])) for r in rows]
+    assert mean_delays[0] <= mean_delays[-1] + 1e-9
+    lines.append(
+        "delay grows with the confirmation lag; all events detected "
+        ">1000 points before the stream ends"
+    )
+    results("streaming_detection_delay", "\n".join(lines))
+
+
+def test_streaming_clean_stream_stays_silent(benchmark, results):
+    """No alarms on an event-free periodic stream (precision guard)."""
+    rng = np.random.default_rng(9)
+    t = np.arange(10_000)
+    series = np.sin(2 * np.pi * t / 100) + rng.normal(0, 0.02, t.size)
+
+    def run():
+        detector = StreamingAnomalyDetector(50, 4, 4, confirmation_tokens=25)
+        return detector.push_many(series)
+
+    alarms = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert alarms == [], f"false alarms on clean data: "\
+        f"{[(a.start, a.end) for a in alarms]}"
+    results(
+        "streaming_clean_stream",
+        f"{series.size} clean periodic points streamed -> 0 alarms",
+    )

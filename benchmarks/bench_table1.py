@@ -1,0 +1,138 @@
+"""Table 1: distance-call comparison of brute force, HOTSAX, and RRA.
+
+Regenerates the paper's main results table on the synthetic stand-in
+datasets (reduced lengths; see DESIGN.md §3-4).  For every row we report:
+
+* the closed-form brute-force distance-call count,
+* HOTSAX's measured calls,
+* RRA's measured calls and the resulting reduction,
+* the HOTSAX and RRA discord lengths and their overlap (the table's
+  last column), and
+* the paper's published numbers side by side.
+
+The absolute numbers differ (different data and scale) but the shape
+must hold: RRA << HOTSAX << brute force, with high discord overlap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import GrammarAnomalyDetector
+from repro.core.rra import find_discords
+from repro.datasets.registry import TableRow, table1_rows
+from repro.discord.brute_force import brute_force_call_count
+from repro.discord.hotsax import hotsax_discords
+
+#: Rows whose reduced stand-ins stay fast enough for the default run.
+ROWS = table1_rows()
+
+
+#: Filled by the per-row benchmarks so the summary needn't recompute.
+_ROW_CACHE: dict[str, dict] = {}
+
+
+def _run_row(row: TableRow) -> dict:
+    if row.key in _ROW_CACHE:
+        return _ROW_CACHE[row.key]
+    dataset = row.factory()
+    brute = brute_force_call_count(dataset.length, row.window)
+
+    hotsax = hotsax_discords(
+        dataset.series,
+        row.window,
+        num_discords=1,
+        paa_size=min(row.paa_size, row.window),
+        alphabet_size=row.alphabet_size,
+    )
+    detector = GrammarAnomalyDetector(row.window, row.paa_size, row.alphabet_size)
+    fitted = detector.fit(dataset.series)
+    rra = find_discords(dataset.series, fitted.candidates, num_discords=1)
+
+    hot_best = hotsax.best
+    rra_best = rra.best
+    overlap = 0.0
+    if hot_best is not None and rra_best is not None:
+        overlap = 100.0 * rra_best.overlap_fraction(hot_best.start, hot_best.end)
+    reduction = 100.0 * (1.0 - rra.distance_calls / max(1, hotsax.distance_calls))
+    _ROW_CACHE[row.key] = {
+        "row": row,
+        "length": dataset.length,
+        "brute": brute,
+        "hotsax": hotsax.distance_calls,
+        "rra": rra.distance_calls,
+        "reduction": reduction,
+        "hot_len": hot_best.length if hot_best else 0,
+        "rra_len": rra_best.length if rra_best else 0,
+        "overlap": overlap,
+        "truth_hit": (
+            rra_best is not None
+            and dataset.contains_hit(rra_best.start, rra_best.end, min_overlap=0.2)
+        ),
+    }
+    return _ROW_CACHE[row.key]
+
+
+@pytest.mark.parametrize("row", ROWS, ids=lambda r: r.key)
+def test_table1_row(benchmark, results, row):
+    """One Table 1 row: measure the three algorithms' distance calls."""
+    outcome = benchmark.pedantic(_run_row, args=(row,), rounds=1, iterations=1)
+
+    # --- the paper's qualitative claims, asserted per row
+    assert outcome["rra"] < outcome["hotsax"] < outcome["brute"], (
+        f"{row.key}: expected RRA < HOTSAX < brute force, got "
+        f"{outcome['rra']} / {outcome['hotsax']} / {outcome['brute']}"
+    )
+    assert outcome["reduction"] > 0.0
+
+    paper = row.paper
+    results(
+        f"table1_{row.key}",
+        "\n".join(
+            [
+                f"{'':14s}{'ours':>16s}{'paper':>16s}",
+                f"{'length':14s}{outcome['length']:>16d}{paper.length:>16d}",
+                f"{'brute force':14s}{outcome['brute']:>16d}{paper.brute_force_calls:>16.3g}",
+                f"{'HOTSAX':14s}{outcome['hotsax']:>16d}{paper.hotsax_calls:>16d}",
+                f"{'RRA':14s}{outcome['rra']:>16d}{paper.rra_calls:>16d}",
+                f"{'reduction':14s}{outcome['reduction']:>15.1f}%{paper.reduction_percent:>15.1f}%",
+                f"{'lengths H/R':14s}"
+                f"{str(outcome['hot_len']) + '/' + str(outcome['rra_len']):>16s}"
+                f"{str(paper.hotsax_discord_length) + '/' + str(paper.rra_discord_length):>16s}",
+                f"{'overlap':14s}{outcome['overlap']:>15.1f}%{paper.overlap_percent:>15.1f}%",
+                f"{'RRA hits truth':14s}{str(outcome['truth_hit']):>16s}",
+            ]
+        ),
+    )
+
+
+def test_table1_summary(benchmark, results):
+    """Aggregate check: across rows the reductions follow the paper.
+
+    Rows already computed by the per-row benchmarks are reused from the
+    cache, so this only measures the (cheap) aggregation.
+    """
+    benchmark.pedantic(lambda: [_run_row(r) for r in ROWS], rounds=1, iterations=1)
+    lines = [
+        f"{'dataset':34s} {'len':>6s} {'brute':>13s} {'HOTSAX':>9s} "
+        f"{'RRA':>9s} {'red.':>6s} {'ovl.':>6s} {'hit':>4s}"
+    ]
+    reductions = []
+    for row in ROWS:
+        outcome = _run_row(row)
+        reductions.append(outcome["reduction"])
+        lines.append(
+            f"{row.display_name:34s} {outcome['length']:>6d} "
+            f"{outcome['brute']:>13d} {outcome['hotsax']:>9d} "
+            f"{outcome['rra']:>9d} {outcome['reduction']:>5.1f}% "
+            f"{outcome['overlap']:>5.1f}% {'y' if outcome['truth_hit'] else 'n':>4s}"
+        )
+    mean_reduction = sum(reductions) / len(reductions)
+    lines.append(
+        f"\nmean RRA-vs-HOTSAX reduction: {mean_reduction:.1f}% "
+        f"(paper rows: 49.3%-97.5%)"
+    )
+    results("table1_summary", "\n".join(lines))
+    # the central efficiency claim
+    assert mean_reduction > 40.0
+    assert all(r > 0 for r in reductions)

@@ -1,0 +1,52 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper
+(see DESIGN.md §4).  Benchmarks print their reproduction artifact (the
+table rows / figure series) and also persist it under
+``benchmarks/results/`` so the artifacts survive the pytest run.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to watch the tables as they are produced.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+FIGURES_DIR = pathlib.Path(__file__).parent / "figures"
+
+
+def write_result(name: str, text: str) -> None:
+    """Print a reproduction artifact and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===")
+    print(text)
+    print(f"[saved to {path}]")
+
+
+def write_figure(name: str, svg: str) -> None:
+    """Persist a rendered SVG figure under figures/."""
+    FIGURES_DIR.mkdir(exist_ok=True)
+    path = FIGURES_DIR / f"{name}.svg"
+    path.write_text(svg)
+    print(f"[figure saved to {path}]")
+
+
+@pytest.fixture
+def results():
+    """Fixture handle for writing named reproduction artifacts."""
+    return write_result
+
+
+@pytest.fixture
+def figures():
+    """Fixture handle for writing rendered SVG figures."""
+    return write_figure

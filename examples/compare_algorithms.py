@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Head-to-head: brute force vs HOTSAX vs RRA vs WCAD on one dataset.
+
+Reproduces the paper's efficiency argument on a single synthetic video
+dataset: all exact algorithms agree on where the anomaly is, but the
+number of distance calls differs by orders of magnitude (Table 1), and
+the related-work WCAD baseline needs hundreds of compressor runs for an
+approximate, fixed-grid answer.
+
+Run:  python examples/compare_algorithms.py
+"""
+
+import time
+
+from repro import GrammarAnomalyDetector
+from repro.baselines import wcad_anomalies
+from repro.datasets import video_gun_like
+from repro.discord.brute_force import brute_force_call_count
+from repro.discord.hotsax import hotsax_discords
+
+
+def main() -> None:
+    dataset = video_gun_like(num_cycles=12, anomaly_cycles=(6,))
+    (t0, t1), = dataset.anomalies
+    print(f"dataset: {dataset.description}")
+    print(f"length {dataset.length}, truth [{t0}, {t1})\n")
+
+    def verdict(start: int, end: int) -> str:
+        return "HIT" if dataset.contains_hit(start, end, min_overlap=0.3) else "miss"
+
+    rows = []
+
+    # brute force: closed-form call count (running it would take minutes)
+    rows.append(
+        ("brute force", brute_force_call_count(dataset.length, dataset.window),
+         "-", "(not run; closed-form count)")
+    )
+
+    # HOTSAX
+    tic = time.perf_counter()
+    hotsax = hotsax_discords(
+        dataset.series, dataset.window, num_discords=1,
+        paa_size=dataset.paa_size, alphabet_size=dataset.alphabet_size,
+    )
+    hotsax_time = time.perf_counter() - tic
+    best = hotsax.best
+    rows.append(
+        ("HOTSAX", hotsax.distance_calls, f"{hotsax_time:.2f}s",
+         f"[{best.start}, {best.end}) {verdict(best.start, best.end)}")
+    )
+
+    # RRA
+    tic = time.perf_counter()
+    detector = GrammarAnomalyDetector(
+        dataset.window, dataset.paa_size, dataset.alphabet_size
+    )
+    detector.fit(dataset.series)
+    rra = detector.discords(num_discords=1)
+    rra_time = time.perf_counter() - tic
+    best = rra.best
+    rows.append(
+        ("RRA", rra.distance_calls, f"{rra_time:.2f}s",
+         f"[{best.start}, {best.end}) len {best.length} "
+         f"{verdict(best.start, best.end)}")
+    )
+
+    # WCAD (related work; approximate, window-grid answer)
+    tic = time.perf_counter()
+    wcad = wcad_anomalies(dataset.series, dataset.window, num_anomalies=1)[0]
+    wcad_time = time.perf_counter() - tic
+    rows.append(
+        ("WCAD", "-", f"{wcad_time:.2f}s",
+         f"[{wcad.start}, {wcad.end}) {verdict(wcad.start, wcad.end)}")
+    )
+
+    print(f"{'algorithm':<12s} {'distance calls':>16s} {'time':>8s}  result")
+    for name, calls, elapsed, result in rows:
+        print(f"{name:<12s} {str(calls):>16s} {elapsed:>8s}  {result}")
+
+    reduction = 100.0 * (1 - rra.distance_calls / hotsax.distance_calls)
+    print(f"\nRRA uses {reduction:.1f}% fewer distance calls than HOTSAX "
+          f"(paper Table 1 reports 49-97% across datasets)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: find a planted anomaly in a noisy sine wave.
+
+Demonstrates the one-class API:
+
+    detector = GrammarAnomalyDetector(window, paa_size, alphabet_size)
+    detector.fit(series)
+    detector.density_anomalies()   # fast, approximate (Section 4.1)
+    detector.discords()            # exact, variable-length (Section 4.2)
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import GrammarAnomalyDetector
+from repro.visualization import render_panels
+
+
+def main() -> None:
+    # --- build a toy series: 40 sine periods with a bump in the middle
+    rng = np.random.default_rng(42)
+    t = np.arange(4000)
+    series = np.sin(2 * np.pi * t / 200) + rng.normal(0.0, 0.05, t.size)
+    series[2000:2120] += 2.0 * np.exp(-0.5 * ((np.arange(120) - 60) / 20.0) ** 2)
+    print("planted anomaly: points [2000, 2120)\n")
+
+    # --- fit the grammar pipeline once
+    detector = GrammarAnomalyDetector(window=100, paa_size=4, alphabet_size=4)
+    detector.fit(series)
+    summary = detector.summary()
+    print(
+        f"{summary['words_raw']} SAX words -> {summary['words_reduced']} after "
+        f"numerosity reduction -> {summary['grammar_rules']} grammar rules"
+    )
+
+    # --- algorithm 1: rule density (linear time, approximate)
+    density_hits = detector.density_anomalies(max_anomalies=3)
+    print("\nrule-density anomalies (lowest rule coverage first):")
+    for anomaly in density_hits:
+        print(f"  [{anomaly.start}, {anomaly.end})  mean density {-anomaly.score:.1f}")
+
+    # --- algorithm 2: RRA (exact, variable-length discords)
+    result = detector.discords(num_discords=3)
+    print(f"\nRRA discords ({result.distance_calls} distance calls):")
+    for discord in result.discords:
+        print(
+            f"  #{discord.rank}: [{discord.start}, {discord.end}) "
+            f"length {discord.length}, NN distance {discord.nn_distance:.4f}"
+        )
+
+    # --- text visualization (GrammarViz-style)
+    print()
+    print(
+        render_panels(
+            series,
+            detector.density_curve(),
+            [(d.start, d.end) for d in result.discords[:1]],
+            title="series / rule density / best discord",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

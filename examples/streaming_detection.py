@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Online anomaly detection on a live stream (the paper's §7 future work).
+
+Both pipeline stages — sliding-window SAX and Sequitur — are strictly
+left-to-right, so the whole detector can run online.  This example:
+
+1. feeds a clean periodic stream with one planted event point by point
+   and prints the alarm the moment it matures (long before the stream
+   ends);
+2. sweeps the detector's two knobs (minimum uncovered-run length and
+   confirmation lag) on noisier telemetry to show the precision /
+   recall / delay trade-off that streaming detection entails.
+
+Run:  python examples/streaming_detection.py
+"""
+
+import numpy as np
+
+from repro.datasets import tek_like
+from repro.evaluation import detection_delays, score_detections
+from repro.streaming import StreamingAnomalyDetector
+
+
+def clean_stream_demo() -> None:
+    rng = np.random.default_rng(11)
+    t = np.arange(6000)
+    series = np.sin(2 * np.pi * t / 100) + rng.normal(0, 0.03, t.size)
+    series[3000:3100] += 2.0
+    print("part 1 — clean periodic stream, one planted event at [3000, 3100)")
+
+    detector = StreamingAnomalyDetector(50, 4, 4, confirmation_tokens=20)
+    for position, value in enumerate(series):
+        for alarm in detector.push(value):
+            print(
+                f"  t={position:5d}  ALARM at [{alarm.start}, {alarm.end}) — "
+                f"{alarm.delay} points after the event began, "
+                f"{series.size - position} points before the stream ends"
+            )
+    residual = detector.flush()
+    if residual:
+        print(f"  end-of-stream residuals: "
+              f"{[(a.start, a.end) for a in residual]}")
+    print(f"  ({detector.points_consumed} points -> "
+          f"{detector.tokens_emitted} tokens)")
+
+
+def tradeoff_demo() -> None:
+    dataset = tek_like("TEK14", num_cycles=24, seed=7)
+    print(f"\npart 2 — noisier telemetry ({dataset.length} points, glitch at "
+          f"{dataset.anomalies}); knob sweep:")
+    print(f"{'min_run':>8s} {'confirm':>8s} {'alarms':>7s} {'precision':>10s} "
+          f"{'recall':>7s} {'delay':>6s}")
+    for min_run, confirm in [(2, 25), (4, 25), (4, 60), (5, 80)]:
+        detector = StreamingAnomalyDetector(
+            dataset.window, dataset.paa_size, dataset.alphabet_size,
+            confirmation_tokens=confirm, min_run_tokens=min_run,
+        )
+        alarms = detector.push_many(dataset.series) + detector.flush()
+        scores = score_detections(
+            [(a.start, a.end) for a in alarms], dataset.anomalies,
+            min_overlap=0.3,
+        )
+        delays = detection_delays(
+            [((a.start, a.end), a.detected_at) for a in alarms],
+            dataset.anomalies,
+        )
+        delay_txt = str(delays[0]) if delays else "-"
+        print(
+            f"{min_run:>8d} {confirm:>8d} {len(alarms):>7d} "
+            f"{scores.precision:>10.2f} {scores.recall:>7.2f} {delay_txt:>6s}"
+        )
+    print("\nlonger uncovered runs + more confirmation -> fewer false alarms"
+          "\nat the cost of detection delay; true glitches span many tokens"
+          "\nwhile noise-induced gaps span 2-4.")
+
+
+def main() -> None:
+    clean_stream_demo()
+    tradeoff_demo()
+
+
+if __name__ == "__main__":
+    main()

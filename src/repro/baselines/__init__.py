@@ -1,0 +1,25 @@
+"""Related-work baselines beyond HOTSAX/brute-force.
+
+* WCAD-style compression-based detection (Keogh, Lonardi &
+  Ratanamahatana 2004 — the paper's reference [14]): score a window by
+  how much it inflates the zlib-compressed size of the rest;
+* time-series-bitmap change detection (Wei et al. 2005 — reference
+  [30]): score a boundary by the divergence of SAX-subword statistics
+  between lag and lead windows.
+
+Both contrast with the grammar-based approach: they need a window/lead
+size, score fixed positions, and cannot delimit variable-length
+anomalies.
+"""
+
+from repro.baselines.wcad import wcad_scores, wcad_anomalies
+from repro.baselines.bitmap import bitmap_scores, bitmap_anomalies
+from repro.baselines.viztree import SAXTrie
+
+__all__ = [
+    "wcad_scores",
+    "wcad_anomalies",
+    "bitmap_scores",
+    "bitmap_anomalies",
+    "SAXTrie",
+]

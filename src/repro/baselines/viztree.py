@@ -1,0 +1,188 @@
+"""VizTree-style SAX subword trie (Lin et al. 2004, paper ref [18]).
+
+VizTree visualizes a time series as a trie of its SAX words: branch
+thickness encodes frequency, so *thick* paths are motifs and *thin*
+paths are potential anomalies — both visible at once.  This module
+provides the data structure behind that view: a frequency-annotated
+trie over the sliding-window SAX words, with rare/frequent branch
+queries and a text rendering.
+
+It is a baseline/diagnostic, not a detector of the paper's caliber: the
+trie sees fixed-length words only and discards their ordering, which is
+precisely the information the grammar-based approach exploits (§3.1:
+"the sequential ordering of SAX words provides valuable contextual
+information").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.sax.discretize import NumerosityReduction, discretize
+
+
+@dataclass
+class TrieNode:
+    """One trie node: the words passing through it and their positions."""
+
+    count: int = 0
+    positions: list[int] = field(default_factory=list)
+    children: dict[str, "TrieNode"] = field(default_factory=dict)
+
+
+class SAXTrie:
+    """Frequency trie over a series' sliding-window SAX words.
+
+    Parameters
+    ----------
+    series, window, paa_size, alphabet_size:
+        Discretization parameters; every window contributes its word
+        (no numerosity reduction — VizTree counts raw frequencies).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> t = np.arange(600)
+    >>> trie = SAXTrie(np.sin(2 * np.pi * t / 60), 30, 3, 3)
+    >>> trie.total_words == 600 - 30 + 1
+    True
+    """
+
+    def __init__(
+        self,
+        series: np.ndarray,
+        window: int,
+        paa_size: int,
+        alphabet_size: int,
+    ) -> None:
+        disc = discretize(
+            np.asarray(series, dtype=float),
+            window,
+            paa_size,
+            alphabet_size,
+            strategy=NumerosityReduction.NONE,
+        )
+        self.window = window
+        self.word_length = paa_size
+        self.alphabet_size = alphabet_size
+        self.root = TrieNode()
+        self.total_words = 0
+        for sax in disc.words:
+            self._insert(sax.word, sax.offset)
+
+    def _insert(self, word: str, position: int) -> None:
+        node = self.root
+        node.count += 1
+        for letter in word:
+            node = node.children.setdefault(letter, TrieNode())
+            node.count += 1
+        node.positions.append(position)
+        self.total_words += 1
+
+    # -- queries -----------------------------------------------------------
+
+    def frequency(self, prefix: str) -> int:
+        """How many windows' words start with *prefix* (0 if none)."""
+        node = self.root
+        for letter in prefix:
+            child = node.children.get(letter)
+            if child is None:
+                return 0
+            node = child
+        return node.count
+
+    def word_positions(self, word: str) -> list[int]:
+        """Window start offsets of an exact word (empty if absent)."""
+        if len(word) != self.word_length:
+            raise ParameterError(
+                f"word length {len(word)} != trie word length {self.word_length}"
+            )
+        node = self.root
+        for letter in word:
+            child = node.children.get(letter)
+            if child is None:
+                return []
+            node = child
+        return list(node.positions)
+
+    def _leaves(self) -> Iterator[tuple[str, TrieNode]]:
+        stack: list[tuple[str, TrieNode]] = [("", self.root)]
+        while stack:
+            prefix, node = stack.pop()
+            if len(prefix) == self.word_length:
+                yield prefix, node
+                continue
+            for letter, child in sorted(node.children.items()):
+                stack.append((prefix + letter, child))
+
+    def rare_words(self, *, max_count: Optional[int] = None) -> list[tuple[str, int]]:
+        """Words with the lowest frequencies (VizTree's thin branches).
+
+        Sorted ascending by count; *max_count* truncates by frequency.
+        """
+        leaves = sorted(
+            ((word, node.count) for word, node in self._leaves()),
+            key=lambda item: (item[1], item[0]),
+        )
+        if max_count is not None:
+            leaves = [(w, c) for w, c in leaves if c <= max_count]
+        return leaves
+
+    def frequent_words(self, *, top_k: int = 5) -> list[tuple[str, int]]:
+        """The thickest branches (motif candidates)."""
+        if top_k < 1:
+            raise ParameterError(f"top_k must be >= 1, got {top_k}")
+        leaves = sorted(
+            ((word, node.count) for word, node in self._leaves()),
+            key=lambda item: (-item[1], item[0]),
+        )
+        return leaves[:top_k]
+
+    def anomaly_candidates(self, *, max_candidates: int = 5) -> list[tuple[int, str, int]]:
+        """(position, word, count) of the rarest words' first windows.
+
+        This is VizTree's anomaly workflow: click the thinnest branch,
+        inspect where it occurs.
+        """
+        if max_candidates < 1:
+            raise ParameterError(
+                f"max_candidates must be >= 1, got {max_candidates}"
+            )
+        out: list[tuple[int, str, int]] = []
+        for word, count in self.rare_words():
+            for position in self.word_positions(word):
+                out.append((position, word, count))
+                if len(out) >= max_candidates:
+                    return out
+        return out
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self, *, max_depth: Optional[int] = None) -> str:
+        """ASCII rendering: one line per branch, width bar per count."""
+        if max_depth is None:
+            max_depth = self.word_length
+        lines: list[str] = [
+            f"SAX trie: {self.total_words} words of length "
+            f"{self.word_length}, alphabet {self.alphabet_size}"
+        ]
+        total = max(1, self.root.count)
+
+        def walk(node: TrieNode, prefix: str, depth: int) -> None:
+            if depth > max_depth:
+                return
+            for letter, child in sorted(node.children.items()):
+                share = child.count / total
+                bar = "#" * max(1, int(round(share * 40)))
+                lines.append(
+                    f"{'  ' * depth}{prefix + letter:<{self.word_length}s} "
+                    f"{child.count:>6d} {bar}"
+                )
+                walk(child, prefix + letter, depth + 1)
+
+        walk(self.root, "", 0)
+        return "\n".join(lines)

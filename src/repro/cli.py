@@ -1,0 +1,228 @@
+"""Command-line interface: ``python -m repro`` / ``repro-anomaly``.
+
+Subcommands
+-----------
+``find``
+    Discover anomalies in a CSV/whitespace series file with both
+    algorithms and print a GrammarViz-style text report.
+``density``
+    Print the rule density curve values (one per line), for piping into
+    plotting tools.
+``motifs``
+    Report the top recurrent variable-length patterns (frequent rules).
+``suggest``
+    Suggest discretization parameters for a series (grammar health).
+``table1``
+    Regenerate the paper's Table 1 on the synthetic stand-in datasets.
+``demo``
+    Run the quickstart demo on a generated dataset (no input needed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.pipeline import GrammarAnomalyDetector
+from repro.exceptions import ReproError
+
+
+def _load_series(path: str, column: int) -> np.ndarray:
+    """Load a 1-d series from a text file (CSV or whitespace-separated)."""
+    try:
+        data = np.genfromtxt(path, delimiter=None, dtype=float)
+    except OSError as exc:
+        raise ReproError(f"cannot read {path}: {exc}") from exc
+    if data.ndim == 1:
+        series = data
+    else:
+        if column >= data.shape[1]:
+            raise ReproError(
+                f"column {column} requested but file has {data.shape[1]} columns"
+            )
+        series = data[:, column]
+    series = series[np.isfinite(series)]
+    if series.size == 0:
+        raise ReproError(f"no numeric data found in {path}")
+    return series
+
+
+def _cmd_find(args: argparse.Namespace) -> int:
+    from repro.visualization.report import grammar_report
+
+    series = _load_series(args.path, args.column)
+    detector = GrammarAnomalyDetector(args.window, args.paa, args.alphabet)
+    result = detector.fit(series)
+    anomalies = list(detector.density_anomalies(max_anomalies=args.discords))
+    rra = detector.discords(num_discords=args.discords)
+    anomalies.extend(rra.discords)
+    print(grammar_report(result, anomalies))
+    return 0
+
+
+def _cmd_density(args: argparse.Namespace) -> int:
+    series = _load_series(args.path, args.column)
+    detector = GrammarAnomalyDetector(args.window, args.paa, args.alphabet)
+    detector.fit(series)
+    for value in detector.density_curve():
+        print(int(value))
+    return 0
+
+
+def _cmd_motifs(args: argparse.Namespace) -> int:
+    from repro.core.motifs import find_motifs
+
+    series = _load_series(args.path, args.column)
+    detector = GrammarAnomalyDetector(args.window, args.paa, args.alphabet)
+    result = detector.fit(series)
+    motifs = find_motifs(
+        result.grammar, result.discretization, top_k=args.top
+    )
+    print(f"{'rank':>4s} {'rule':>6s} {'freq':>5s} {'lengths':>12s} occurrences")
+    for motif in motifs:
+        lo, hi = motif.length_range
+        preview = ", ".join(
+            f"{s}" for s, _ in motif.occurrences[:6]
+        ) + ("..." if motif.frequency > 6 else "")
+        print(
+            f"{motif.rank:>4d} {'R' + str(motif.rule_id):>6s} "
+            f"{motif.frequency:>5d} {f'{lo}-{hi}':>12s} at {preview}"
+        )
+    return 0
+
+
+def _cmd_suggest(args: argparse.Namespace) -> int:
+    from repro.core.auto_params import dominant_period, suggest_parameters
+
+    series = _load_series(args.path, args.column)
+    period = dominant_period(series)
+    if period is not None:
+        print(f"dominant period: {period} points")
+    else:
+        print("no clear periodicity detected")
+    suggestions = suggest_parameters(series, top_k=args.top)
+    if not suggestions:
+        print("no healthy parameter combination found; supply -w/-p/-a manually")
+        return 1
+    print(f"{'W':>5s} {'P':>3s} {'A':>3s} {'score':>6s} {'reduction':>10s} "
+          f"{'compression':>12s} {'coverage':>9s}")
+    for s in suggestions:
+        print(
+            f"{s.window:>5d} {s.paa_size:>3d} {s.alphabet_size:>3d} "
+            f"{s.score:>6.2f} {s.reduction_ratio:>10.2f} "
+            f"{s.compression_ratio:>12.2f} {s.coverage:>9.2f}"
+        )
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.datasets.registry import table1_rows
+    from repro.discord.brute_force import brute_force_call_count
+    from repro.discord.hotsax import hotsax_discords
+    from repro.core.rra import find_discords
+
+    print(
+        f"{'Dataset':34s} {'Length':>8s} {'BruteForce':>12s} "
+        f"{'HOTSAX':>10s} {'RRA':>10s} {'Reduction':>9s}"
+    )
+    for row in table1_rows():
+        if args.only and row.key not in args.only:
+            continue
+        dataset = row.factory()
+        brute = brute_force_call_count(dataset.length, row.window)
+        hotsax = hotsax_discords(dataset.series, row.window, num_discords=1)
+        detector = GrammarAnomalyDetector(row.window, row.paa_size, row.alphabet_size)
+        fitted = detector.fit(dataset.series)
+        rra = find_discords(dataset.series, fitted.candidates, num_discords=1)
+        reduction = 100.0 * (1.0 - rra.distance_calls / max(1, hotsax.distance_calls))
+        print(
+            f"{row.display_name:34s} {dataset.length:>8d} {brute:>12d} "
+            f"{hotsax.distance_calls:>10d} {rra.distance_calls:>10d} "
+            f"{reduction:>8.1f}%"
+        )
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.datasets import sine_with_anomaly
+    from repro.visualization.report import grammar_report
+
+    dataset = sine_with_anomaly(anomaly_kind="bump", seed=args.seed)
+    detector = GrammarAnomalyDetector(
+        dataset.window, dataset.paa_size, dataset.alphabet_size
+    )
+    result = detector.fit(dataset.series)
+    anomalies = list(detector.density_anomalies(max_anomalies=2))
+    anomalies.extend(detector.discords(num_discords=2).discords)
+    print(f"demo dataset: {dataset.description}")
+    print(f"planted anomaly: {dataset.anomalies}")
+    print()
+    print(grammar_report(result, anomalies))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-anomaly",
+        description="Grammar-based time series anomaly discovery (EDBT 2015).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_sax_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--window", "-w", type=int, default=100, help="sliding window W")
+        p.add_argument("--paa", "-p", type=int, default=4, help="PAA size P")
+        p.add_argument("--alphabet", "-a", type=int, default=4, help="alphabet size A")
+        p.add_argument("--column", "-c", type=int, default=0, help="CSV column index")
+
+    find = sub.add_parser("find", help="discover anomalies in a series file")
+    find.add_argument("path", help="CSV or whitespace-separated series file")
+    add_sax_args(find)
+    find.add_argument("--discords", "-k", type=int, default=3, help="discords to report")
+    find.set_defaults(func=_cmd_find)
+
+    density = sub.add_parser("density", help="print the rule density curve")
+    density.add_argument("path")
+    add_sax_args(density)
+    density.set_defaults(func=_cmd_density)
+
+    motifs = sub.add_parser("motifs", help="report recurrent patterns")
+    motifs.add_argument("path")
+    add_sax_args(motifs)
+    motifs.add_argument("--top", "-t", type=int, default=5,
+                        help="motifs to report")
+    motifs.set_defaults(func=_cmd_motifs)
+
+    suggest = sub.add_parser(
+        "suggest", help="suggest discretization parameters for a series"
+    )
+    suggest.add_argument("path")
+    suggest.add_argument("--column", "-c", type=int, default=0)
+    suggest.add_argument("--top", "-t", type=int, default=5)
+    suggest.set_defaults(func=_cmd_suggest)
+
+    table1 = sub.add_parser("table1", help="regenerate Table 1 (synthetic stand-ins)")
+    table1.add_argument("--only", nargs="*", help="restrict to these dataset keys")
+    table1.set_defaults(func=_cmd_table1)
+
+    demo = sub.add_parser("demo", help="run the quickstart demo")
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(func=_cmd_demo)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""The paper's primary contribution: grammar-driven anomaly discovery.
+
+Two algorithms (paper Section 4):
+
+* :func:`~repro.core.rule_density.rule_density_curve` and friends — the
+  approximate, linear-time rule-density detector;
+* :func:`~repro.core.rra.find_discords` — RRA, the exact variable-length
+  discord search.
+
+:class:`~repro.core.pipeline.GrammarAnomalyDetector` wires SAX + Sequitur
++ both detectors into a one-call API.
+"""
+
+from repro.core.anomaly import Anomaly, Discord
+from repro.core.rule_density import (
+    rule_density_curve,
+    density_minima_intervals,
+    find_density_anomalies,
+)
+from repro.core.rra import RRAResult, find_discord, find_discords
+from repro.core.pipeline import GrammarAnomalyDetector, PipelineResult
+from repro.core.parameter_grid import GridPoint, ParameterGridStudy
+from repro.core.motifs import Motif, find_motifs, motif_cover_fraction
+from repro.core.auto_params import (
+    ParameterSuggestion,
+    dominant_period,
+    grammar_health,
+    suggest_parameters,
+)
+
+__all__ = [
+    "Anomaly",
+    "Discord",
+    "rule_density_curve",
+    "density_minima_intervals",
+    "find_density_anomalies",
+    "RRAResult",
+    "find_discord",
+    "find_discords",
+    "GrammarAnomalyDetector",
+    "PipelineResult",
+    "GridPoint",
+    "ParameterGridStudy",
+    "Motif",
+    "find_motifs",
+    "motif_cover_fraction",
+    "ParameterSuggestion",
+    "dominant_period",
+    "grammar_health",
+    "suggest_parameters",
+]

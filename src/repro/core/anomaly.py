@@ -1,0 +1,77 @@
+"""Result types shared by both anomaly-discovery algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ParameterError
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """A detected anomalous interval.
+
+    Attributes
+    ----------
+    start, end:
+        Half-open series interval ``[start, end)``.
+    score:
+        Algorithm-specific anomalousness.  For the rule-density detector
+        lower density = more anomalous, so the score is the *negated*
+        mean rule density over the interval (higher score = more
+        anomalous, uniformly across detectors).
+    rank:
+        0 for the strongest anomaly, 1 for the next, ...
+    source:
+        Which detector produced it (``"density"`` / ``"rra"`` / ...).
+    """
+
+    start: int
+    end: int
+    score: float
+    rank: int = 0
+    source: str = "density"
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ParameterError(f"malformed anomaly [{self.start}, {self.end})")
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def overlap(self, other_start: int, other_end: int) -> int:
+        """Number of points shared with ``[other_start, other_end)``."""
+        return max(0, min(self.end, other_end) - max(self.start, other_start))
+
+    def overlap_fraction(self, other_start: int, other_end: int) -> float:
+        """Shared points divided by the length of the *shorter* interval.
+
+        This is the recall-style overlap measure used for Table 1's last
+        column: 100 % means one interval is contained in (or equals) the
+        other.
+        """
+        shorter = min(self.length, other_end - other_start)
+        if shorter <= 0:
+            return 0.0
+        return self.overlap(other_start, other_end) / shorter
+
+
+@dataclass(frozen=True)
+class Discord(Anomaly):
+    """A discord: anomaly whose score is a nearest-non-self-match distance.
+
+    Attributes
+    ----------
+    nn_distance:
+        Distance to the nearest non-self match (the discord criterion);
+        equal to :attr:`score`.
+    rule_id:
+        The grammar rule whose interval produced this candidate
+        (``-1`` for zero-coverage gaps; ``None`` for detectors that do
+        not use grammar intervals, e.g. HOTSAX).
+    """
+
+    nn_distance: float = 0.0
+    rule_id: int | None = None
+    source: str = "rra"

@@ -1,0 +1,209 @@
+"""Discretization-parameter selection study (paper Section 5.2, Figure 10).
+
+The paper samples the (window, PAA, alphabet) space on a dataset with a
+single known true anomaly and records, for each parameter combination,
+whether each algorithm recovered it.  Figure 10 plots the success region
+in (approximation distance, grammar size) coordinates; the headline
+number is that RRA's success region is roughly twice the density
+detector's (7100 vs 1460 successful combinations in the paper's sweep).
+
+This module provides the sweep machinery plus the two figure-axis
+quantities:
+
+* **approximation distance** — the per-window Euclidean error between
+  the z-normalized window and its PAA-reconstructed approximation,
+  averaged over the series (the x-axis of Figure 10);
+* **grammar size** — total RHS symbol count of the induced grammar
+  (the y-axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.pipeline import GrammarAnomalyDetector
+from repro.exceptions import ParameterError
+from repro.sax.discretize import Discretization
+from repro.timeseries.paa import paa
+from repro.timeseries.windows import sliding_windows
+from repro.timeseries.znorm import znorm
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One parameter combination and its outcomes.
+
+    ``density_hit`` uses the paper-faithful density detector (plain
+    global minimum, no edge handling) — the algorithm Figure 10
+    measures.  ``density_hit_enhanced`` additionally applies this
+    library's edge-exclusion improvement (see
+    :func:`repro.core.rule_density.find_density_anomalies`), which makes
+    the density detector substantially more parameter-robust.
+    """
+
+    window: int
+    paa_size: int
+    alphabet_size: int
+    approximation_distance: float
+    grammar_size: int
+    density_hit: bool
+    rra_hit: bool
+    density_hit_enhanced: bool = False
+
+
+def approximation_distance(
+    series: np.ndarray, window: int, paa_size: int, *, sample_stride: int = 1
+) -> float:
+    """Mean Euclidean error of the PAA approximation over all windows.
+
+    Each window is z-normalized, reduced to ``paa_size`` segment means,
+    reconstructed by repeating each mean over its segment, and compared
+    with the original.  ``sample_stride`` lets large sweeps subsample
+    windows.
+    """
+    if sample_stride < 1:
+        raise ParameterError(f"sample_stride must be >= 1, got {sample_stride}")
+    windows = sliding_windows(series, window)[::sample_stride]
+    if windows.shape[0] == 0:
+        raise ParameterError("series shorter than window")
+    total = 0.0
+    for row in windows:
+        normalized = znorm(row)
+        means = paa(normalized, paa_size)
+        reconstructed = _paa_reconstruct(means, window)
+        total += float(np.sqrt(np.sum((normalized - reconstructed) ** 2)))
+    return total / windows.shape[0]
+
+
+def _paa_reconstruct(means: np.ndarray, n: int) -> np.ndarray:
+    """Stretch PAA means back to length *n* (piecewise-constant)."""
+    w = means.size
+    idx = np.minimum((np.arange(n) * w) // n, w - 1)
+    return means[idx]
+
+
+def _hit(
+    found: Iterable[tuple[int, int]],
+    true_start: int,
+    true_end: int,
+    min_overlap: float,
+) -> bool:
+    """True when any found interval overlaps the truth by >= min_overlap.
+
+    Overlap is measured relative to the shorter of the two intervals, so
+    a short density interval inside a long true anomaly still counts.
+    """
+    for start, end in found:
+        shorter = min(end - start, true_end - true_start)
+        if shorter <= 0:
+            continue
+        shared = max(0, min(end, true_end) - max(start, true_start))
+        if shared / shorter >= min_overlap:
+            return True
+    return False
+
+
+class ParameterGridStudy:
+    """Sweep (window, PAA, alphabet) and measure anomaly-recovery success.
+
+    Parameters
+    ----------
+    series:
+        The series under study.
+    true_anomaly:
+        Ground truth as a half-open ``(start, end)`` interval.
+    min_overlap:
+        Fraction of the shorter interval that must be shared for a
+        detection to count as a hit (0.5 by default).
+    """
+
+    def __init__(
+        self,
+        series: np.ndarray,
+        true_anomaly: tuple[int, int],
+        *,
+        min_overlap: float = 0.5,
+    ) -> None:
+        self.series = np.asarray(series, dtype=float)
+        if not 0 <= true_anomaly[0] < true_anomaly[1] <= self.series.size:
+            raise ParameterError(f"true anomaly {true_anomaly} out of bounds")
+        self.true_anomaly = true_anomaly
+        self.min_overlap = min_overlap
+
+    def evaluate_point(
+        self, window: int, paa_size: int, alphabet_size: int
+    ) -> Optional[GridPoint]:
+        """Evaluate one parameter combination; None when it is invalid
+        (window too long for the series, PAA larger than the window, ...).
+        """
+        if paa_size > window or window >= self.series.size:
+            return None
+        detector = GrammarAnomalyDetector(window, paa_size, alphabet_size)
+        try:
+            fitted = detector.fit(self.series)
+        except Exception:
+            return None
+
+        # Symmetric criterion: each algorithm's single top-ranked answer
+        # must overlap the truth (the paper counts a combination as
+        # successful when the algorithm "discovered the anomaly").
+        from repro.core.rule_density import find_density_anomalies
+
+        density_paper = [
+            (a.start, a.end)
+            for a in find_density_anomalies(
+                fitted.density, max_anomalies=1, edge_exclusion=0
+            )
+        ]
+        density_enhanced = [
+            (a.start, a.end) for a in detector.density_anomalies(max_anomalies=1)
+        ]
+        rra = detector.discords(num_discords=1)
+        rra_found = [(d.start, d.end) for d in rra.discords]
+
+        true_start, true_end = self.true_anomaly
+        return GridPoint(
+            window=window,
+            paa_size=paa_size,
+            alphabet_size=alphabet_size,
+            approximation_distance=approximation_distance(
+                self.series, window, paa_size, sample_stride=max(1, window // 4)
+            ),
+            grammar_size=fitted.grammar.grammar_size(),
+            density_hit=_hit(density_paper, true_start, true_end, self.min_overlap),
+            rra_hit=_hit(rra_found, true_start, true_end, self.min_overlap),
+            density_hit_enhanced=_hit(
+                density_enhanced, true_start, true_end, self.min_overlap
+            ),
+        )
+
+    def sweep(
+        self,
+        windows: Sequence[int],
+        paa_sizes: Sequence[int],
+        alphabet_sizes: Sequence[int],
+    ) -> list[GridPoint]:
+        """Evaluate the full cartesian grid (invalid points skipped)."""
+        points: list[GridPoint] = []
+        for window in windows:
+            for paa_size in paa_sizes:
+                for alphabet_size in alphabet_sizes:
+                    point = self.evaluate_point(window, paa_size, alphabet_size)
+                    if point is not None:
+                        points.append(point)
+        return points
+
+    @staticmethod
+    def success_counts(points: Sequence[GridPoint]) -> dict[str, int]:
+        """The Figure 10 headline numbers: hits per algorithm."""
+        return {
+            "total": len(points),
+            "density_hits": sum(1 for p in points if p.density_hit),
+            "rra_hits": sum(1 for p in points if p.rra_hit),
+            "density_hits_enhanced": sum(
+                1 for p in points if p.density_hit_enhanced
+            ),
+        }

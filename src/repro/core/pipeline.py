@@ -1,0 +1,207 @@
+"""End-to-end pipeline: series -> SAX -> grammar -> anomalies.
+
+:class:`GrammarAnomalyDetector` is the library's main entry point.  It
+runs the full chain of the paper once (discretization + grammar
+induction + interval projection) and then answers both kinds of queries
+— rule-density anomalies and RRA discords — from the shared
+intermediate state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.anomaly import Anomaly, Discord
+from repro.core.rra import RRAResult, find_discords, nearest_neighbor_distances
+from repro.core.rule_density import find_density_anomalies, rule_density_curve
+from repro.exceptions import ParameterError
+from repro.grammar.grammar import Grammar
+from repro.grammar.intervals import (
+    RuleInterval,
+    rule_intervals,
+    uncovered_intervals,
+)
+from repro.grammar.repair import repair_grammar
+from repro.grammar.sequitur import induce_grammar
+from repro.sax.discretize import Discretization, NumerosityReduction, discretize
+
+
+@dataclass
+class PipelineResult:
+    """Everything the pipeline computed for one series.
+
+    Exposed so callers (benchmarks, visualization, notebooks) can inspect
+    intermediate state: the discretization, the grammar, the projected
+    rule intervals, and the density curve.
+    """
+
+    series: np.ndarray
+    discretization: Discretization
+    grammar: Grammar
+    intervals: list[RuleInterval]
+    gaps: list[RuleInterval]
+    density: np.ndarray = field(repr=False, default=None)
+
+    @property
+    def candidates(self) -> list[RuleInterval]:
+        """RRA candidate set: rule intervals plus zero-coverage gaps."""
+        return self.intervals + self.gaps
+
+
+class GrammarAnomalyDetector:
+    """Grammar-compression-driven anomaly detector (the paper's framework).
+
+    Parameters
+    ----------
+    window:
+        Sliding-window ("seed") length W.
+    paa_size:
+        PAA segments per window P.
+    alphabet_size:
+        SAX alphabet size A.
+    numerosity_reduction:
+        Strategy for collapsing consecutive identical words.
+    grammar_algorithm:
+        ``"sequitur"`` (the paper) or ``"repair"`` (ablation).
+    seed:
+        Seed for the RRA inner-loop shuffle; fixed for reproducibility.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import GrammarAnomalyDetector
+    >>> t = np.arange(4000)
+    >>> series = np.sin(2 * np.pi * t / 200)
+    >>> series[2000:2120] = -series[2000:2120]   # plant an anomaly
+    >>> detector = GrammarAnomalyDetector(window=100, paa_size=4,
+    ...                                   alphabet_size=4)
+    >>> fit = detector.fit(series)
+    >>> discords = detector.discords(num_discords=1)
+    >>> 1900 <= discords.best.start <= 2120
+    True
+    """
+
+    def __init__(
+        self,
+        window: int,
+        paa_size: int,
+        alphabet_size: int,
+        *,
+        numerosity_reduction: NumerosityReduction = NumerosityReduction.EXACT,
+        grammar_algorithm: str = "sequitur",
+        seed: int = 0,
+    ) -> None:
+        if grammar_algorithm not in ("sequitur", "repair"):
+            raise ParameterError(
+                f"grammar_algorithm must be 'sequitur' or 'repair', "
+                f"got {grammar_algorithm!r}"
+            )
+        self.window = window
+        self.paa_size = paa_size
+        self.alphabet_size = alphabet_size
+        self.numerosity_reduction = numerosity_reduction
+        self.grammar_algorithm = grammar_algorithm
+        self.seed = seed
+        self._result: Optional[PipelineResult] = None
+
+    # -- fitting --------------------------------------------------------
+
+    def fit(self, series: np.ndarray) -> PipelineResult:
+        """Run discretization + grammar induction + interval projection."""
+        series = np.asarray(series, dtype=float)
+        disc = discretize(
+            series,
+            self.window,
+            self.paa_size,
+            self.alphabet_size,
+            strategy=self.numerosity_reduction,
+        )
+        if self.grammar_algorithm == "repair":
+            grammar = repair_grammar(disc.tokens())
+        else:
+            grammar = induce_grammar(disc.tokens())
+        intervals = rule_intervals(grammar, disc)
+        gaps = uncovered_intervals(grammar, disc)
+        density = rule_density_curve(intervals, series.size)
+        self._result = PipelineResult(
+            series=series,
+            discretization=disc,
+            grammar=grammar,
+            intervals=intervals,
+            gaps=gaps,
+            density=density,
+        )
+        return self._result
+
+    @property
+    def result(self) -> PipelineResult:
+        if self._result is None:
+            raise ParameterError("call fit(series) before querying the detector")
+        return self._result
+
+    # -- queries --------------------------------------------------------
+
+    def density_curve(self) -> np.ndarray:
+        """The rule density curve of the fitted series."""
+        return self.result.density
+
+    def density_anomalies(
+        self,
+        *,
+        threshold: Optional[float] = None,
+        min_length: int = 1,
+        max_anomalies: Optional[int] = None,
+        edge_exclusion: Optional[int] = None,
+    ) -> list[Anomaly]:
+        """Rule-density anomalies (paper Section 4.1).
+
+        By default the first and last window-length of the curve are
+        excluded from the minima search, because rule coverage always
+        tapers off at the series boundaries.
+        """
+        if edge_exclusion is None:
+            edge_exclusion = self.window
+        return find_density_anomalies(
+            self.result.density,
+            threshold=threshold,
+            min_length=min_length,
+            max_anomalies=max_anomalies,
+            edge_exclusion=edge_exclusion,
+        )
+
+    def discords(self, *, num_discords: int = 1) -> RRAResult:
+        """RRA variable-length discords (paper Section 4.2)."""
+        result = self.result
+        return find_discords(
+            result.series,
+            result.candidates,
+            num_discords=num_discords,
+            rng=np.random.default_rng(self.seed),
+        )
+
+    def nn_distance_profile(self) -> list[tuple[RuleInterval, float]]:
+        """Nearest-non-self-match distance per candidate (figure panels)."""
+        result = self.result
+        return nearest_neighbor_distances(result.series, result.candidates)
+
+    # -- summaries ------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Human-oriented summary of the fitted state."""
+        result = self.result
+        return {
+            "series_length": int(result.series.size),
+            "window": self.window,
+            "paa_size": self.paa_size,
+            "alphabet_size": self.alphabet_size,
+            "words_raw": result.discretization.raw_word_count,
+            "words_reduced": len(result.discretization),
+            "grammar_algorithm": self.grammar_algorithm,
+            "grammar_rules": len(result.grammar),
+            "grammar_size": result.grammar.grammar_size(),
+            "rule_intervals": len(result.intervals),
+            "zero_coverage_gaps": len(result.gaps),
+        }

@@ -1,0 +1,276 @@
+"""RRA — Rare Rule Anomaly discord discovery (paper Section 4.2, Algorithm 1).
+
+RRA is a HOTSAX-style exact discord search whose candidate set is not the
+set of all fixed-length sliding windows but the *variable-length*
+subsequences corresponding to grammar rules (plus the zero-coverage gaps
+that never made it into any rule):
+
+* **Outer loop** — candidates in ascending order of their rule's usage
+  frequency (gaps have frequency 0 and come first): the rarer the rule,
+  the more likely its subsequence is the discord, and an early good
+  ``best_so_far`` maximizes later pruning.
+* **Inner loop** — for a candidate from rule R, other subsequences of the
+  same rule R are visited first (they are near-identical, so a small
+  distance is found quickly and the candidate is abandoned early); the
+  remaining candidates follow in random order.
+* **Distance** — Euclidean normalized by subsequence length (paper
+  Eq. 1), computed between z-normalized subsequences; unequal lengths are
+  aligned by sliding the shorter inside the longer (see DESIGN.md §5).
+* **Early abandoning** — the inner loop breaks as soon as a distance
+  below ``best_so_far`` is seen; the candidate cannot be the discord.
+
+Every distance is drawn through a
+:class:`~repro.timeseries.distance.DistanceCounter`, so call counts are
+comparable with HOTSAX and brute force (Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.anomaly import Discord
+from repro.exceptions import DiscordSearchError
+from repro.grammar.intervals import RuleInterval
+from repro.timeseries.distance import DistanceCounter
+from repro.timeseries.znorm import znorm
+
+
+@dataclass
+class RRAResult:
+    """Outcome of an RRA search.
+
+    Attributes
+    ----------
+    discords:
+        Ranked discords (strongest first).
+    distance_calls:
+        Total distance-function invocations (Table 1 metric).
+    candidate_count:
+        Number of candidate intervals considered.
+    """
+
+    discords: list[Discord] = field(default_factory=list)
+    distance_calls: int = 0
+    candidate_count: int = 0
+
+    @property
+    def best(self) -> Optional[Discord]:
+        return self.discords[0] if self.discords else None
+
+
+class _CandidateSet:
+    """Candidate intervals with cached z-normalized subsequences."""
+
+    def __init__(self, series: np.ndarray, intervals: Sequence[RuleInterval]):
+        self.series = series
+        self.intervals = list(intervals)
+        self._cache: dict[tuple[int, int], np.ndarray] = {}
+
+    def values(self, interval: RuleInterval) -> np.ndarray:
+        key = (interval.start, interval.end)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = znorm(self.series[interval.start : interval.end])
+            self._cache[key] = cached
+        return cached
+
+
+def _is_non_self_match(p: RuleInterval, q: RuleInterval) -> bool:
+    """Paper line 7: |p0 - q0| > Length(p), i.e. no trivial self match."""
+    return abs(p.start - q.start) > p.length
+
+
+def _inner_order(
+    candidate: RuleInterval,
+    others: list[RuleInterval],
+    rng: np.random.Generator,
+) -> list[RuleInterval]:
+    """Same-rule intervals first, then the rest shuffled."""
+    same_rule = [
+        iv
+        for iv in others
+        if iv.rule_id == candidate.rule_id and candidate.rule_id >= 0
+    ]
+    rest = [
+        iv
+        for iv in others
+        if not (iv.rule_id == candidate.rule_id and candidate.rule_id >= 0)
+    ]
+    rng.shuffle(rest)
+    return same_rule + rest
+
+
+def find_discord(
+    series: np.ndarray,
+    intervals: Sequence[RuleInterval],
+    *,
+    counter: Optional[DistanceCounter] = None,
+    rng: Optional[np.random.Generator] = None,
+    exclude: Sequence[tuple[int, int]] = (),
+) -> tuple[Optional[Discord], DistanceCounter]:
+    """Find the single best variable-length discord (paper Algorithm 1).
+
+    Parameters
+    ----------
+    series:
+        The raw time series.
+    intervals:
+        Candidate intervals: rule intervals plus zero-coverage gaps.
+    counter:
+        Distance counter to accumulate into; a fresh one by default.
+    rng:
+        Source of randomness for the inner-loop ordering.
+    exclude:
+        Half-open ``(start, end)`` ranges; candidates overlapping any of
+        them are skipped (used for iterative multi-discord extraction).
+
+    Returns
+    -------
+    (discord or None, counter)
+        None when no candidate has a non-self match (degenerate input).
+    """
+    series = np.asarray(series, dtype=float)
+    if series.ndim != 1:
+        raise DiscordSearchError(f"series must be 1-d, got shape {series.shape}")
+    if counter is None:
+        counter = DistanceCounter()
+    if rng is None:
+        rng = np.random.default_rng(0)
+
+    candidates = [
+        iv
+        for iv in intervals
+        if iv.end <= series.size
+        and iv.length >= 2
+        and not any(iv.start < ex_end and ex_start < iv.end for ex_start, ex_end in exclude)
+    ]
+    if not candidates:
+        return None, counter
+
+    cache = _CandidateSet(series, candidates)
+
+    # Outer ordering: ascending rule usage (gaps first), deterministic
+    # tie-break by position.
+    outer = sorted(candidates, key=lambda iv: (iv.usage, iv.start, iv.end))
+
+    best_dist = 0.0
+    best_candidate: Optional[RuleInterval] = None
+
+    for p in outer:
+        p_values = cache.values(p)
+        nearest = float("inf")
+        pruned = False
+        for q in _inner_order(p, candidates, rng):
+            if q is p or not _is_non_self_match(p, q):
+                continue
+            dist = counter.variable_length(
+                p_values, cache.values(q), normalize_inputs=False
+            )
+            if dist < best_dist:
+                pruned = True  # p cannot beat the current best discord
+                break
+            if dist < nearest:
+                nearest = dist
+        if not pruned and np.isfinite(nearest) and nearest > best_dist:
+            best_dist = nearest
+            best_candidate = p
+
+    if best_candidate is None:
+        return None, counter
+    discord = Discord(
+        start=best_candidate.start,
+        end=best_candidate.end,
+        score=best_dist,
+        rank=0,
+        nn_distance=best_dist,
+        rule_id=best_candidate.rule_id,
+        source="rra",
+    )
+    return discord, counter
+
+
+def find_discords(
+    series: np.ndarray,
+    intervals: Sequence[RuleInterval],
+    *,
+    num_discords: int = 1,
+    counter: Optional[DistanceCounter] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> RRAResult:
+    """Iteratively extract up to *num_discords* ranked discords.
+
+    After each discovery the found interval is excluded (paper: "when run
+    iteratively, excluding the current best discord from Intervals list,
+    RRA outputs a ranked list of multiple co-existing discords of
+    variable length").
+    """
+    series = np.asarray(series, dtype=float)
+    if counter is None:
+        counter = DistanceCounter()
+    if rng is None:
+        rng = np.random.default_rng(0)
+    if num_discords < 1:
+        raise DiscordSearchError(f"num_discords must be >= 1, got {num_discords}")
+
+    result = RRAResult(candidate_count=len(list(intervals)))
+    exclusions: list[tuple[int, int]] = []
+    for rank in range(num_discords):
+        discord, counter = find_discord(
+            series,
+            intervals,
+            counter=counter,
+            rng=rng,
+            exclude=exclusions,
+        )
+        if discord is None:
+            break
+        ranked = Discord(
+            start=discord.start,
+            end=discord.end,
+            score=discord.score,
+            rank=rank,
+            nn_distance=discord.nn_distance,
+            rule_id=discord.rule_id,
+            source="rra",
+        )
+        result.discords.append(ranked)
+        exclusions.append((discord.start, discord.end))
+    result.distance_calls = counter.calls
+    return result
+
+
+def nearest_neighbor_distances(
+    series: np.ndarray,
+    intervals: Sequence[RuleInterval],
+    *,
+    counter: Optional[DistanceCounter] = None,
+) -> list[tuple[RuleInterval, float]]:
+    """Exact nearest-non-self-match distance for every candidate interval.
+
+    This is what the bottom panels of the paper's Figures 2, 3 and 7
+    plot: a vertical line at each rule-interval start whose height is the
+    distance to the interval's nearest non-self match.  O(k^2) distance
+    calls — intended for analysis/visualization, not for search.
+    """
+    series = np.asarray(series, dtype=float)
+    if counter is None:
+        counter = DistanceCounter()
+    candidates = [iv for iv in intervals if iv.end <= series.size and iv.length >= 2]
+    cache = _CandidateSet(series, candidates)
+    results: list[tuple[RuleInterval, float]] = []
+    for p in candidates:
+        p_values = cache.values(p)
+        nearest = float("inf")
+        for q in candidates:
+            if q is p or not _is_non_self_match(p, q):
+                continue
+            dist = counter.variable_length(
+                p_values, cache.values(q), normalize_inputs=False
+            )
+            if dist < nearest:
+                nearest = dist
+        results.append((p, nearest))
+    return results

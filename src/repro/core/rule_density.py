@@ -1,0 +1,169 @@
+"""The rule density curve (paper Section 4.1).
+
+For each point of the input series, count how many grammar-rule intervals
+cover it.  Points at (or near) the curve's global minimum belong to
+subsequences the grammar could not compress — algorithmically anomalous
+by the paper's definition — and are reported as anomalies.
+
+Everything here is linear in the series length plus the number of rule
+intervals.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.anomaly import Anomaly
+from repro.exceptions import ParameterError
+from repro.grammar.intervals import RuleInterval
+
+
+def rule_density_curve(
+    intervals: Sequence[RuleInterval],
+    series_length: int,
+) -> np.ndarray:
+    """Compute the rule density curve.
+
+    Parameters
+    ----------
+    intervals:
+        Rule intervals (R0 excluded), e.g. from
+        :func:`repro.grammar.intervals.rule_intervals`.
+    series_length:
+        Length of the raw series; the output has this length.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer array where element *i* is the number of rule intervals
+        covering point *i*.
+
+    Notes
+    -----
+    Implemented with a difference array + cumulative sum, so the cost is
+    O(len(intervals) + series_length) regardless of interval lengths.
+    """
+    if series_length < 0:
+        raise ParameterError(f"series_length must be >= 0, got {series_length}")
+    diff = np.zeros(series_length + 1, dtype=np.int64)
+    for iv in intervals:
+        if iv.start >= series_length:
+            continue
+        diff[iv.start] += 1
+        diff[min(iv.end, series_length)] -= 1
+    return np.cumsum(diff[:-1])
+
+
+def density_minima_intervals(
+    curve: np.ndarray,
+    *,
+    threshold: Optional[float] = None,
+    min_length: int = 1,
+) -> list[tuple[int, int]]:
+    """Contiguous intervals where the density is at or below a threshold.
+
+    Parameters
+    ----------
+    curve:
+        A rule density curve.
+    threshold:
+        Density cutoff; defaults to the curve's global minimum (the
+        paper's "global minima" intervals).  With a user threshold the
+        detector reports every stretch at or below it (paper: "when
+        given a fixed threshold, it simply reports contiguous points ...
+        whose density is less than the threshold value").
+    min_length:
+        Discard intervals shorter than this many points.
+
+    Returns
+    -------
+    list of (start, end) half-open intervals, in series order.
+    """
+    curve = np.asarray(curve)
+    if curve.size == 0:
+        return []
+    if threshold is None:
+        threshold = float(curve.min())
+    mask = curve <= threshold
+    intervals: list[tuple[int, int]] = []
+    start = None
+    for pos, below in enumerate(mask):
+        if below and start is None:
+            start = pos
+        elif not below and start is not None:
+            if pos - start >= min_length:
+                intervals.append((start, pos))
+            start = None
+    if start is not None and curve.size - start >= min_length:
+        intervals.append((start, int(curve.size)))
+    return intervals
+
+
+def find_density_anomalies(
+    curve: np.ndarray,
+    *,
+    threshold: Optional[float] = None,
+    min_length: int = 1,
+    max_anomalies: Optional[int] = None,
+    edge_exclusion: int = 0,
+) -> list[Anomaly]:
+    """Rank density-minima intervals into :class:`Anomaly` objects.
+
+    Intervals are ranked by ascending mean density (emptier = more
+    anomalous), ties broken by longer first, then by position.  The
+    anomaly score is the negated mean density so that a higher score
+    is always more anomalous.
+
+    Parameters
+    ----------
+    edge_exclusion:
+        Ignore the first and last this-many points of the curve when
+        searching for minima.  Rule coverage always tapers off at the
+        series boundaries (few rules span them), which would otherwise
+        produce spurious edge minima; one window length is a good value.
+    """
+    full_curve = np.asarray(curve, dtype=float)
+    if edge_exclusion < 0:
+        raise ParameterError(f"edge_exclusion must be >= 0, got {edge_exclusion}")
+    offset = 0
+    search_curve = full_curve
+    if edge_exclusion and full_curve.size > 2 * edge_exclusion:
+        offset = edge_exclusion
+        search_curve = full_curve[edge_exclusion:-edge_exclusion]
+    intervals = density_minima_intervals(
+        search_curve, threshold=threshold, min_length=min_length
+    )
+    intervals = [(start + offset, end + offset) for start, end in intervals]
+    scored = []
+    for start, end in intervals:
+        mean_density = float(full_curve[start:end].mean())
+        scored.append((mean_density, -(end - start), start, end))
+    scored.sort()
+    anomalies = [
+        Anomaly(
+            start=start,
+            end=end,
+            score=-mean_density,
+            rank=rank,
+            source="density",
+        )
+        for rank, (mean_density, _neg_len, start, end) in enumerate(scored)
+    ]
+    if max_anomalies is not None:
+        anomalies = anomalies[:max_anomalies]
+    return anomalies
+
+
+def density_statistics(curve: np.ndarray) -> dict[str, float]:
+    """Summary statistics of a density curve (used by reports/benches)."""
+    curve = np.asarray(curve, dtype=float)
+    if curve.size == 0:
+        return {"min": 0.0, "max": 0.0, "mean": 0.0, "std": 0.0}
+    return {
+        "min": float(curve.min()),
+        "max": float(curve.max()),
+        "mean": float(curve.mean()),
+        "std": float(curve.std()),
+    }

@@ -1,0 +1,43 @@
+"""Synthetic evaluation datasets with planted, annotated anomalies.
+
+Each generator emulates one of the paper's evaluation datasets (see
+DESIGN.md §3 for the substitution rationale) and returns a
+:class:`~repro.datasets.base.Dataset` carrying the series, ground-truth
+anomaly intervals, and the discretization parameters the paper used for
+that dataset.
+"""
+
+from repro.datasets.base import Dataset
+from repro.datasets.synthetic import random_walk, repeated_pattern, sine_with_anomaly
+from repro.datasets.ecg import (
+    ecg_qtdb_0606_like,
+    ecg_record_like,
+    ecg_subtle_st_like,
+    synthetic_ecg,
+)
+from repro.datasets.power import dutch_power_demand_like
+from repro.datasets.video import video_gun_like
+from repro.datasets.telemetry import tek_like
+from repro.datasets.respiration import respiration_like
+from repro.datasets.trajectory import TrajectoryDataset, commute_trail
+from repro.datasets.registry import TableRow, get_row, table1_rows
+
+__all__ = [
+    "Dataset",
+    "random_walk",
+    "repeated_pattern",
+    "sine_with_anomaly",
+    "ecg_qtdb_0606_like",
+    "ecg_record_like",
+    "ecg_subtle_st_like",
+    "synthetic_ecg",
+    "dutch_power_demand_like",
+    "video_gun_like",
+    "tek_like",
+    "respiration_like",
+    "TrajectoryDataset",
+    "commute_trail",
+    "TableRow",
+    "get_row",
+    "table1_rows",
+]

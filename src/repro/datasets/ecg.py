@@ -1,0 +1,211 @@
+"""Synthetic electrocardiogram stand-ins for the paper's ECG datasets.
+
+The paper evaluates on PhysioNet records (qtdb 0606, MIT-BIH 308/15/108
+and ST-change 300/318).  We cannot ship PhysioNet data, so we synthesize
+a quasi-periodic PQRST-like beat train and plant premature-ventricular-
+contraction-like abnormal beats at known positions: a beat whose QRS
+complex is widened and inverted relative to normal beats, arriving early
+— the same *shape-regularity violation* the algorithms exploit on real
+ECG (see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset, gaussian_bump, rng_of
+from repro.exceptions import DatasetError
+
+
+def _normal_beat(length: int, rng: np.random.Generator) -> np.ndarray:
+    """One PQRST-like beat of *length* samples with mild variability."""
+    beat = np.zeros(length, dtype=float)
+    jitter = lambda scale: 1.0 + rng.normal(0.0, scale)  # noqa: E731
+    # P wave, QRS complex (Q dip, R spike, S dip), T wave.
+    beat += gaussian_bump(length, 0.18 * length, 0.035 * length, 0.12 * jitter(0.05))
+    beat -= gaussian_bump(length, 0.38 * length, 0.012 * length, 0.18 * jitter(0.05))
+    beat += gaussian_bump(length, 0.42 * length, 0.016 * length, 1.00 * jitter(0.03))
+    beat -= gaussian_bump(length, 0.47 * length, 0.014 * length, 0.25 * jitter(0.05))
+    beat += gaussian_bump(length, 0.70 * length, 0.055 * length, 0.28 * jitter(0.05))
+    return beat
+
+
+def _pvc_beat(length: int, rng: np.random.Generator) -> np.ndarray:
+    """A PVC-like abnormal beat: wide, inverted QRS, missing P wave."""
+    beat = np.zeros(length, dtype=float)
+    beat -= gaussian_bump(length, 0.40 * length, 0.060 * length, 0.90)
+    beat += gaussian_bump(length, 0.52 * length, 0.050 * length, 0.55)
+    beat += gaussian_bump(length, 0.72 * length, 0.080 * length, 0.18)
+    beat += rng.normal(0.0, 0.01, length)
+    return beat
+
+
+def synthetic_ecg(
+    *,
+    num_beats: int = 20,
+    beat_length: int = 115,
+    anomaly_beats: tuple[int, ...] = (12,),
+    noise: float = 0.02,
+    seed: int | np.random.Generator | None = 0,
+    name: str = "ecg",
+    window: int = 120,
+    paa_size: int = 4,
+    alphabet_size: int = 4,
+) -> Dataset:
+    """Generate a beat train with PVC-like anomalies at known beats.
+
+    Parameters
+    ----------
+    num_beats:
+        Total number of beats.
+    beat_length:
+        Samples per beat (slight per-beat variation is applied).
+    anomaly_beats:
+        Indices of the beats replaced by abnormal PVC-like beats.
+    noise:
+        Standard deviation of additive Gaussian noise.
+    seed:
+        RNG seed (or a Generator) for reproducibility.
+    name, window, paa_size, alphabet_size:
+        Metadata stored on the returned :class:`Dataset`.
+    """
+    if num_beats < 3:
+        raise DatasetError(f"need at least 3 beats, got {num_beats}")
+    for idx in anomaly_beats:
+        if not 0 <= idx < num_beats:
+            raise DatasetError(f"anomaly beat {idx} outside [0, {num_beats})")
+    rng = rng_of(seed)
+
+    pieces: list[np.ndarray] = []
+    anomaly_intervals: list[tuple[int, int]] = []
+    position = 0
+    anomaly_set = set(anomaly_beats)
+    for beat_idx in range(num_beats):
+        length = beat_length + int(rng.integers(-3, 4))
+        if beat_idx in anomaly_set:
+            # PVC beats arrive early (shortened coupling interval).
+            length = int(length * 0.85)
+            piece = _pvc_beat(length, rng)
+            anomaly_intervals.append((position, position + length))
+        else:
+            piece = _normal_beat(length, rng)
+        pieces.append(piece)
+        position += length
+
+    series = np.concatenate(pieces)
+    series += rng.normal(0.0, noise, series.size)
+    return Dataset(
+        name=name,
+        series=series,
+        anomalies=anomaly_intervals,
+        window=window,
+        paa_size=paa_size,
+        alphabet_size=alphabet_size,
+        description="synthetic PQRST beat train with planted PVC-like beats",
+    )
+
+
+def ecg_qtdb_0606_like(seed: int = 0, *, length: int = 2300) -> Dataset:
+    """Stand-in for the paper's 'ECG qtdb 0606' excerpt (Figure 2, Table 1).
+
+    2,300 points, one subtle anomalous heartbeat, parameters (120, 4, 4).
+    """
+    num_beats = max(4, length // 115)
+    return synthetic_ecg(
+        num_beats=num_beats,
+        beat_length=115,
+        anomaly_beats=(num_beats // 2,),
+        seed=seed,
+        name="ecg_qtdb_0606",
+        window=120,
+        paa_size=4,
+        alphabet_size=4,
+    )
+
+
+def ecg_subtle_st_like(
+    *,
+    num_beats: int = 20,
+    beat_length: int = 115,
+    anomaly_beat: int = 10,
+    seed: int | np.random.Generator | None = 0,
+) -> Dataset:
+    """ECG with a *subtle* ST-interval anomaly (Figure 10's dataset).
+
+    The paper's parameter-selection study uses qtdb 0606, whose single
+    anomaly is a very subtle change in the ST interval — not a
+    full-blown PVC.  Here one beat keeps its normal P-QRS morphology but
+    gets a depressed ST segment and a flattened T wave; only the second
+    half of the beat changes, and only mildly.  This is the right
+    difficulty level for studying parameter sensitivity: blatant
+    anomalies succeed everywhere and wash the study out.
+    """
+    if not 0 <= anomaly_beat < num_beats:
+        raise DatasetError(f"anomaly beat {anomaly_beat} outside [0, {num_beats})")
+    rng = rng_of(seed)
+    pieces: list[np.ndarray] = []
+    anomalies: list[tuple[int, int]] = []
+    position = 0
+    for beat_idx in range(num_beats):
+        length = beat_length + int(rng.integers(-3, 4))
+        piece = _normal_beat(length, rng)
+        if beat_idx == anomaly_beat:
+            piece -= gaussian_bump(length, 0.58 * length, 0.08 * length, 0.22)
+            piece -= gaussian_bump(length, 0.70 * length, 0.055 * length, 0.16)
+            anomalies.append(
+                (position + int(0.45 * length), position + int(0.85 * length))
+            )
+        pieces.append(piece)
+        position += length
+    series = np.concatenate(pieces)
+    series += rng.normal(0.0, 0.02, series.size)
+    return Dataset(
+        name="ecg_subtle_st",
+        series=series,
+        anomalies=anomalies,
+        window=120,
+        paa_size=4,
+        alphabet_size=4,
+        description="normal beats with one subtle ST-depression beat",
+    )
+
+
+def ecg_record_like(
+    record: str,
+    *,
+    length: int,
+    num_anomalies: int = 1,
+    seed: int = 0,
+    window: int = 300,
+    paa_size: int = 4,
+    alphabet_size: int = 4,
+) -> Dataset:
+    """Stand-in for the longer MIT-BIH-style records of Table 1.
+
+    Parameters mirror the Table 1 rows: ``record`` names the row
+    (e.g. "308"), *length* its point count (possibly scaled down), and
+    (window, paa_size, alphabet_size) its discretization parameters.
+    """
+    beat_length = max(60, window // 2 - 20)
+    num_beats = max(5, length // beat_length)
+    if num_anomalies >= num_beats - 2:
+        raise DatasetError("too many anomalies for the series length")
+    rng = rng_of(seed)
+    # Spread anomalies over the record, away from the very edges.
+    anomaly_beats = tuple(
+        sorted(
+            rng.choice(
+                np.arange(2, num_beats - 2), size=num_anomalies, replace=False
+            ).tolist()
+        )
+    )
+    return synthetic_ecg(
+        num_beats=num_beats,
+        beat_length=beat_length,
+        anomaly_beats=anomaly_beats,
+        seed=rng,
+        name=f"ecg_{record}",
+        window=window,
+        paa_size=paa_size,
+        alphabet_size=alphabet_size,
+    )

@@ -1,0 +1,112 @@
+"""Dutch-power-demand-like synthetic dataset (paper Figures 3–4, Table 1).
+
+The original data is the 1997 power consumption of a Dutch research
+facility at 15-minute resolution: 52 weeks x 672 points, five weekday
+demand peaks followed by two low weekend days.  Anomalies are weeks in
+which a state holiday turns a weekday into a weekend-shaped day
+(Liberation Day, Ascension Day, Good Friday, ...).
+
+The generator reproduces that structure: a weekly template of five
+peaked weekdays + flat weekend, plus planted "holiday" weeks in which a
+chosen weekday is flattened.  Ground truth marks the holiday day.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset, rng_of, sensor_ripple, smooth
+from repro.exceptions import DatasetError
+
+#: Points per day at 15-minute resolution.
+POINTS_PER_DAY = 96
+DAYS_PER_WEEK = 7
+POINTS_PER_WEEK = POINTS_PER_DAY * DAYS_PER_WEEK  # 672
+
+
+def _weekday_profile(rng: np.random.Generator, points: int) -> np.ndarray:
+    """One working day: night trough, steep morning rise, daytime plateau."""
+    x = np.linspace(0.0, 1.0, points)
+    day = np.full(points, 0.2)
+    plateau = (x > 0.30) & (x < 0.75)
+    day[plateau] = 1.0
+    day = smooth(day, max(3, points // 12))
+    day += 0.03 * np.sin(x * 6 * np.pi)  # small intra-day wiggle
+    day += rng.normal(0.0, 0.015, points)
+    return day
+
+
+def _weekend_profile(rng: np.random.Generator, points: int) -> np.ndarray:
+    """A weekend (or holiday) day: low, flat demand."""
+    day = np.full(points, 0.25)
+    day += rng.normal(0.0, 0.015, points)
+    return smooth(day, max(3, points // 24))
+
+
+def dutch_power_demand_like(
+    *,
+    weeks: int = 52,
+    holiday_weeks: tuple[tuple[int, int], ...] = ((17, 2), (18, 0), (19, 3)),
+    seed: int | np.random.Generator | None = 0,
+    points_per_day: int = POINTS_PER_DAY,
+    window: int = 750,
+    paa_size: int = 6,
+    alphabet_size: int = 3,
+) -> Dataset:
+    """Generate a year of weekly-periodic demand with holiday anomalies.
+
+    Parameters
+    ----------
+    weeks:
+        Number of weeks (the paper's year has 52 -> 35,040 points at the
+        default resolution... the original is 35,040 = 365 days; we use
+        exact weeks for a clean template).
+    holiday_weeks:
+        ``(week_index, weekday_index)`` pairs: in that week, that weekday
+        (0 = Monday .. 4 = Friday) is replaced by a weekend-shaped day.
+        The defaults emulate the paper's spring state holidays.
+    seed:
+        RNG seed or generator.
+    points_per_day:
+        Resolution; 96 matches the original 15-minute sampling.
+    """
+    if weeks < 2:
+        raise DatasetError(f"need at least 2 weeks, got {weeks}")
+    for week, day in holiday_weeks:
+        if not 0 <= week < weeks:
+            raise DatasetError(f"holiday week {week} outside [0, {weeks})")
+        if not 0 <= day < 5:
+            raise DatasetError(f"holiday weekday {day} must be 0..4")
+    rng = rng_of(seed)
+    holidays = {(int(w), int(d)) for w, d in holiday_weeks}
+
+    days: list[np.ndarray] = []
+    anomalies: list[tuple[int, int]] = []
+    position = 0
+    for week in range(weeks):
+        for weekday in range(DAYS_PER_WEEK):
+            is_working_day = weekday < 5
+            if is_working_day and (week, weekday) in holidays:
+                day = _weekend_profile(rng, points_per_day)
+                anomalies.append((position, position + points_per_day))
+            elif is_working_day:
+                day = _weekday_profile(rng, points_per_day)
+            else:
+                day = _weekend_profile(rng, points_per_day)
+            days.append(day)
+            position += points_per_day
+
+    series = np.concatenate(days)
+    series += sensor_ripple(series.size, amplitude=0.03, period=points_per_day / 6.0)
+    return Dataset(
+        name="dutch_power_demand",
+        series=series,
+        anomalies=anomalies,
+        window=window,
+        paa_size=paa_size,
+        alphabet_size=alphabet_size,
+        description=(
+            "weekly-periodic demand (5 peaked weekdays + flat weekend) "
+            "with planted holiday anomalies"
+        ),
+    )

@@ -1,0 +1,73 @@
+"""Respiration-like synthetic datasets (NPRS 43/44 rows of Table 1).
+
+The original NPRS records measure respiration (chest expansion) of a
+sleeping patient; the annotated anomalies are stretches where the patient
+transitions between sleep stages and the breathing pattern changes
+(shallow/irregular breathing).  The generator emits a steady breathing
+oscillation with slow amplitude drift and plants a segment of shallow,
+faster, irregular breathing at a known position.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset, rng_of, smooth
+from repro.exceptions import DatasetError
+
+
+def respiration_like(
+    *,
+    length: int = 4000,
+    breath_period: int = 160,
+    anomaly_start_fraction: float = 0.55,
+    anomaly_length_fraction: float = 0.08,
+    seed: int | np.random.Generator | None = 0,
+    name: str = "respiration_nprs43",
+    window: int = 128,
+    paa_size: int = 5,
+    alphabet_size: int = 4,
+) -> Dataset:
+    """Generate a breathing signal with a sleep-stage-change anomaly.
+
+    Parameters
+    ----------
+    length:
+        Series length (4,000 for the NPRS-43 row, 24,125 for NPRS-44).
+    breath_period:
+        Samples per breath in the normal regime.
+    anomaly_start_fraction, anomaly_length_fraction:
+        Where the irregular-breathing segment starts and how long it is,
+        as fractions of the series.
+    """
+    if length < 4 * breath_period:
+        raise DatasetError("series too short for the breathing period")
+    if not 0.0 < anomaly_start_fraction < 1.0:
+        raise DatasetError("anomaly_start_fraction must be in (0, 1)")
+    rng = rng_of(seed)
+
+    t = np.arange(length, dtype=float)
+    # Slow amplitude drift + steady breathing.
+    amplitude = 1.0 + 0.15 * np.sin(2 * np.pi * t / (length / 3.0))
+    phase_noise = smooth(rng.normal(0.0, 0.02, length), breath_period // 4)
+    series = amplitude * np.sin(2 * np.pi * t / breath_period + np.cumsum(phase_noise) * 0.05)
+
+    a_start = int(anomaly_start_fraction * length)
+    a_len = max(2 * breath_period, int(anomaly_length_fraction * length))
+    a_end = min(length, a_start + a_len)
+    # Shallow, faster, irregular breathing inside the anomaly window.
+    ta = np.arange(a_end - a_start, dtype=float)
+    irregular = 0.35 * np.sin(2 * np.pi * ta / (breath_period * 0.45))
+    irregular += 0.12 * np.sin(2 * np.pi * ta / (breath_period * 0.21) + 1.3)
+    series[a_start:a_end] = irregular
+
+    series += rng.normal(0.0, 0.03, length)
+    return Dataset(
+        name=name,
+        series=series,
+        anomalies=[(a_start, a_end)],
+        window=window,
+        paa_size=paa_size,
+        alphabet_size=alphabet_size,
+        description="steady breathing with a shallow-irregular anomaly segment",
+    )

@@ -1,0 +1,111 @@
+"""Generic synthetic series used by the quickstart, tests, and docs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset, gaussian_bump, rng_of
+from repro.exceptions import DatasetError
+
+
+def sine_with_anomaly(
+    *,
+    length: int = 4000,
+    period: int = 200,
+    anomaly_start: int | None = None,
+    anomaly_length: int = 120,
+    anomaly_kind: str = "flip",
+    noise: float = 0.05,
+    seed: int | np.random.Generator | None = 0,
+) -> Dataset:
+    """A noisy sine wave with one planted anomaly.
+
+    Parameters
+    ----------
+    anomaly_kind:
+        ``"flip"`` inverts the wave inside the anomaly window,
+        ``"bump"`` adds a Gaussian bump, ``"flat"`` silences the wave,
+        ``"speedup"`` doubles the local frequency.
+    """
+    if anomaly_start is None:
+        anomaly_start = length // 2
+    if not 0 <= anomaly_start < anomaly_start + anomaly_length <= length:
+        raise DatasetError("anomaly window out of bounds")
+    rng = rng_of(seed)
+
+    t = np.arange(length, dtype=float)
+    series = np.sin(2 * np.pi * t / period)
+    lo, hi = anomaly_start, anomaly_start + anomaly_length
+    if anomaly_kind == "flip":
+        series[lo:hi] = -series[lo:hi]
+    elif anomaly_kind == "bump":
+        series[lo:hi] += gaussian_bump(hi - lo, (hi - lo) / 2, (hi - lo) / 6, 2.0)
+    elif anomaly_kind == "flat":
+        series[lo:hi] = series[lo]
+    elif anomaly_kind == "speedup":
+        ta = np.arange(hi - lo, dtype=float)
+        series[lo:hi] = np.sin(2 * np.pi * (2 * ta) / period + 2 * np.pi * lo / period)
+    else:
+        raise DatasetError(f"unknown anomaly kind: {anomaly_kind!r}")
+    series += rng.normal(0.0, noise, length)
+
+    return Dataset(
+        name=f"sine_{anomaly_kind}",
+        series=series,
+        anomalies=[(lo, hi)],
+        window=period // 2,
+        paa_size=4,
+        alphabet_size=4,
+        description=f"noisy sine with a planted {anomaly_kind} anomaly",
+    )
+
+
+def random_walk(
+    *, length: int = 2000, step: float = 1.0, seed: int | np.random.Generator | None = 0
+) -> np.ndarray:
+    """A plain Gaussian random walk (no ground truth; negative control)."""
+    rng = rng_of(seed)
+    return np.cumsum(rng.normal(0.0, step, length))
+
+
+def repeated_pattern(
+    *,
+    repeats: int = 30,
+    pattern_length: int = 120,
+    anomaly_at: int | None = None,
+    noise: float = 0.02,
+    seed: int | np.random.Generator | None = 0,
+) -> Dataset:
+    """A sawtooth-like repeated pattern with one odd repetition."""
+    if repeats < 3:
+        raise DatasetError(f"need at least 3 repeats, got {repeats}")
+    if anomaly_at is None:
+        anomaly_at = repeats // 2
+    if not 0 <= anomaly_at < repeats:
+        raise DatasetError("anomaly_at out of range")
+    rng = rng_of(seed)
+
+    x = np.linspace(0.0, 1.0, pattern_length)
+    template = np.where(x < 0.7, x / 0.7, (1.0 - x) / 0.3)
+    pieces = []
+    anomalies = []
+    position = 0
+    for i in range(repeats):
+        if i == anomaly_at:
+            piece = template[::-1].copy()  # time-reversed repetition
+            anomalies.append((position, position + pattern_length))
+        else:
+            piece = template.copy()
+        piece += rng.normal(0.0, noise, pattern_length)
+        pieces.append(piece)
+        position += pattern_length
+
+    return Dataset(
+        name="repeated_pattern",
+        series=np.concatenate(pieces),
+        anomalies=anomalies,
+        window=pattern_length // 2,
+        paa_size=4,
+        alphabet_size=4,
+        description="repeated sawtooth with one time-reversed repetition",
+    )

@@ -1,0 +1,110 @@
+"""Space-shuttle-telemetry-like synthetic datasets (TEK14/16/17 rows).
+
+The original TEK series are Marotta valve energize/de-energize current
+cycles from Space Shuttle telemetry; anomalies are cycles with a glitch
+in the de-energizing ramp.  The generator repeats a cycle template
+(sharp rise, decaying plateau, sharp fall, quiet phase) and plants one
+of three glitch types per TEK variant, at known positions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset, gaussian_bump, rng_of, sensor_ripple, smooth
+from repro.exceptions import DatasetError
+
+
+def _valve_cycle(length: int, rng: np.random.Generator) -> np.ndarray:
+    """One normal energize/de-energize current cycle."""
+    x = np.linspace(0.0, 1.0, length)
+    cycle = np.zeros(length)
+    active = (x > 0.10) & (x < 0.55)
+    cycle[active] = 1.0 - 0.35 * (x[active] - 0.10) / 0.45  # decaying plateau
+    cycle = smooth(cycle, max(3, length // 25))
+    cycle += rng.normal(0.0, 0.008, length)
+    return cycle
+
+
+def _glitch(kind: str, length: int, rng: np.random.Generator) -> np.ndarray:
+    """An anomalous cycle of the given glitch *kind*."""
+    cycle = _valve_cycle(length, rng)
+    if kind == "spike":
+        cycle += gaussian_bump(length, 0.62 * length, 0.030 * length, 0.8)
+    elif kind == "sag":
+        cycle -= gaussian_bump(length, 0.35 * length, 0.06 * length, 0.5)
+    elif kind == "slow_decay":
+        x = np.linspace(0.0, 1.0, length)
+        tail = (x >= 0.55) & (x < 0.85)
+        cycle[tail] += 0.5 * (1.0 - (x[tail] - 0.55) / 0.30)
+    else:
+        raise DatasetError(f"unknown glitch kind: {kind!r}")
+    return cycle
+
+
+_VARIANTS = {
+    "TEK14": ("sag", (7,)),
+    "TEK16": ("spike", (9,)),
+    "TEK17": ("slow_decay", (5,)),
+}
+
+
+def tek_like(
+    variant: str = "TEK14",
+    *,
+    num_cycles: int = 12,
+    cycle_length: int = 423,
+    seed: int | np.random.Generator | None = 0,
+    window: int = 128,
+    paa_size: int = 4,
+    alphabet_size: int = 4,
+) -> Dataset:
+    """Generate a TEK-style valve-cycle series with a planted glitch.
+
+    Parameters
+    ----------
+    variant:
+        "TEK14", "TEK16" or "TEK17" — selects the glitch type and
+        position, so the three series differ the way the originals do.
+    num_cycles, cycle_length:
+        Defaults give ~5,000 points, matching Table 1's TEK rows.
+    """
+    if variant not in _VARIANTS:
+        raise DatasetError(f"unknown TEK variant {variant!r}; use {sorted(_VARIANTS)}")
+    kind, anomaly_cycles = _VARIANTS[variant]
+    if max(anomaly_cycles) >= num_cycles:
+        raise DatasetError(
+            f"{variant} plants an anomaly at cycle {max(anomaly_cycles)}; "
+            f"num_cycles={num_cycles} is too small"
+        )
+    rng = rng_of(seed)
+    anomaly_set = set(anomaly_cycles)
+
+    pieces: list[np.ndarray] = []
+    anomalies: list[tuple[int, int]] = []
+    position = 0
+    for cycle_idx in range(num_cycles):
+        # Valve cycles are driven by a fixed-period controller: no length
+        # jitter (per-cycle variability comes from noise and amplitude).
+        length = cycle_length
+        if cycle_idx in anomaly_set:
+            piece = _glitch(kind, length, rng)
+            anomalies.append(
+                (position + int(0.25 * length), position + int(0.90 * length))
+            )
+        else:
+            piece = _valve_cycle(length, rng)
+        pieces.append(piece)
+        position += length
+
+    series = np.concatenate(pieces)
+    series += sensor_ripple(series.size, amplitude=0.04, period=47.0)  # 47 * 9 = 423
+    return Dataset(
+        name=f"shuttle_{variant}",
+        series=series,
+        anomalies=anomalies,
+        window=window,
+        paa_size=paa_size,
+        alphabet_size=alphabet_size,
+        description=f"valve energize/de-energize cycles with a {kind} glitch",
+    )

@@ -1,0 +1,90 @@
+"""Video-surveillance-like synthetic dataset (paper Figures 1, 11, 12).
+
+The original "Video dataset (gun)" tracks an actor's hand centroid while
+repeatedly drawing and re-holstering a replica gun; anomalies are cycles
+in which the actor fumbles the motion.  The generator emits repeated
+draw-aim-holster cycles (rise, plateau, fall, rest) and plants irregular
+cycles: a double-dip fumble and an over-long hold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset, gaussian_bump, rng_of, sensor_ripple, smooth
+from repro.exceptions import DatasetError
+
+
+def _draw_cycle(length: int, rng: np.random.Generator) -> np.ndarray:
+    """One normal draw-aim-holster cycle."""
+    x = np.linspace(0.0, 1.0, length)
+    cycle = np.zeros(length)
+    rise = (x > 0.12) & (x < 0.30)
+    hold = (x >= 0.30) & (x < 0.68)
+    fall = (x >= 0.68) & (x < 0.86)
+    cycle[rise] = (x[rise] - 0.12) / 0.18
+    cycle[hold] = 1.0
+    cycle[fall] = 1.0 - (x[fall] - 0.68) / 0.18
+    cycle = smooth(cycle, max(3, length // 20))
+    cycle += rng.normal(0.0, 0.01, length)
+    return cycle
+
+
+def _fumble_cycle(length: int, rng: np.random.Generator) -> np.ndarray:
+    """An anomalous cycle: the hand dips mid-hold (fumbled draw)."""
+    cycle = _draw_cycle(length, rng)
+    cycle -= gaussian_bump(length, 0.48 * length, 0.05 * length, 0.7)
+    cycle += gaussian_bump(length, 0.58 * length, 0.03 * length, 0.25)
+    return cycle
+
+
+def video_gun_like(
+    *,
+    num_cycles: int = 25,
+    cycle_length: int = 450,
+    anomaly_cycles: tuple[int, ...] = (11, 18),
+    seed: int | np.random.Generator | None = 0,
+    window: int = 150,
+    paa_size: int = 5,
+    alphabet_size: int = 3,
+) -> Dataset:
+    """Generate repeated draw cycles with planted fumbles.
+
+    Defaults yield a series of 11,250 points, matching the scale of the
+    paper's Video row in Table 1 (length 11,251, parameters 150/5/3).
+    """
+    if num_cycles < 3:
+        raise DatasetError(f"need at least 3 cycles, got {num_cycles}")
+    for idx in anomaly_cycles:
+        if not 0 <= idx < num_cycles:
+            raise DatasetError(f"anomaly cycle {idx} outside [0, {num_cycles})")
+    rng = rng_of(seed)
+    anomaly_set = set(anomaly_cycles)
+
+    pieces: list[np.ndarray] = []
+    anomalies: list[tuple[int, int]] = []
+    position = 0
+    for cycle_idx in range(num_cycles):
+        length = cycle_length + int(rng.integers(-8, 9))
+        if cycle_idx in anomaly_set:
+            piece = _fumble_cycle(length, rng)
+            # Ground truth covers the fumble region of the cycle.
+            anomalies.append(
+                (position + int(0.35 * length), position + int(0.75 * length))
+            )
+        else:
+            piece = _draw_cycle(length, rng)
+        pieces.append(piece)
+        position += length
+
+    series = np.concatenate(pieces)
+    series += sensor_ripple(series.size, amplitude=0.05, period=37.0)
+    return Dataset(
+        name="video_gun",
+        series=series,
+        anomalies=anomalies,
+        window=window,
+        paa_size=paa_size,
+        alphabet_size=alphabet_size,
+        description="repeated draw-aim-holster cycles with planted fumbles",
+    )

@@ -1,0 +1,26 @@
+"""Fixed-length discord discovery baselines (brute force, HOTSAX).
+
+These are the comparison algorithms of the paper's Table 1.  Both find
+the classic Keogh-style discord: the fixed-length subsequence with the
+largest Euclidean distance to its nearest non-self match.
+"""
+
+from repro.discord.brute_force import (
+    brute_force_call_count,
+    brute_force_discord,
+    brute_force_discords,
+)
+from repro.discord.hotsax import HOTSAXResult, hotsax_discord, hotsax_discords
+from repro.discord.haar import HaarResult, haar_discord, haar_discords
+
+__all__ = [
+    "brute_force_call_count",
+    "brute_force_discord",
+    "brute_force_discords",
+    "HOTSAXResult",
+    "hotsax_discord",
+    "hotsax_discords",
+    "HaarResult",
+    "haar_discord",
+    "haar_discords",
+]

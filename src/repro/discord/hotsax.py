@@ -1,0 +1,122 @@
+"""HOTSAX discord discovery (Keogh, Lin & Fu 2005) — Table 1 baseline.
+
+HOTSAX accelerates brute force with two SAX-driven heuristics:
+
+* **Outer loop** — candidate windows in ascending order of their SAX
+  word's occurrence count (rare words are likely discords, so a strong
+  ``best_so_far`` is found early);
+* **Inner loop** — for each candidate, windows sharing the same SAX word
+  are tried first (likely near matches → early abandoning), the rest in
+  random order.
+
+The search is exact: it returns the same discord as brute force, only
+with far fewer distance calls.  The loop engine is shared with the
+Haar-ordered baseline (:mod:`repro.discord.search`); HOTSAX contributes
+the SAX-word bucketing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.anomaly import Discord
+from repro.discord.search import iterated_search, ordered_discord_search
+from repro.sax.alphabet import breakpoints
+from repro.timeseries.distance import DistanceCounter
+from repro.timeseries.paa import paa_batch
+from repro.timeseries.windows import sliding_windows
+from repro.timeseries.znorm import znorm_rows
+
+
+@dataclass
+class HOTSAXResult:
+    """Outcome of a HOTSAX search (discords + the Table 1 call count)."""
+
+    discords: list[Discord] = field(default_factory=list)
+    distance_calls: int = 0
+    window: int = 0
+
+    @property
+    def best(self) -> Optional[Discord]:
+        return self.discords[0] if self.discords else None
+
+
+def _sax_words_per_window(
+    series: np.ndarray, window: int, paa_size: int, alphabet_size: int
+) -> list[str]:
+    """SAX word of every sliding window (no numerosity reduction)."""
+    windows = sliding_windows(series, window)
+    normalized = znorm_rows(windows)
+    paa_values = paa_batch(normalized, paa_size)
+    cuts = np.asarray(breakpoints(alphabet_size))
+    letter_idx = np.searchsorted(cuts, paa_values, side="right")
+    alphabet = [chr(ord("a") + i) for i in range(alphabet_size)]
+    return ["".join(alphabet[i] for i in row) for row in letter_idx]
+
+
+def hotsax_discord(
+    series: np.ndarray,
+    window: int,
+    *,
+    paa_size: int = 3,
+    alphabet_size: int = 3,
+    counter: Optional[DistanceCounter] = None,
+    rng: Optional[np.random.Generator] = None,
+    exclude: tuple[tuple[int, int], ...] = (),
+) -> tuple[Optional[Discord], DistanceCounter]:
+    """Find the best fixed-length discord with the HOTSAX heuristics.
+
+    Parameters
+    ----------
+    series:
+        Raw time series.
+    window:
+        Discord length n (every candidate has exactly this length).
+    paa_size, alphabet_size:
+        SAX parameters for the heuristic orderings (they do not affect
+        the result, only the number of distance calls).
+    counter:
+        Distance counter to accumulate into.
+    rng:
+        Randomness for the inner-loop tail ordering.
+    exclude:
+        Candidate start positions inside these half-open ranges are
+        skipped (multi-discord extraction).
+    """
+    return ordered_discord_search(
+        series,
+        window,
+        lambda s, w: _sax_words_per_window(s, w, paa_size, alphabet_size),
+        source="hotsax",
+        counter=counter,
+        rng=rng,
+        exclude=exclude,
+    )
+
+
+def hotsax_discords(
+    series: np.ndarray,
+    window: int,
+    *,
+    num_discords: int = 1,
+    paa_size: int = 3,
+    alphabet_size: int = 3,
+    counter: Optional[DistanceCounter] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> HOTSAXResult:
+    """Ranked top-k fixed-length discords with the HOTSAX heuristics."""
+    discords, counter = iterated_search(
+        series,
+        window,
+        lambda s, w: _sax_words_per_window(s, w, paa_size, alphabet_size),
+        source="hotsax",
+        num_discords=num_discords,
+        counter=counter,
+        rng=rng,
+    )
+    return HOTSAXResult(
+        discords=discords, distance_calls=counter.calls, window=window
+    )

@@ -1,0 +1,162 @@
+"""The shared bucket-ordered exact discord search engine.
+
+HOTSAX (SAX words) and the Haar-transform variant (paper related work:
+Fu et al. 2006, Bu et al. 2007) differ only in *how candidate windows
+are grouped into buckets*; the search itself — outer loop over
+candidates in ascending bucket size, inner loop visiting same-bucket
+windows first with early abandoning — is identical.  This module hosts
+that engine so each baseline supplies only its bucketing function.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.anomaly import Discord
+from repro.exceptions import DiscordSearchError
+from repro.timeseries.distance import DistanceCounter
+from repro.timeseries.windows import num_windows, sliding_windows
+from repro.timeseries.znorm import znorm_rows
+
+#: A bucketing function: (series, window) -> one hashable key per window.
+BucketFn = Callable[[np.ndarray, int], Sequence[str]]
+
+
+def ordered_discord_search(
+    series: np.ndarray,
+    window: int,
+    bucket_fn: BucketFn,
+    *,
+    source: str,
+    counter: Optional[DistanceCounter] = None,
+    rng: Optional[np.random.Generator] = None,
+    exclude: tuple[tuple[int, int], ...] = (),
+) -> tuple[Optional[Discord], DistanceCounter]:
+    """Exact fixed-length discord via bucket-driven loop orderings.
+
+    Parameters
+    ----------
+    series, window:
+        The input and the discord length.
+    bucket_fn:
+        Maps every sliding window to a bucket key; windows sharing a
+        key are presumed similar.  Rare keys are searched first (outer),
+        same-key windows are compared first (inner).
+    source:
+        Tag recorded on the returned :class:`Discord`.
+    counter, rng, exclude:
+        As in :func:`repro.discord.hotsax.hotsax_discord`.
+    """
+    series = np.asarray(series, dtype=float)
+    k = num_windows(series.size, window)
+    if k < 2:
+        raise DiscordSearchError(
+            f"series of length {series.size} too short for window {window}"
+        )
+    if counter is None:
+        counter = DistanceCounter()
+    if rng is None:
+        rng = np.random.default_rng(0)
+
+    keys = list(bucket_fn(series, window))
+    if len(keys) != k:
+        raise DiscordSearchError(
+            f"bucket_fn produced {len(keys)} keys for {k} windows"
+        )
+    buckets: dict[str, list[int]] = defaultdict(list)
+    for pos, key in enumerate(keys):
+        buckets[key].append(pos)
+
+    normalized = znorm_rows(sliding_windows(series, window))
+
+    outer = sorted(range(k), key=lambda p: (len(buckets[keys[p]]), p))
+
+    best_dist = -1.0
+    best_pos = None
+    for p in outer:
+        if any(ex_start <= p < ex_end for ex_start, ex_end in exclude):
+            continue
+        nearest = float("inf")
+        pruned = False
+        same_bucket = [q for q in buckets[keys[p]] if q != p]
+        tail = rng.permutation(k)
+        for q in _inner_sequence(same_bucket, tail, p):
+            if abs(p - q) <= window:
+                continue
+            # Abandoning beyond `nearest` is lossless: while the candidate
+            # is alive, nearest >= best_dist (see hotsax.py).
+            dist = counter.euclidean(normalized[p], normalized[q], cutoff=nearest)
+            if dist < best_dist:
+                pruned = True
+                break
+            if dist < nearest:
+                nearest = dist
+        if not pruned and np.isfinite(nearest) and nearest > best_dist:
+            best_dist = nearest
+            best_pos = p
+
+    if best_pos is None:
+        return None, counter
+    discord = Discord(
+        start=best_pos,
+        end=best_pos + window,
+        score=best_dist,
+        rank=0,
+        nn_distance=best_dist,
+        rule_id=None,
+        source=source,
+    )
+    return discord, counter
+
+
+def _inner_sequence(same_bucket: list[int], tail: np.ndarray, p: int):
+    """Same-bucket positions first, then the shuffled remainder."""
+    seen = set(same_bucket)
+    seen.add(p)
+    for q in same_bucket:
+        yield q
+    for q in tail:
+        q = int(q)
+        if q not in seen:
+            yield q
+
+
+def iterated_search(
+    series: np.ndarray,
+    window: int,
+    bucket_fn: BucketFn,
+    *,
+    source: str,
+    num_discords: int,
+    counter: Optional[DistanceCounter] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> tuple[list[Discord], DistanceCounter]:
+    """Top-k discords by repeated search with window-sized exclusion."""
+    series = np.asarray(series, dtype=float)
+    if counter is None:
+        counter = DistanceCounter()
+    if rng is None:
+        rng = np.random.default_rng(0)
+    if num_discords < 1:
+        raise DiscordSearchError(f"num_discords must be >= 1, got {num_discords}")
+    discords: list[Discord] = []
+    exclusions: list[tuple[int, int]] = []
+    for rank in range(num_discords):
+        found, counter = ordered_discord_search(
+            series, window, bucket_fn,
+            source=source, counter=counter, rng=rng, exclude=tuple(exclusions),
+        )
+        if found is None:
+            break
+        discords.append(
+            Discord(
+                start=found.start, end=found.end, score=found.score,
+                rank=rank, nn_distance=found.nn_distance, rule_id=None,
+                source=source,
+            )
+        )
+        exclusions.append((found.start - window + 1, found.start + window))
+    return discords, counter

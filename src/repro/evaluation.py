@@ -1,0 +1,139 @@
+"""Interval-based evaluation metrics for anomaly detectors.
+
+Anomaly detectors in this library report half-open ``(start, end)``
+intervals; ground truth (synthetic datasets) is a list of the same.
+This module provides the matching and scoring rules used by the test
+suite and the benchmark harness, so every experiment measures success
+the same way:
+
+* *overlap fraction* — shared points divided by the **shorter**
+  interval's length (a short, precise detection inside a long true
+  event counts fully, and vice versa);
+* a detection *hits* a truth when the overlap fraction reaches
+  ``min_overlap`` (0.5 unless stated otherwise);
+* precision / recall / F1 over the bipartite hit relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import ParameterError
+
+Interval = tuple[int, int]
+
+
+def _validate(interval: Interval) -> Interval:
+    start, end = interval
+    if end <= start:
+        raise ParameterError(f"malformed interval {interval}")
+    return interval
+
+
+def interval_overlap(a: Interval, b: Interval) -> int:
+    """Number of points shared by two half-open intervals."""
+    _validate(a)
+    _validate(b)
+    return max(0, min(a[1], b[1]) - max(a[0], b[0]))
+
+
+def overlap_fraction(a: Interval, b: Interval) -> float:
+    """Shared points relative to the shorter interval (in [0, 1])."""
+    shorter = min(a[1] - a[0], b[1] - b[0])
+    return interval_overlap(a, b) / shorter
+
+
+def is_hit(found: Interval, truth: Interval, *, min_overlap: float = 0.5) -> bool:
+    """Does a detection count as recovering a true event?"""
+    if not 0.0 < min_overlap <= 1.0:
+        raise ParameterError(f"min_overlap must be in (0, 1], got {min_overlap}")
+    return overlap_fraction(found, truth) >= min_overlap
+
+
+@dataclass(frozen=True)
+class DetectionScores:
+    """Precision/recall/F1 of a detection set against ground truth."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        reported = self.true_positives + self.false_positives
+        return self.true_positives / reported if reported else 0.0
+
+    @property
+    def recall(self) -> float:
+        actual = self.true_positives + self.false_negatives
+        return self.true_positives / actual if actual else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if p + r > 0 else 0.0
+
+
+def score_detections(
+    found: Sequence[Interval],
+    truth: Sequence[Interval],
+    *,
+    min_overlap: float = 0.5,
+) -> DetectionScores:
+    """Match detections to true events and count TP/FP/FN.
+
+    Each true event can be claimed by any number of detections (several
+    detections inside one long event are not punished), but counts once
+    toward recall.  A detection hitting no event is a false positive.
+    """
+    for interval in list(found) + list(truth):
+        _validate(interval)
+    matched_truths: set[int] = set()
+    false_positives = 0
+    for detection in found:
+        hit_any = False
+        for idx, event in enumerate(truth):
+            if is_hit(detection, event, min_overlap=min_overlap):
+                matched_truths.add(idx)
+                hit_any = True
+        if not hit_any:
+            false_positives += 1
+    return DetectionScores(
+        true_positives=len(matched_truths),
+        false_positives=false_positives,
+        false_negatives=len(truth) - len(matched_truths),
+    )
+
+
+def detection_delays(
+    alarms: Sequence[tuple[Interval, int]],
+    truth: Sequence[Interval],
+    *,
+    min_overlap: float = 0.3,
+) -> list[int]:
+    """Streaming metric: delay (points) from event start to its alarm.
+
+    Parameters
+    ----------
+    alarms:
+        ``((start, end), detected_at)`` pairs, as produced from
+        :class:`repro.streaming.StreamAlarm` objects.
+    truth:
+        True event intervals.
+
+    Returns one delay per *recovered* event — the earliest alarm that
+    hits it; unrecovered events contribute nothing (use
+    :func:`score_detections` for recall).
+    """
+    delays = []
+    for event in truth:
+        _validate(event)
+        hit_times = [
+            detected_at
+            for interval, detected_at in alarms
+            if is_hit(interval, event, min_overlap=min_overlap)
+        ]
+        if hit_times:
+            delays.append(min(hit_times) - event[0])
+    return delays

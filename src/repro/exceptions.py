@@ -1,0 +1,35 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError`, so downstream code can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An invalid parameter value was supplied (bad window, alphabet, ...)."""
+
+
+class DiscretizationError(ReproError):
+    """The SAX discretization step could not be performed."""
+
+
+class GrammarError(ReproError):
+    """A grammar induction invariant was violated or a rule is malformed."""
+
+
+class DiscordSearchError(ReproError):
+    """A discord search could not run (e.g. series shorter than window)."""
+
+
+class DatasetError(ReproError):
+    """A dataset generator or loader received inconsistent arguments."""
+
+
+class TrajectoryError(ReproError):
+    """A trajectory conversion error (bad coordinates, empty trail, ...)."""

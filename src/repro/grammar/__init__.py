@@ -1,0 +1,40 @@
+"""Context-free grammar induction over token sequences.
+
+Sequitur (Nevill-Manning & Witten 1997) is the paper's compressor of
+choice; Re-Pair is provided as an alternative offline compressor for the
+ablation study.  Both produce the same :class:`~repro.grammar.grammar.Grammar`
+data model, so everything downstream (rule density, RRA) is
+compressor-agnostic.
+"""
+
+from repro.grammar.grammar import Grammar, GrammarRule, RuleOccurrence
+from repro.grammar.sequitur import induce_grammar
+from repro.grammar.repair import repair_grammar
+from repro.grammar.intervals import (
+    RuleInterval,
+    rule_intervals,
+    uncovered_intervals,
+    zero_coverage_gaps,
+)
+from repro.grammar.postprocess import (
+    PrunedRule,
+    RulePeriodicity,
+    prune_rules,
+    rule_periodicity,
+)
+
+__all__ = [
+    "Grammar",
+    "GrammarRule",
+    "RuleOccurrence",
+    "induce_grammar",
+    "repair_grammar",
+    "RuleInterval",
+    "rule_intervals",
+    "uncovered_intervals",
+    "zero_coverage_gaps",
+    "PrunedRule",
+    "RulePeriodicity",
+    "prune_rules",
+    "rule_periodicity",
+]

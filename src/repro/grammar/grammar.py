@@ -1,0 +1,231 @@
+"""The compressor-agnostic grammar data model.
+
+A :class:`Grammar` is what either induction algorithm (Sequitur, Re-Pair)
+returns: rule 0 is the start rule whose right-hand side derives the whole
+input token sequence; every other rule encodes a repeated pattern.  Each
+rule knows every position (token span) at which it occurs in the input —
+the information the paper's rule density curve and RRA candidates are
+built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence, Union
+
+from repro.exceptions import GrammarError
+
+#: Right-hand sides mix terminal tokens (str) and rule references (int).
+RHSItem = Union[str, int]
+
+START_RULE_ID = 0
+
+
+@dataclass(frozen=True)
+class RuleOccurrence:
+    """One occurrence of a rule in the input token sequence.
+
+    ``start`` and ``end`` are *inclusive* token indices: the occurrence
+    expands to ``tokens[start : end + 1]``.
+    """
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise GrammarError(f"malformed occurrence [{self.start}, {self.end}]")
+
+    @property
+    def token_length(self) -> int:
+        """Number of input tokens this occurrence spans."""
+        return self.end - self.start + 1
+
+
+@dataclass
+class GrammarRule:
+    """One grammar rule.
+
+    Attributes
+    ----------
+    rule_id:
+        0 for the start rule; positive for induced rules (``R1``, ...).
+    rhs:
+        Right-hand side: a sequence of terminal tokens (str) and rule
+        references (int rule ids).
+    expansion:
+        The rule fully expanded to terminal tokens.
+    occurrences:
+        Every occurrence of this rule in the input, as token spans.  For
+        the start rule this is the single span covering the whole input.
+    level:
+        Depth of the rule in the hierarchy: 1 + max level of referenced
+        rules; terminal-only rules have level 1, the start rule's level
+        is informational.
+    """
+
+    rule_id: int
+    rhs: list[RHSItem]
+    expansion: list[str] = field(default_factory=list)
+    occurrences: list[RuleOccurrence] = field(default_factory=list)
+    level: int = 1
+
+    @property
+    def name(self) -> str:
+        """Display name, ``R0`` / ``R1`` / ..."""
+        return f"R{self.rule_id}"
+
+    @property
+    def usage(self) -> int:
+        """How many times the rule occurs in the input (its frequency)."""
+        return len(self.occurrences)
+
+    @property
+    def expansion_length(self) -> int:
+        """Terminal length of one occurrence."""
+        return len(self.expansion)
+
+    def rhs_display(self) -> str:
+        """Human-readable right-hand side, e.g. ``'R2 cba'``."""
+        return " ".join(f"R{x}" if isinstance(x, int) else str(x) for x in self.rhs)
+
+    def expansion_display(self) -> str:
+        """Human-readable expansion, e.g. ``'abc abc cba'``."""
+        return " ".join(self.expansion)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GrammarRule({self.name} -> {self.rhs_display()!r}, usage={self.usage})"
+
+
+@dataclass
+class Grammar:
+    """A context-free grammar produced by an induction algorithm.
+
+    The class validates the core structural invariant on construction:
+    expanding the start rule must reproduce the input token sequence.
+    """
+
+    tokens: list[str]
+    rules: dict[int, GrammarRule]
+    algorithm: str = "sequitur"
+
+    def __post_init__(self) -> None:
+        if START_RULE_ID not in self.rules:
+            raise GrammarError("grammar is missing the start rule R0")
+
+    @property
+    def start_rule(self) -> GrammarRule:
+        return self.rules[START_RULE_ID]
+
+    def non_start_rules(self) -> list[GrammarRule]:
+        """All rules except R0, ordered by rule id."""
+        return [self.rules[rid] for rid in sorted(self.rules) if rid != START_RULE_ID]
+
+    def __len__(self) -> int:
+        """Number of rules, start rule included."""
+        return len(self.rules)
+
+    def __iter__(self) -> Iterator[GrammarRule]:
+        return iter(self.rules[rid] for rid in sorted(self.rules))
+
+    def expand_rule(self, rule_id: int) -> list[str]:
+        """Expand a rule (by id) to its terminal token sequence."""
+        if rule_id not in self.rules:
+            raise GrammarError(f"no such rule: R{rule_id}")
+        return list(self.rules[rule_id].expansion)
+
+    def grammar_size(self) -> int:
+        """Total number of symbols on all right-hand sides.
+
+        This is the standard grammar-based-compression size measure; it is
+        the quantity shown on the y-axis of the paper's Figure 10.
+        """
+        return sum(len(rule.rhs) for rule in self.rules.values())
+
+    def compression_ratio(self) -> float:
+        """Input token count divided by grammar size (>1 = compressed)."""
+        size = self.grammar_size()
+        if size == 0:
+            return 0.0
+        return len(self.tokens) / size
+
+    def verify(self) -> None:
+        """Check structural invariants; raise :class:`GrammarError` if broken.
+
+        * the start rule expands to the input token sequence;
+        * every rule's recorded expansion matches recursive RHS expansion;
+        * every occurrence span reproduces the rule's expansion;
+        * every non-start rule is used at least once.
+        """
+        for rule in self.rules.values():
+            recomputed = self._expand_rhs(rule.rhs, set())
+            if recomputed != rule.expansion:
+                raise GrammarError(
+                    f"{rule.name}: stored expansion differs from RHS expansion"
+                )
+            for occ in rule.occurrences:
+                if occ.end >= len(self.tokens):
+                    raise GrammarError(
+                        f"{rule.name}: occurrence {occ} exceeds input length"
+                    )
+                window = self.tokens[occ.start : occ.end + 1]
+                if window != rule.expansion:
+                    raise GrammarError(
+                        f"{rule.name}: occurrence at {occ.start} does not match "
+                        f"its expansion"
+                    )
+        if self.start_rule.expansion != self.tokens:
+            raise GrammarError("start rule does not expand to the input")
+        for rule in self.non_start_rules():
+            if rule.usage < 1:
+                raise GrammarError(f"{rule.name} is never used")
+
+    def _expand_rhs(self, rhs: Sequence[RHSItem], seen: set[int]) -> list[str]:
+        out: list[str] = []
+        for item in rhs:
+            if isinstance(item, int):
+                if item in seen:
+                    raise GrammarError(f"cycle through R{item}")
+                sub = self.rules.get(item)
+                if sub is None:
+                    raise GrammarError(f"dangling rule reference R{item}")
+                out.extend(self._expand_rhs(sub.rhs, seen | {item}))
+            else:
+                out.append(item)
+        return out
+
+    def rules_by_usage(self) -> list[GrammarRule]:
+        """Non-start rules sorted by ascending usage (rarest first)."""
+        return sorted(self.non_start_rules(), key=lambda r: (r.usage, r.rule_id))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Grammar(algorithm={self.algorithm!r}, rules={len(self.rules)}, "
+            f"tokens={len(self.tokens)}, size={self.grammar_size()})"
+        )
+
+
+def compute_levels(rules: dict[int, GrammarRule]) -> None:
+    """Fill in each rule's hierarchy level in place.
+
+    Level = 1 for terminal-only rules, else 1 + max level of referenced
+    rules.  The start rule gets a level too (1 + max over its references).
+    """
+    memo: dict[int, int] = {}
+
+    def level_of(rule_id: int, stack: frozenset[int]) -> int:
+        if rule_id in memo:
+            return memo[rule_id]
+        if rule_id in stack:
+            raise GrammarError(f"cycle through R{rule_id}")
+        rule = rules[rule_id]
+        sub_levels = [
+            level_of(item, stack | {rule_id})
+            for item in rule.rhs
+            if isinstance(item, int)
+        ]
+        memo[rule_id] = 1 + max(sub_levels, default=0)
+        return memo[rule_id]
+
+    for rid in rules:
+        rules[rid].level = level_of(rid, frozenset())

@@ -1,0 +1,176 @@
+"""Mapping grammar rules back onto the raw time series.
+
+Every SAX word kept after numerosity reduction remembers the offset of
+its source window, so a rule occurrence spanning tokens ``[i, j]`` maps to
+the half-open series interval
+``[offset(word_i), offset(word_j) + window)`` (paper Section 3.4).
+
+This module produces the list of :class:`RuleInterval` objects that both
+the rule density curve and the RRA candidate set are built from, plus the
+"zero-coverage gaps": maximal stretches of the discretized series covered
+by no rule at all (frequency-0 candidates, considered first by RRA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grammar.grammar import Grammar, START_RULE_ID
+from repro.sax.discretize import Discretization
+
+__all__ = [
+    "RuleInterval",
+    "rule_intervals",
+    "uncovered_intervals",
+    "zero_coverage_gaps",
+]
+
+
+@dataclass(frozen=True)
+class RuleInterval:
+    """A rule occurrence projected onto the raw series.
+
+    Attributes
+    ----------
+    rule_id:
+        The grammar rule this interval belongs to; ``-1`` marks a
+        zero-coverage gap (no rule covers it).
+    start, end:
+        Half-open series interval ``[start, end)``.
+    usage:
+        The rule's occurrence count (0 for gaps) — the RRA outer-loop
+        sort key.
+    """
+
+    rule_id: int
+    start: int
+    end: int
+    usage: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(f"malformed interval [{self.start}, {self.end})")
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def overlaps(self, other: "RuleInterval") -> bool:
+        """True when the two intervals share at least one point."""
+        return self.start < other.end and other.start < self.end
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = f"R{self.rule_id}" if self.rule_id >= 0 else "gap"
+        return f"RuleInterval({tag}, [{self.start}, {self.end}), usage={self.usage})"
+
+
+def rule_intervals(
+    grammar: Grammar,
+    discretization: Discretization,
+    *,
+    include_start_rule: bool = False,
+) -> list[RuleInterval]:
+    """Project every rule occurrence onto the raw series.
+
+    Parameters
+    ----------
+    grammar:
+        Grammar induced over ``discretization.tokens()``.
+    discretization:
+        The discretization that produced the grammar's input tokens.
+    include_start_rule:
+        The start rule R0 trivially covers everything and is excluded by
+        default (as in the paper's rule counts).
+
+    Returns
+    -------
+    list[RuleInterval]
+        Sorted by (start, end, rule_id).
+    """
+    intervals: list[RuleInterval] = []
+    for rule in grammar:
+        if rule.rule_id == START_RULE_ID and not include_start_rule:
+            continue
+        for occ in rule.occurrences:
+            start, end = discretization.span_to_interval(occ.start, occ.end)
+            intervals.append(
+                RuleInterval(rule.rule_id, start, end, usage=rule.usage)
+            )
+    intervals.sort(key=lambda iv: (iv.start, iv.end, iv.rule_id))
+    return intervals
+
+
+def uncovered_intervals(
+    grammar: Grammar,
+    discretization: Discretization,
+) -> list[RuleInterval]:
+    """Subsequences of the discretized series that are part of no rule.
+
+    The paper's RRA candidate set is "subsequences that correspond to the
+    grammar rules *plus all continuous subsequences of the discretized
+    time series that do not form any rule*".  The latter are exactly the
+    maximal runs of terminal tokens that remain directly in R0's
+    right-hand side after induction: the compressor found no rule to put
+    them in, which makes them frequency-0 (prime discord) candidates.
+
+    Each run is projected to the series interval spanned by its tokens'
+    windows, like a rule occurrence.
+    """
+    gaps: list[RuleInterval] = []
+    token_pos = 0
+    run_start: int | None = None
+    for item in grammar.start_rule.rhs:
+        if isinstance(item, int):
+            if run_start is not None:
+                start, end = discretization.span_to_interval(run_start, token_pos - 1)
+                gaps.append(RuleInterval(-1, start, end, usage=0))
+                run_start = None
+            token_pos += grammar.rules[item].expansion_length
+        else:
+            if run_start is None:
+                run_start = token_pos
+            token_pos += 1
+    if run_start is not None:
+        start, end = discretization.span_to_interval(run_start, token_pos - 1)
+        gaps.append(RuleInterval(-1, start, end, usage=0))
+    return gaps
+
+
+def zero_coverage_gaps(
+    intervals: list[RuleInterval],
+    series_length: int,
+    *,
+    min_length: int = 2,
+) -> list[RuleInterval]:
+    """Maximal series stretches covered by no rule interval.
+
+    A coverage-based view of "uncovered", complementary to
+    :func:`uncovered_intervals`: where that function works at the token
+    level (runs of terminals left in R0), this one works in raw series
+    coordinates and reports the stretches with zero rule density —
+    i.e. exactly where the rule density curve is 0.  Gaps shorter than
+    *min_length* points are ignored (a 1-point gap carries no shape).
+    """
+    coverage = np.zeros(series_length + 1, dtype=np.int64)
+    for iv in intervals:
+        coverage[iv.start] += 1
+        coverage[min(iv.end, series_length)] -= 1
+    covered = np.cumsum(coverage[:-1]) > 0
+
+    gaps: list[RuleInterval] = []
+    in_gap = False
+    gap_start = 0
+    for pos in range(series_length):
+        if not covered[pos]:
+            if not in_gap:
+                in_gap = True
+                gap_start = pos
+        elif in_gap:
+            in_gap = False
+            if pos - gap_start >= min_length:
+                gaps.append(RuleInterval(-1, gap_start, pos, usage=0))
+    if in_gap and series_length - gap_start >= min_length:
+        gaps.append(RuleInterval(-1, gap_start, series_length, usage=0))
+    return gaps

@@ -1,0 +1,150 @@
+"""Grammar post-processing: rule pruning and periodicity analysis.
+
+GrammarViz 2.0's rule panes offer two analyses this module reproduces:
+
+* **rule pruning** ("Prune rules" button) — the raw grammar contains
+  many rules whose series coverage is entirely contained in a larger
+  rule's coverage; for presentation and ranking one usually wants the
+  smallest set of rules that still covers everything the grammar
+  covers.  :func:`prune_rules` greedily keeps rules by descending
+  coverage contribution.
+* **rule periodicity** ("Rules periodicity" tab) — for recurring
+  patterns the *spacing* between consecutive occurrences is itself
+  informative: near-constant spacing means the pattern is periodic
+  (one heartbeat per beat, one week per week).
+  :func:`rule_periodicity` measures that regularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.grammar.grammar import Grammar, START_RULE_ID
+from repro.grammar.intervals import RuleInterval, rule_intervals
+from repro.sax.discretize import Discretization
+
+
+@dataclass(frozen=True)
+class PrunedRule:
+    """One rule kept by the pruner, with its coverage contribution."""
+
+    rule_id: int
+    usage: int
+    new_points: int        # points this rule covered first
+    total_points: int      # points covered by all its occurrences
+
+
+def prune_rules(
+    grammar: Grammar,
+    discretization: Discretization,
+    *,
+    min_new_points: int = 1,
+) -> list[PrunedRule]:
+    """Greedy set-cover pruning of the grammar's rules.
+
+    Rules are considered in order of descending covered-point count;
+    a rule is kept only if it covers at least *min_new_points* series
+    points that no previously kept rule covers.  The result is a small
+    rule set with the same total coverage — GrammarViz's "packed" rule
+    view.
+
+    Returns the kept rules, in the order they were selected.
+    """
+    if min_new_points < 1:
+        raise ParameterError(f"min_new_points must be >= 1, got {min_new_points}")
+    intervals = rule_intervals(grammar, discretization)
+    by_rule: dict[int, list[RuleInterval]] = {}
+    for interval in intervals:
+        by_rule.setdefault(interval.rule_id, []).append(interval)
+
+    def total_points(rule_intervals_: list[RuleInterval]) -> int:
+        covered = np.zeros(discretization.series_length, dtype=bool)
+        for iv in rule_intervals_:
+            covered[iv.start : iv.end] = True
+        return int(covered.sum())
+
+    order = sorted(
+        by_rule.items(),
+        key=lambda item: (-total_points(item[1]), item[0]),
+    )
+
+    covered = np.zeros(discretization.series_length, dtype=bool)
+    kept: list[PrunedRule] = []
+    for rule_id, rule_ivs in order:
+        mask = np.zeros(discretization.series_length, dtype=bool)
+        for iv in rule_ivs:
+            mask[iv.start : iv.end] = True
+        new_points = int((mask & ~covered).sum())
+        if new_points >= min_new_points:
+            covered |= mask
+            kept.append(
+                PrunedRule(
+                    rule_id=rule_id,
+                    usage=grammar.rules[rule_id].usage,
+                    new_points=new_points,
+                    total_points=int(mask.sum()),
+                )
+            )
+    return kept
+
+
+@dataclass(frozen=True)
+class RulePeriodicity:
+    """Occurrence-spacing statistics of one rule."""
+
+    rule_id: int
+    usage: int
+    mean_period: float
+    period_cv: float  # coefficient of variation of the spacing
+
+    @property
+    def is_periodic(self) -> bool:
+        """Near-constant spacing (CV below 20 %)."""
+        return self.usage >= 3 and self.period_cv < 0.2
+
+
+def rule_periodicity(
+    grammar: Grammar,
+    discretization: Discretization,
+    *,
+    min_occurrences: int = 3,
+) -> list[RulePeriodicity]:
+    """Spacing regularity of every rule with enough occurrences.
+
+    The period is the spacing between consecutive occurrence *starts*
+    in series coordinates; the coefficient of variation (std / mean)
+    quantifies regularity.  Sorted by ascending CV (most periodic
+    first).
+    """
+    if min_occurrences < 2:
+        raise ParameterError(
+            f"min_occurrences must be >= 2, got {min_occurrences}"
+        )
+    results: list[RulePeriodicity] = []
+    for rule in grammar:
+        if rule.rule_id == START_RULE_ID or rule.usage < min_occurrences:
+            continue
+        starts = sorted(
+            discretization.span_to_interval(occ.start, occ.end)[0]
+            for occ in rule.occurrences
+        )
+        gaps = np.diff(starts).astype(float)
+        if gaps.size == 0:
+            continue
+        mean = float(gaps.mean())
+        if mean <= 0:
+            continue
+        cv = float(gaps.std() / mean)
+        results.append(
+            RulePeriodicity(
+                rule_id=rule.rule_id,
+                usage=rule.usage,
+                mean_period=mean,
+                period_cv=cv,
+            )
+        )
+    results.sort(key=lambda r: (r.period_cv, r.rule_id))
+    return results

@@ -1,0 +1,133 @@
+"""Re-Pair: offline most-frequent-digram grammar induction.
+
+Re-Pair (Larsson & Moffat 1999) repeatedly replaces the most frequent
+digram in the sequence with a fresh non-terminal until no digram occurs
+twice.  GrammarViz 2.0 ships it alongside Sequitur; we provide it for the
+ablation benchmark (same :class:`~repro.grammar.grammar.Grammar` output,
+so the density/RRA pipeline is compressor-agnostic).
+
+Unlike Sequitur, Re-Pair is offline (it sees the whole sequence) and
+greedy by global frequency, which usually yields a slightly smaller
+grammar with a different hierarchy.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from repro.grammar.grammar import (
+    Grammar,
+    GrammarRule,
+    START_RULE_ID,
+    compute_levels,
+)
+from repro.grammar.sequitur import _fill_expansions, _fill_occurrences
+
+
+def _digram_counts(seq: list) -> Counter:
+    """Counts of non-overlapping digrams, greedy left-to-right.
+
+    A run like ``a a a`` contributes one occurrence of ``(a, a)`` so that
+    the count equals the number of replacements a pass would perform.
+    """
+    counts: Counter = Counter()
+    i = 0
+    previous = None
+    while i < len(seq) - 1:
+        digram = (seq[i], seq[i + 1])
+        if digram == previous and seq[i - 1] == seq[i] == seq[i + 1]:
+            # Overlapping repetition: skip, mirroring the replacement scan.
+            previous = None
+            i += 1
+            continue
+        counts[digram] += 1
+        previous = digram
+        i += 1
+    return counts
+
+
+def _replace(seq: list, digram: tuple, marker) -> list:
+    """Replace non-overlapping occurrences of *digram* with *marker*."""
+    out: list = []
+    i = 0
+    n = len(seq)
+    while i < n:
+        if i < n - 1 and (seq[i], seq[i + 1]) == digram:
+            out.append(marker)
+            i += 2
+        else:
+            out.append(seq[i])
+            i += 1
+    return out
+
+
+def repair_grammar(tokens: Sequence[str]) -> Grammar:
+    """Run Re-Pair over *tokens* and return the resulting grammar."""
+    token_list = [str(t) for t in tokens]
+    # Work sequence mixes terminal strings and integer rule ids; integers
+    # are the public rule ids directly (1, 2, ...).
+    seq: list = list(token_list)
+    bodies: dict[int, list] = {}
+    next_id = 1
+    while True:
+        counts = _digram_counts(seq)
+        if not counts:
+            break
+        digram, count = max(counts.items(), key=lambda kv: (kv[1], _priority(kv[0])))
+        if count < 2:
+            break
+        bodies[next_id] = [digram[0], digram[1]]
+        seq = _replace(seq, digram, next_id)
+        next_id += 1
+
+    rules: dict[int, GrammarRule] = {
+        START_RULE_ID: GrammarRule(rule_id=START_RULE_ID, rhs=list(seq))
+    }
+    for rule_id, body in bodies.items():
+        rules[rule_id] = GrammarRule(rule_id=rule_id, rhs=list(body))
+
+    _prune_unused(rules)
+    _fill_expansions(rules)
+    _fill_occurrences(rules, len(token_list))
+    compute_levels(rules)
+    return Grammar(tokens=token_list, rules=rules, algorithm="repair")
+
+
+def _priority(digram: tuple):
+    """Deterministic tie-break for equal-count digrams."""
+    return tuple(("R", -x) if isinstance(x, int) else ("t", x) for x in digram)
+
+
+def _prune_unused(rules: dict[int, GrammarRule]) -> None:
+    """Inline rules used exactly once and drop unreachable ones.
+
+    Re-Pair can leave a rule referenced a single time when later
+    replacements absorbed its other occurrences; grammar utility (and
+    our downstream rule-frequency reasoning) wants every rule used at
+    least twice.
+    """
+    changed = True
+    while changed:
+        changed = False
+        use_counts: Counter = Counter()
+        for rule in rules.values():
+            for item in rule.rhs:
+                if isinstance(item, int):
+                    use_counts[item] += 1
+        for rule_id in list(rules):
+            if rule_id == START_RULE_ID:
+                continue
+            uses = use_counts.get(rule_id, 0)
+            if uses == 0:
+                del rules[rule_id]
+                changed = True
+            elif uses == 1:
+                body = rules[rule_id].rhs
+                for host in rules.values():
+                    if rule_id in host.rhs:
+                        idx = host.rhs.index(rule_id)
+                        host.rhs[idx : idx + 1] = body
+                        break
+                del rules[rule_id]
+                changed = True

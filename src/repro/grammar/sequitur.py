@@ -1,0 +1,377 @@
+"""Sequitur: linear-time incremental grammar induction.
+
+Implements Nevill-Manning & Witten's Sequitur algorithm (the paper's
+grammar-induction procedure, Section 3.3) over arbitrary hashable string
+tokens — in our pipeline, numerosity-reduced SAX words.
+
+Sequitur maintains two invariants at all times:
+
+* **digram uniqueness** — no pair of adjacent symbols occurs more than
+  once in the grammar; a repeated digram is replaced by a non-terminal;
+* **rule utility** — every rule is used at least twice; a rule whose use
+  count drops to one is inlined and deleted.
+
+The implementation follows the classic doubly-linked-list design: each
+rule owns a circular symbol list closed by a *guard* node, and a global
+digram index maps symbol-pair keys to the left symbol of their (unique)
+occurrence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.exceptions import GrammarError
+from repro.grammar.grammar import (
+    Grammar,
+    GrammarRule,
+    RuleOccurrence,
+    START_RULE_ID,
+    compute_levels,
+)
+
+
+class _Rule:
+    """Internal Sequitur rule: a circular, guard-closed symbol list."""
+
+    __slots__ = ("ctx", "serial", "refcount", "guard")
+
+    def __init__(self, ctx: "_Sequitur") -> None:
+        self.ctx = ctx
+        self.serial = ctx.next_serial()
+        self.refcount = 0
+        self.guard = _Symbol(ctx, guard_of=self)
+        self.guard.next = self.guard
+        self.guard.prev = self.guard
+        ctx.rules[self.serial] = self
+
+    def first(self) -> "_Symbol":
+        return self.guard.next
+
+    def last(self) -> "_Symbol":
+        return self.guard.prev
+
+    def reuse(self) -> None:
+        self.refcount += 1
+
+    def deuse(self) -> None:
+        self.refcount -= 1
+
+    def symbols(self) -> Iterable["_Symbol"]:
+        """Iterate the body symbols, guard excluded."""
+        sym = self.first()
+        while not sym.is_guard:
+            yield sym
+            sym = sym.next
+
+    def drop(self) -> None:
+        """Remove this rule from the registry (after inlining)."""
+        del self.ctx.rules[self.serial]
+
+
+class _Symbol:
+    """A node in a rule body: terminal, non-terminal, or guard."""
+
+    __slots__ = ("ctx", "token", "rule", "is_guard", "owner", "prev", "next")
+
+    def __init__(
+        self,
+        ctx: "_Sequitur",
+        *,
+        token: Optional[str] = None,
+        rule: Optional[_Rule] = None,
+        guard_of: Optional[_Rule] = None,
+    ) -> None:
+        self.ctx = ctx
+        self.token = token
+        self.rule = rule
+        self.is_guard = guard_of is not None
+        self.owner = guard_of
+        self.prev: Optional[_Symbol] = None
+        self.next: Optional[_Symbol] = None
+        if rule is not None:
+            rule.reuse()
+
+    # -- identity -----------------------------------------------------
+
+    @property
+    def is_nonterminal(self) -> bool:
+        return self.rule is not None and not self.is_guard
+
+    def key(self):
+        """Hashable identity used in digram keys."""
+        if self.is_nonterminal:
+            return ("R", self.rule.serial)
+        return ("t", self.token)
+
+    def digram_key(self):
+        """Key of the digram (self, self.next)."""
+        return (self.key(), self.next.key())
+
+    # -- linking ------------------------------------------------------
+
+    @staticmethod
+    def join(left: "_Symbol", right: "_Symbol") -> None:
+        """Link *left* -> *right*, maintaining the digram index.
+
+        If *left* previously had a right neighbour, the old digram is
+        removed from the index.  The two inner conditionals re-index the
+        first pair of an overlapping triple (e.g. in ``...aaa...`` only
+        the second ``aa`` is indexed; when it disappears, the first one
+        must be remembered again) — this is the classic fix from the
+        reference implementation.
+        """
+        ctx = left.ctx
+        if left.next is not None:
+            left.delete_digram()
+            if (
+                right.prev is not None
+                and right.next is not None
+                and not right.is_guard
+                and not right.prev.is_guard
+                and not right.next.is_guard
+                and right.key() == right.prev.key()
+                and right.key() == right.next.key()
+            ):
+                ctx.index[right.digram_key()] = right
+            if (
+                left.prev is not None
+                and left.next is not None
+                and not left.is_guard
+                and not left.prev.is_guard
+                and not left.next.is_guard
+                and left.key() == left.next.key()
+                and left.key() == left.prev.key()
+            ):
+                ctx.index[left.prev.digram_key()] = left.prev
+        left.next = right
+        right.prev = left
+
+    def insert_after(self, symbol: "_Symbol") -> None:
+        """Insert *symbol* immediately after self."""
+        _Symbol.join(symbol, self.next)
+        _Symbol.join(self, symbol)
+
+    def delete_digram(self) -> None:
+        """Remove the digram (self, self.next) from the index if present."""
+        if self.is_guard or self.next is None or self.next.is_guard:
+            return
+        key = self.digram_key()
+        if self.ctx.index.get(key) is self:
+            del self.ctx.index[key]
+
+    def unlink(self) -> None:
+        """Remove self from its list with full bookkeeping.
+
+        Mirrors the reference destructor: unlink, drop the (self, next)
+        digram from the index, and decrement a referenced rule's use
+        count.
+        """
+        _Symbol.join(self.prev, self.next)
+        if not self.is_guard:
+            self.delete_digram()
+            if self.is_nonterminal:
+                self.rule.deuse()
+
+    # -- the Sequitur invariants ---------------------------------------
+
+    def check(self) -> bool:
+        """Enforce digram uniqueness on the digram (self, self.next).
+
+        Returns True when a match was found and processed (the grammar
+        changed), False when the digram was merely indexed.
+        """
+        if self.is_guard or self.next is None or self.next.is_guard:
+            return False
+        key = self.digram_key()
+        found = self.ctx.index.get(key)
+        if found is None:
+            self.ctx.index[key] = self
+            return False
+        if found.next is not self:  # overlapping digrams (aaa) are ignored
+            self._process_match(found)
+        return True
+
+    def _process_match(self, match: "_Symbol") -> None:
+        """Digram (self, self.next) == digram at *match*: factor it out."""
+        ctx = self.ctx
+        if match.prev.is_guard and match.next.next.is_guard:
+            # The match is the complete body of an existing rule: reuse it.
+            rule = match.prev.owner
+            self._substitute(rule)
+        else:
+            rule = _Rule(ctx)
+            rule.last().insert_after(self.copy())
+            rule.last().insert_after(self.next.copy())
+            match._substitute(rule)
+            self._substitute(rule)
+            ctx.index[rule.first().digram_key()] = rule.first()
+        # Rule utility: inline a rule that is now used only once.
+        first = rule.first()
+        if first.is_nonterminal and first.rule.refcount == 1:
+            first.expand()
+
+    def copy(self) -> "_Symbol":
+        """A fresh symbol with the same value (bumps rule refcount)."""
+        if self.is_nonterminal:
+            return _Symbol(self.ctx, rule=self.rule)
+        return _Symbol(self.ctx, token=self.token)
+
+    def _substitute(self, rule: _Rule) -> None:
+        """Replace the digram (self, self.next) by a reference to *rule*."""
+        prev = self.prev
+        prev.next.unlink()
+        prev.next.unlink()
+        prev.insert_after(_Symbol(self.ctx, rule=rule))
+        if not prev.check():
+            prev.next.check()
+
+    def expand(self) -> None:
+        """Inline the once-used rule this non-terminal refers to."""
+        rule = self.rule
+        left = self.prev
+        right = self.next
+        first = rule.first()
+        last = rule.last()
+        self.delete_digram()
+        _Symbol.join(left, first)
+        _Symbol.join(last, right)
+        self.ctx.index[last.digram_key()] = last
+        rule.drop()
+
+
+class _Sequitur:
+    """Mutable induction state: rule registry and digram index."""
+
+    def __init__(self) -> None:
+        self.rules: dict[int, _Rule] = {}
+        self.index: dict[tuple, _Symbol] = {}
+        self._serial = 0
+        self.start = _Rule(self)
+
+    def next_serial(self) -> int:
+        serial = self._serial
+        self._serial += 1
+        return serial
+
+    def push_token(self, token: str) -> None:
+        """Append one input token and restore the invariants."""
+        self.start.last().insert_after(_Symbol(self, token=token))
+        last = self.start.last()
+        if last.prev is not None and not last.prev.is_guard:
+            last.prev.check()
+
+
+def induce_grammar(tokens: Sequence[str]) -> Grammar:
+    """Run Sequitur over *tokens* and return the resulting grammar.
+
+    Parameters
+    ----------
+    tokens:
+        The input sequence; each element is treated as an atomic terminal
+        (e.g. a SAX word).
+
+    Returns
+    -------
+    Grammar
+        Rules renumbered in order of first appearance in a pre-order walk
+        from R0, with expansions, occurrence spans, and hierarchy levels
+        filled in.
+    """
+    state = _Sequitur()
+    token_list = [str(t) for t in tokens]
+    for token in token_list:
+        state.push_token(token)
+    return _freeze(state, token_list)
+
+
+def _freeze(state: _Sequitur, tokens: list[str]) -> Grammar:
+    """Convert mutable induction state into the immutable data model."""
+    id_map: dict[int, int] = {state.start.serial: START_RULE_ID}
+    order: list[_Rule] = [state.start]
+
+    # Assign public ids in pre-order of first reference from R0.
+    stack = [state.start]
+    visited = {state.start.serial}
+    while stack:
+        rule = stack.pop(0)
+        for sym in rule.symbols():
+            if sym.is_nonterminal and sym.rule.serial not in visited:
+                visited.add(sym.rule.serial)
+                id_map[sym.rule.serial] = len(order)
+                order.append(sym.rule)
+                stack.append(sym.rule)
+
+    rules: dict[int, GrammarRule] = {}
+    for internal in order:
+        public_id = id_map[internal.serial]
+        rhs: list = []
+        for sym in internal.symbols():
+            if sym.is_nonterminal:
+                rhs.append(id_map[sym.rule.serial])
+            else:
+                rhs.append(sym.token)
+        rules[public_id] = GrammarRule(rule_id=public_id, rhs=rhs)
+
+    _fill_expansions(rules)
+    _fill_occurrences(rules, len(tokens))
+    compute_levels(rules)
+    grammar = Grammar(tokens=tokens, rules=rules, algorithm="sequitur")
+    return grammar
+
+
+def _fill_expansions(rules: dict[int, GrammarRule]) -> None:
+    """Compute every rule's terminal expansion (memoized, iterative)."""
+    memo: dict[int, list[str]] = {}
+
+    def expand(rule_id: int, stack: frozenset[int]) -> list[str]:
+        if rule_id in memo:
+            return memo[rule_id]
+        if rule_id in stack:
+            raise GrammarError(f"cycle through R{rule_id}")
+        out: list[str] = []
+        for item in rules[rule_id].rhs:
+            if isinstance(item, int):
+                out.extend(expand(item, stack | {rule_id}))
+            else:
+                out.append(item)
+        memo[rule_id] = out
+        return out
+
+    for rid in rules:
+        rules[rid].expansion = list(expand(rid, frozenset()))
+
+
+def _fill_occurrences(rules: dict[int, GrammarRule], token_count: int) -> None:
+    """Enumerate every rule occurrence by walking the derivation tree.
+
+    An explicit stack keeps this safe for deep grammars.  Every
+    non-terminal encountered during the expansion of R0 corresponds to
+    exactly one concrete occurrence of its rule in the input.
+    """
+    if token_count > 0:
+        rules[START_RULE_ID].occurrences.append(
+            RuleOccurrence(0, token_count - 1)
+        )
+    # Each stack entry: (rule_id, rhs position, absolute token position).
+    stack: list[list] = [[START_RULE_ID, 0, 0]]
+    while stack:
+        frame = stack[-1]
+        rule_id, rhs_pos, token_pos = frame
+        rhs = rules[rule_id].rhs
+        if rhs_pos >= len(rhs):
+            stack.pop()
+            if stack:
+                stack[-1][2] = token_pos
+            continue
+        frame[1] += 1
+        item = rhs[rhs_pos]
+        if isinstance(item, int):
+            sub = rules[item]
+            length = len(sub.expansion)
+            sub.occurrences.append(
+                RuleOccurrence(token_pos, token_pos + length - 1)
+            )
+            stack.append([item, 0, token_pos])
+        else:
+            frame[2] = token_pos + 1

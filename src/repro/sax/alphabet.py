@@ -1,0 +1,62 @@
+"""SAX alphabet: Gaussian equiprobable breakpoints and symbol lookup.
+
+Since z-normalized subsequences are approximately Gaussian, SAX divides
+the real line into ``alpha`` regions of equal probability under N(0, 1)
+and assigns one letter per region ('a' for the lowest region).  The
+breakpoints are the N(0,1) quantiles at i/alpha, i = 1..alpha-1.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+from scipy.stats import norm
+
+from repro.exceptions import ParameterError
+
+MIN_ALPHABET_SIZE = 2
+MAX_ALPHABET_SIZE = 26  # one Latin letter per symbol
+
+#: First symbol of the alphabet; region i maps to chr(ord('a') + i).
+_FIRST_SYMBOL = "a"
+
+
+def _validate_alphabet_size(alpha: int) -> None:
+    if not MIN_ALPHABET_SIZE <= alpha <= MAX_ALPHABET_SIZE:
+        raise ParameterError(
+            f"alphabet size must be in [{MIN_ALPHABET_SIZE}, {MAX_ALPHABET_SIZE}], "
+            f"got {alpha}"
+        )
+
+
+@lru_cache(maxsize=None)
+def breakpoints(alpha: int) -> tuple[float, ...]:
+    """The ``alpha - 1`` N(0,1) equiprobable breakpoints.
+
+    ``breakpoints(4) == (-0.674..., 0.0, 0.674...)``.
+    """
+    _validate_alphabet_size(alpha)
+    qs = np.arange(1, alpha) / alpha
+    return tuple(float(x) for x in norm.ppf(qs))
+
+
+def symbol_for_value(value: float, alpha: int) -> str:
+    """Map a single z-normalized value to its SAX letter."""
+    cuts = breakpoints(alpha)
+    idx = int(np.searchsorted(cuts, value, side="right"))
+    return chr(ord(_FIRST_SYMBOL) + idx)
+
+
+def symbols_for_values(values: np.ndarray, alpha: int) -> str:
+    """Map an array of values (e.g. PAA means) to a SAX word string."""
+    cuts = np.asarray(breakpoints(alpha))
+    idxs = np.searchsorted(cuts, np.asarray(values, dtype=float), side="right")
+    return "".join(chr(ord(_FIRST_SYMBOL) + int(i)) for i in idxs)
+
+
+def symbol_index(symbol: str) -> int:
+    """Inverse of the letter mapping: 'a' -> 0, 'b' -> 1, ..."""
+    if len(symbol) != 1 or not symbol.islower() or not symbol.isalpha():
+        raise ParameterError(f"not a SAX symbol: {symbol!r}")
+    return ord(symbol) - ord(_FIRST_SYMBOL)

@@ -1,0 +1,225 @@
+"""Sliding-window SAX discretization with numerosity reduction.
+
+This is the front half of both algorithms in the paper (Sections 3.1–3.2):
+
+1. slide a window of size ``window`` across the series;
+2. z-normalize each window, PAA it to ``paa_size`` segments, map the
+   segment means to letters — one SAX *word* per window, remembering the
+   window's starting offset;
+3. apply *numerosity reduction*: consecutive identical (or, with the
+   MINDIST strategy, indistinguishable) words are collapsed to their first
+   occurrence.  The survivors, with their offsets, are the token stream
+   handed to Sequitur — and the offsets are what later lets grammar rules
+   be mapped back onto the raw series.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import DiscretizationError, ParameterError
+from repro.sax.alphabet import breakpoints
+from repro.sax.sax import mindist
+from repro.timeseries.paa import paa_batch
+from repro.timeseries.windows import sliding_windows
+from repro.timeseries.znorm import DEFAULT_FLATNESS_THRESHOLD, znorm_rows
+
+
+class NumerosityReduction(enum.Enum):
+    """Numerosity-reduction strategy (GrammarViz 2.0 offers the same three).
+
+    NONE
+        Keep every window's word.
+    EXACT
+        Collapse runs of *identical* consecutive words (the paper's
+        default, Section 3.2).
+    MINDIST
+        Collapse a word into the previous one when their SAX MINDIST
+        lower bound is zero (i.e. the words are indistinguishable under
+        the lower-bounding distance — a slightly more aggressive merge).
+    """
+
+    NONE = "none"
+    EXACT = "exact"
+    MINDIST = "mindist"
+
+
+@dataclass(frozen=True)
+class SAXWord:
+    """One surviving SAX word: its string and where its window started."""
+
+    word: str
+    offset: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.word}@{self.offset}"
+
+
+@dataclass
+class Discretization:
+    """The result of discretizing a series.
+
+    Attributes
+    ----------
+    words:
+        The numerosity-reduced SAX word sequence, in series order.
+    window, paa_size, alphabet_size:
+        The discretization parameters used.
+    series_length:
+        Length of the input series (needed to map intervals back).
+    strategy:
+        The numerosity-reduction strategy that was applied.
+    raw_word_count:
+        Number of words before numerosity reduction (== number of
+        sliding windows).
+    """
+
+    words: list[SAXWord]
+    window: int
+    paa_size: int
+    alphabet_size: int
+    series_length: int
+    strategy: NumerosityReduction
+    raw_word_count: int = 0
+    _offsets: np.ndarray = field(default=None, repr=False, compare=False)
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    @property
+    def offsets(self) -> np.ndarray:
+        """Array of word offsets, cached."""
+        if self._offsets is None:
+            object.__setattr__(
+                self, "_offsets", np.array([w.offset for w in self.words], dtype=int)
+            )
+        return self._offsets
+
+    def tokens(self) -> list[str]:
+        """The plain word strings, in order (Sequitur's input)."""
+        return [w.word for w in self.words]
+
+    def span_to_interval(self, first_token: int, last_token: int) -> tuple[int, int]:
+        """Map a token span [first, last] to a half-open series interval.
+
+        The interval starts at the first token's window offset and ends at
+        the end of the last token's *window* — i.e. it covers every series
+        point any of the spanned windows covers, clipped to the series.
+        """
+        if not 0 <= first_token <= last_token < len(self.words):
+            raise ParameterError(
+                f"token span [{first_token}, {last_token}] out of range "
+                f"for {len(self.words)} words"
+            )
+        start = self.words[first_token].offset
+        end = min(self.words[last_token].offset + self.window, self.series_length)
+        return start, end
+
+    def reduction_ratio(self) -> float:
+        """Fraction of raw words removed by numerosity reduction."""
+        if self.raw_word_count == 0:
+            return 0.0
+        return 1.0 - len(self.words) / self.raw_word_count
+
+
+def discretize(
+    series: np.ndarray,
+    window: int,
+    paa_size: int,
+    alphabet_size: int,
+    *,
+    strategy: NumerosityReduction = NumerosityReduction.EXACT,
+    flatness_threshold: float = DEFAULT_FLATNESS_THRESHOLD,
+) -> Discretization:
+    """Discretize *series* into a numerosity-reduced SAX word sequence.
+
+    Parameters
+    ----------
+    series:
+        One-dimensional array of scalar observations.
+    window:
+        Sliding-window length (the paper's "seed" size W).
+    paa_size:
+        Letters per word (P).
+    alphabet_size:
+        Alphabet size (A).
+    strategy:
+        Numerosity-reduction strategy; EXACT is the paper's choice.
+    flatness_threshold:
+        Windows whose standard deviation falls below this are treated as
+        flat and discretized as the all-middle-symbol word.
+
+    Raises
+    ------
+    DiscretizationError
+        If the series is shorter than the window.
+    """
+    series = np.asarray(series, dtype=float)
+    if series.ndim != 1:
+        raise ParameterError(f"series must be 1-d, got shape {series.shape}")
+    if window < 2:
+        raise ParameterError(f"window must be at least 2, got {window}")
+    if series.size < window:
+        raise DiscretizationError(
+            f"series of length {series.size} is shorter than window {window}"
+        )
+    if paa_size > window:
+        raise ParameterError(
+            f"PAA size {paa_size} exceeds window length {window}"
+        )
+    # Validate alphabet early (breakpoints() raises ParameterError).
+    cuts = np.asarray(breakpoints(alphabet_size))
+
+    windows = sliding_windows(series, window)
+    normalized = znorm_rows(windows, flatness_threshold)
+    # Flat windows carry no shape: discretize them as exact zeros so
+    # they all map to the same middle-letter word instead of flickering
+    # across the central breakpoint on sub-threshold noise.
+    flat_rows = windows.std(axis=1) < flatness_threshold
+    if flat_rows.any():
+        normalized = np.where(flat_rows[:, None], 0.0, normalized)
+
+    paa_values = paa_batch(normalized, paa_size)
+    letter_idx = np.searchsorted(cuts, paa_values, side="right")
+
+    alphabet = [chr(ord("a") + i) for i in range(alphabet_size)]
+    raw_words = ["".join(alphabet[i] for i in row) for row in letter_idx]
+
+    kept = _reduce(raw_words, strategy, alphabet_size, window)
+    words = [SAXWord(raw_words[i], i) for i in kept]
+    return Discretization(
+        words=words,
+        window=window,
+        paa_size=paa_size,
+        alphabet_size=alphabet_size,
+        series_length=series.size,
+        strategy=strategy,
+        raw_word_count=len(raw_words),
+    )
+
+
+def _reduce(
+    raw_words: list[str],
+    strategy: NumerosityReduction,
+    alphabet_size: int,
+    window: int,
+) -> list[int]:
+    """Indices of the words that survive numerosity reduction."""
+    if strategy is NumerosityReduction.NONE or not raw_words:
+        return list(range(len(raw_words)))
+    kept = [0]
+    if strategy is NumerosityReduction.EXACT:
+        for i in range(1, len(raw_words)):
+            if raw_words[i] != raw_words[kept[-1]]:
+                kept.append(i)
+        return kept
+    if strategy is NumerosityReduction.MINDIST:
+        for i in range(1, len(raw_words)):
+            dist = mindist(raw_words[i], raw_words[kept[-1]], alphabet_size, window)
+            if dist > 0.0:
+                kept.append(i)
+        return kept
+    raise ParameterError(f"unknown numerosity reduction strategy: {strategy!r}")

@@ -1,0 +1,82 @@
+"""Single-subsequence SAX transform and the MINDIST lower bound.
+
+``sax_word`` is the classic pipeline: z-normalize, PAA, symbol lookup.
+``mindist`` is the SAX lower-bounding distance between two words (Lin et
+al.); the paper's EXACT/MINDIST numerosity-reduction options need it to
+decide whether two consecutive words are "equal enough" to merge.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.sax.alphabet import breakpoints, symbol_index, symbols_for_values
+from repro.timeseries.paa import paa
+from repro.timeseries.znorm import znorm
+
+
+def sax_word(values: np.ndarray, w: int, alpha: int, *, normalize: bool = True) -> str:
+    """Discretize one subsequence into a SAX word of length *w*.
+
+    Parameters
+    ----------
+    values:
+        The raw subsequence.
+    w:
+        PAA size (number of letters in the output word).
+    alpha:
+        Alphabet size.
+    normalize:
+        Z-normalize before PAA (the default, and what the paper does).
+    """
+    values = np.asarray(values, dtype=float)
+    if normalize:
+        values = znorm(values)
+    means = paa(values, w)
+    return symbols_for_values(means, alpha)
+
+
+@lru_cache(maxsize=None)
+def symbol_distance_matrix(alpha: int) -> np.ndarray:
+    """The (alpha, alpha) MINDIST cell-distance lookup table.
+
+    ``table[r, c] = 0`` when ``|r - c| <= 1`` (adjacent regions touch),
+    otherwise the gap between the closest breakpoints of the two regions.
+    """
+    cuts = breakpoints(alpha)
+    table = np.zeros((alpha, alpha), dtype=float)
+    for r in range(alpha):
+        for c in range(alpha):
+            if abs(r - c) > 1:
+                table[r, c] = cuts[max(r, c) - 1] - cuts[min(r, c)]
+    return table
+
+
+def mindist(word_a: str, word_b: str, alpha: int, n: int) -> float:
+    """SAX MINDIST lower bound between two words of equal length.
+
+    Parameters
+    ----------
+    word_a, word_b:
+        SAX words of the same length *w*.
+    alpha:
+        Alphabet size both words were produced with.
+    n:
+        Original subsequence length (needed for the sqrt(n/w) scale).
+    """
+    if len(word_a) != len(word_b):
+        raise ParameterError(
+            f"mindist requires equal word lengths, got {len(word_a)} vs {len(word_b)}"
+        )
+    if not word_a:
+        raise ParameterError("mindist requires non-empty words")
+    w = len(word_a)
+    table = symbol_distance_matrix(alpha)
+    total = 0.0
+    for sym_a, sym_b in zip(word_a, word_b):
+        cell = table[symbol_index(sym_a), symbol_index(sym_b)]
+        total += cell * cell
+    return float(np.sqrt(n / w) * np.sqrt(total))

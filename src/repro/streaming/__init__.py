@@ -1,0 +1,30 @@
+"""Streaming (online) grammar-based anomaly detection.
+
+The paper's future-work section (§7) observes that both pipeline stages
+— sliding-window SAX and Sequitur — process the input strictly left to
+right, which "suggests the possibility of early anomaly detection in
+real-time data streams".  This subpackage builds that system:
+
+* :class:`~repro.streaming.window_stats.RollingStats` — O(1) rolling
+  mean/std over the active window;
+* :class:`~repro.streaming.online_sax.OnlineDiscretizer` — push one
+  point, get back at most one numerosity-reduced SAX word;
+* :class:`~repro.streaming.online_sequitur.IncrementalSequitur` — push
+  tokens as they arrive into a live Sequitur state, snapshot a full
+  :class:`~repro.grammar.grammar.Grammar` on demand;
+* :class:`~repro.streaming.detector.StreamingAnomalyDetector` — the
+  end-to-end online detector: values in, :class:`StreamAlarm`s out.
+"""
+
+from repro.streaming.window_stats import RollingStats
+from repro.streaming.online_sax import OnlineDiscretizer
+from repro.streaming.online_sequitur import IncrementalSequitur
+from repro.streaming.detector import StreamAlarm, StreamingAnomalyDetector
+
+__all__ = [
+    "RollingStats",
+    "OnlineDiscretizer",
+    "IncrementalSequitur",
+    "StreamAlarm",
+    "StreamingAnomalyDetector",
+]

@@ -1,0 +1,204 @@
+"""End-to-end streaming anomaly detector.
+
+Values flow through the online discretizer into a live Sequitur
+grammar.  Periodically (every ``check_every`` emitted tokens) the
+detector inspects the live start rule for *matured* uncovered token
+runs: terminals that are still part of no rule even though at least
+``confirmation_tokens`` further tokens have been processed since.  By
+the paper's argument such tokens are algorithmically anomalous — the
+compressor had ample opportunity to fold them into a rule and could
+not.  Each newly matured run is reported once, as a
+:class:`StreamAlarm` carrying the corresponding raw-series interval.
+
+The confirmation lag is the streaming trade-off: a *small* lag reports
+anomalies quickly but may flag fresh tokens that simply have not
+repeated yet; a *large* lag approaches the offline result.  The
+detection-delay benchmark (bench_streaming.py) quantifies this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.exceptions import ParameterError
+from repro.sax.discretize import NumerosityReduction, SAXWord
+from repro.streaming.online_sax import OnlineDiscretizer
+from repro.streaming.online_sequitur import IncrementalSequitur
+
+
+@dataclass(frozen=True)
+class StreamAlarm:
+    """One reported anomaly in the stream.
+
+    Attributes
+    ----------
+    start, end:
+        Half-open raw-series interval covered by the anomalous tokens'
+        windows.
+    first_token, last_token:
+        Inclusive indices of the uncovered token run.
+    detected_at:
+        Stream position (number of points consumed) when the alarm
+        fired; ``detected_at - start`` is the detection delay.
+    """
+
+    start: int
+    end: int
+    first_token: int
+    last_token: int
+    detected_at: int
+
+    @property
+    def delay(self) -> int:
+        """Points between the anomaly's start and its detection."""
+        return self.detected_at - self.start
+
+
+class StreamingAnomalyDetector:
+    """Online grammar-based anomaly detection (paper §7 future work).
+
+    Parameters
+    ----------
+    window, paa_size, alphabet_size:
+        Discretization parameters (as in the offline detector).
+    confirmation_tokens:
+        An uncovered token run is only reported once this many tokens
+        have been emitted *after* it (maturity lag).
+    check_every:
+        Inspect the grammar every this-many emitted tokens.
+    min_run_tokens:
+        Ignore uncovered runs shorter than this many tokens.  The
+        default of 2 filters the single-token gaps that measurement
+        noise produces (one odd word that never repeats) while real
+        anomalies — which disrupt several consecutive windows — span
+        many tokens.
+    numerosity_reduction:
+        Token-stream compaction strategy.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> detector = StreamingAnomalyDetector(50, 4, 4,
+    ...                                     confirmation_tokens=20)
+    >>> t = np.arange(4000)
+    >>> series = np.sin(2 * np.pi * t / 100)
+    >>> series[2000:2100] += 2.0
+    >>> alarms = []
+    >>> for value in series:
+    ...     alarms.extend(detector.push(value))
+    >>> alarms = alarms or detector.flush()
+    >>> any(a.start < 2150 and 1950 < a.end for a in alarms)
+    True
+    """
+
+    def __init__(
+        self,
+        window: int,
+        paa_size: int,
+        alphabet_size: int,
+        *,
+        confirmation_tokens: int = 25,
+        check_every: int = 10,
+        min_run_tokens: int = 2,
+        numerosity_reduction: NumerosityReduction = NumerosityReduction.EXACT,
+    ) -> None:
+        if confirmation_tokens < 1:
+            raise ParameterError(
+                f"confirmation_tokens must be >= 1, got {confirmation_tokens}"
+            )
+        if check_every < 1:
+            raise ParameterError(f"check_every must be >= 1, got {check_every}")
+        if min_run_tokens < 1:
+            raise ParameterError(f"min_run_tokens must be >= 1, got {min_run_tokens}")
+        self.window = window
+        self.confirmation_tokens = confirmation_tokens
+        self.check_every = check_every
+        self.min_run_tokens = min_run_tokens
+        self._discretizer = OnlineDiscretizer(
+            window, paa_size, alphabet_size, strategy=numerosity_reduction
+        )
+        self._sequitur = IncrementalSequitur()
+        self._words: list[SAXWord] = []
+        self._reported: set[tuple[int, int]] = set()
+        self._since_check = 0
+
+    # -- feeding ---------------------------------------------------------
+
+    def push(self, value: float) -> list[StreamAlarm]:
+        """Consume one point; return any alarms that matured."""
+        word = self._discretizer.push(value)
+        if word is None:
+            return []
+        self._words.append(word)
+        self._sequitur.push(word.word)
+        self._since_check += 1
+        if self._since_check >= self.check_every:
+            self._since_check = 0
+            return self._collect_alarms(require_maturity=True)
+        return []
+
+    def push_many(self, values: Iterable[float]) -> list[StreamAlarm]:
+        """Consume a batch of points; return all alarms raised."""
+        alarms: list[StreamAlarm] = []
+        for value in values:
+            alarms.extend(self.push(value))
+        return alarms
+
+    def flush(self) -> list[StreamAlarm]:
+        """End-of-stream: report remaining uncovered runs regardless of
+        maturity (there will be no further chance to compress them)."""
+        return self._collect_alarms(require_maturity=False)
+
+    # -- state -----------------------------------------------------------
+
+    @property
+    def points_consumed(self) -> int:
+        return self._discretizer.position
+
+    @property
+    def tokens_emitted(self) -> int:
+        return len(self._words)
+
+    def grammar_snapshot(self):
+        """Full offline-style grammar of everything consumed so far."""
+        return self._sequitur.snapshot()
+
+    # -- the detection rule -----------------------------------------------
+
+    def _collect_alarms(self, *, require_maturity: bool) -> list[StreamAlarm]:
+        alarms: list[StreamAlarm] = []
+        total_tokens = len(self._words)
+        for first, last in self._sequitur.uncovered_token_runs():
+            if last - first + 1 < self.min_run_tokens:
+                continue
+            if require_maturity and total_tokens - 1 - last < self.confirmation_tokens:
+                continue
+            key = (first, last)
+            if key in self._reported or self._is_extension_of_reported(first, last):
+                continue
+            self._reported.add(key)
+            start = self._words[first].offset
+            end = self._words[last].offset + self.window
+            alarms.append(
+                StreamAlarm(
+                    start=start,
+                    end=end,
+                    first_token=first,
+                    last_token=last,
+                    detected_at=self.points_consumed,
+                )
+            )
+        return alarms
+
+    def _is_extension_of_reported(self, first: int, last: int) -> bool:
+        """Suppress re-reports when a run grows or shifts slightly.
+
+        The live R0 evolves; a previously reported run may reappear with
+        a boundary moved by a token or two.  Any overlap with an
+        already-reported run suppresses the new one.
+        """
+        for r_first, r_last in self._reported:
+            if first <= r_last and r_first <= last:
+                return True
+        return False

@@ -1,0 +1,107 @@
+"""Incremental Sequitur: a live grammar that grows token by token.
+
+Sequitur is inherently online — the offline :func:`induce_grammar` just
+feeds tokens in a loop.  This wrapper keeps the mutable induction state
+alive between pushes so a stream consumer can interleave tokens and
+grammar queries.  Snapshots (full :class:`Grammar` objects with
+expansions/occurrences) cost O(grammar + derivation) and are intended
+for periodic, not per-token, use.
+"""
+
+from __future__ import annotations
+
+from repro.grammar.grammar import Grammar
+from repro.grammar.sequitur import _Sequitur, _freeze
+
+
+class IncrementalSequitur:
+    """A Sequitur state that accepts tokens one at a time.
+
+    Examples
+    --------
+    >>> inc = IncrementalSequitur()
+    >>> for token in "ab ab cd ab".split():
+    ...     inc.push(token)
+    >>> grammar = inc.snapshot()
+    >>> grammar.start_rule.expansion
+    ['ab', 'ab', 'cd', 'ab']
+    """
+
+    def __init__(self) -> None:
+        self._state = _Sequitur()
+        self._tokens: list[str] = []
+
+    def push(self, token: str) -> None:
+        """Append one token and restore the Sequitur invariants."""
+        token = str(token)
+        self._tokens.append(token)
+        self._state.push_token(token)
+
+    def push_many(self, tokens) -> None:
+        """Append a batch of tokens."""
+        for token in tokens:
+            self.push(token)
+
+    @property
+    def token_count(self) -> int:
+        """Tokens consumed so far."""
+        return len(self._tokens)
+
+    @property
+    def rule_count(self) -> int:
+        """Live rules (start rule included) without snapshotting."""
+        return len(self._state.rules)
+
+    def tokens(self) -> list[str]:
+        """The tokens consumed so far (a copy)."""
+        return list(self._tokens)
+
+    def uncovered_token_runs(self) -> list[tuple[int, int]]:
+        """Maximal terminal runs in the live start rule, as token spans.
+
+        This is the streaming detector's primary signal — computed
+        directly from the live linked-list state (no snapshot needed):
+        a terminal still sitting in R0 after the stream has moved on is
+        a token the grammar could not compress.
+
+        Returns inclusive ``(first_token_index, last_token_index)``
+        pairs.  Cost: O(|R0 body| + total expansion of its rule refs),
+        using cached expansion lengths where possible.
+        """
+        runs: list[tuple[int, int]] = []
+        position = 0
+        run_start: int | None = None
+        length_cache: dict[int, int] = {}
+        for symbol in self._state.start.symbols():
+            if symbol.is_nonterminal:
+                if run_start is not None:
+                    runs.append((run_start, position - 1))
+                    run_start = None
+                position += self._expansion_length(symbol.rule, length_cache)
+            else:
+                if run_start is None:
+                    run_start = position
+                position += 1
+        if run_start is not None:
+            runs.append((run_start, position - 1))
+        return runs
+
+    def _expansion_length(self, rule, cache: dict[int, int]) -> int:
+        cached = cache.get(rule.serial)
+        if cached is not None:
+            return cached
+        total = 0
+        for symbol in rule.symbols():
+            if symbol.is_nonterminal:
+                total += self._expansion_length(symbol.rule, cache)
+            else:
+                total += 1
+        cache[rule.serial] = total
+        return total
+
+    def snapshot(self) -> Grammar:
+        """Freeze the live state into an immutable :class:`Grammar`.
+
+        The live state is not consumed — pushing may continue afterwards.
+        """
+        return _freeze(self._state, list(self._tokens))

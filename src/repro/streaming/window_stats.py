@@ -1,0 +1,100 @@
+"""O(1) rolling mean/standard deviation for the streaming discretizer.
+
+Maintains running sums over a fixed-size window using the *shifted-data*
+formulation: sums are taken of ``value - anchor`` where the anchor is a
+recent data value, so the classic catastrophic cancellation of
+``E[x^2] - E[x]^2`` for large-offset data never materializes.  Residual
+floating-point drift from the add/subtract updates is bounded by
+periodically recomputing the sums exactly from the buffered window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+#: Recompute exact sums after this many O(1) updates (drift control).
+_RESYNC_EVERY = 2048
+
+
+class RollingStats:
+    """Rolling mean/std over the last *window* pushed values.
+
+    Examples
+    --------
+    >>> stats = RollingStats(window=3)
+    >>> for value in [1.0, 2.0, 3.0, 4.0]:
+    ...     stats.push(value)
+    >>> stats.mean  # over [2, 3, 4]
+    3.0
+    """
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ParameterError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._buffer: deque[float] = deque(maxlen=window)
+        self._anchor = 0.0
+        self._sum = 0.0      # sum of (value - anchor)
+        self._sum_sq = 0.0   # sum of (value - anchor)^2
+        self._updates = 0
+
+    def push(self, value: float) -> None:
+        """Add one value; evicts the oldest once the window is full."""
+        value = float(value)
+        if not np.isfinite(value):
+            raise ParameterError(f"non-finite value pushed: {value}")
+        if not self._buffer:
+            self._anchor = value
+        if len(self._buffer) == self.window:
+            shifted_old = self._buffer[0] - self._anchor
+            self._sum -= shifted_old
+            self._sum_sq -= shifted_old * shifted_old
+        self._buffer.append(value)
+        shifted = value - self._anchor
+        self._sum += shifted
+        self._sum_sq += shifted * shifted
+        self._updates += 1
+        if self._updates % _RESYNC_EVERY == 0:
+            self._resync()
+
+    def _resync(self) -> None:
+        """Re-anchor and recompute the sums exactly (kills drift)."""
+        values = np.asarray(self._buffer, dtype=float)
+        self._anchor = float(values[-1])
+        shifted = values - self._anchor
+        self._sum = float(shifted.sum())
+        self._sum_sq = float(np.dot(shifted, shifted))
+
+    @property
+    def count(self) -> int:
+        """Number of values currently in the window."""
+        return len(self._buffer)
+
+    @property
+    def full(self) -> bool:
+        """True once the window holds *window* values."""
+        return len(self._buffer) == self.window
+
+    @property
+    def mean(self) -> float:
+        if not self._buffer:
+            raise ParameterError("no values pushed yet")
+        return self._anchor + self._sum / len(self._buffer)
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation of the windowed values."""
+        if not self._buffer:
+            raise ParameterError("no values pushed yet")
+        n = len(self._buffer)
+        shifted_mean = self._sum / n
+        variance = max(0.0, self._sum_sq / n - shifted_mean * shifted_mean)
+        return float(np.sqrt(variance))
+
+    def values(self) -> np.ndarray:
+        """The current window contents, oldest first (a copy)."""
+        return np.asarray(self._buffer, dtype=float)

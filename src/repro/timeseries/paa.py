@@ -1,0 +1,125 @@
+"""Piecewise Aggregate Approximation (PAA).
+
+PAA reduces an ``n``-point subsequence to ``w`` segment means.  It is the
+dimensionality-reduction step inside SAX (Lin et al. 2002, cited by the
+paper as [19]/[25]).
+
+When ``n`` is not divisible by ``w`` we use the *fractional* PAA of the
+original SAX papers: every point contributes to the segments it overlaps,
+weighted by the overlapped fraction, so all segments aggregate exactly
+``n / w`` points' worth of mass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+
+def paa_segment_bounds(n: int, w: int) -> list[tuple[float, float]]:
+    """Fractional segment boundaries ``[(start, end), ...]`` for PAA.
+
+    Each segment covers ``n / w`` points; boundaries may fall between
+    integer sample positions.
+    """
+    if n <= 0:
+        raise ParameterError(f"subsequence length must be positive, got {n}")
+    if w <= 0:
+        raise ParameterError(f"PAA size must be positive, got {w}")
+    if w > n:
+        raise ParameterError(f"PAA size {w} exceeds subsequence length {n}")
+    seg = n / w
+    return [(i * seg, (i + 1) * seg) for i in range(w)]
+
+
+def paa(values: np.ndarray, w: int) -> np.ndarray:
+    """Compute the *w*-segment PAA representation of *values*.
+
+    Parameters
+    ----------
+    values:
+        One-dimensional array (typically an already z-normalized
+        subsequence).
+    w:
+        Number of output segments; must satisfy ``1 <= w <= len(values)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of *w* segment means.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1:
+        raise ParameterError(f"paa expects a 1-d array, got shape {values.shape}")
+    n = values.size
+    if w <= 0:
+        raise ParameterError(f"PAA size must be positive, got {w}")
+    if w > n:
+        raise ParameterError(f"PAA size {w} exceeds subsequence length {n}")
+    if n == w:
+        return values.copy()
+    if n % w == 0:
+        return values.reshape(w, n // w).mean(axis=1)
+    return _fractional_paa(values, w)
+
+
+def _fractional_paa(values: np.ndarray, w: int) -> np.ndarray:
+    """PAA for the non-divisible case using fractional point weights."""
+    n = values.size
+    # Each point i is spread over the fractional segment grid: segment
+    # boundaries sit at multiples of n/w in "point mass" coordinates.
+    result = np.zeros(w, dtype=float)
+    seg = n / w
+    for i in range(n):
+        left = i
+        right = i + 1.0
+        first_seg = int(left / seg)
+        last_seg = min(int((right - 1e-12) / seg), w - 1)
+        if first_seg == last_seg:
+            result[first_seg] += values[i]
+            continue
+        for s in range(first_seg, last_seg + 1):
+            seg_lo = s * seg
+            seg_hi = (s + 1) * seg
+            overlap = min(right, seg_hi) - max(left, seg_lo)
+            if overlap > 0:
+                result[s] += values[i] * overlap
+    return result / seg
+
+
+def paa_batch(matrix: np.ndarray, w: int) -> np.ndarray:
+    """Row-wise PAA over a 2-d array of subsequences (k, n) -> (k, w).
+
+    Fast path used by the sliding-window discretizer: when ``n % w == 0``
+    this is a single vectorized reshape-mean, otherwise we fall back to a
+    per-row fractional PAA.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ParameterError(f"paa_batch expects a 2-d array, got shape {matrix.shape}")
+    k, n = matrix.shape
+    if w <= 0:
+        raise ParameterError(f"PAA size must be positive, got {w}")
+    if w > n:
+        raise ParameterError(f"PAA size {w} exceeds subsequence length {n}")
+    if n == w:
+        return matrix.copy()
+    if n % w == 0:
+        return matrix.reshape(k, w, n // w).mean(axis=2)
+    weights = _fractional_weights(n, w)
+    return matrix @ weights.T
+
+
+def _fractional_weights(n: int, w: int) -> np.ndarray:
+    """The (w, n) weight matrix implementing fractional PAA as a matmul."""
+    seg = n / w
+    weights = np.zeros((w, n), dtype=float)
+    for s in range(w):
+        seg_lo = s * seg
+        seg_hi = (s + 1) * seg
+        for i in range(int(seg_lo), min(int(np.ceil(seg_hi)), n)):
+            overlap = min(i + 1.0, seg_hi) - max(float(i), seg_lo)
+            if overlap > 0:
+                weights[s, i] = overlap / seg
+    return weights

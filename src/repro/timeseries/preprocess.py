@@ -1,0 +1,154 @@
+"""Series preprocessing utilities: missing values, detrending, resampling.
+
+Real-world inputs (the CLI's CSV files, sensor exports) carry NaNs,
+slow drifts, and oversampled resolutions.  These helpers normalize such
+series *before* the discretization pipeline; they are deliberately
+simple, deterministic, and side-effect-free (every function returns a
+new array).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+
+def fill_missing(series: np.ndarray, *, method: str = "linear") -> np.ndarray:
+    """Replace NaN/inf values.
+
+    Parameters
+    ----------
+    series:
+        One-dimensional array, possibly containing non-finite entries.
+    method:
+        ``"linear"`` interpolates between the nearest finite neighbours
+        (edges are extended flat); ``"ffill"`` carries the last finite
+        value forward (the first finite value is used for a leading
+        gap); ``"zero"`` replaces non-finite entries with 0.
+
+    Raises
+    ------
+    ParameterError
+        If the series contains no finite value at all.
+    """
+    series = np.asarray(series, dtype=float)
+    if series.ndim != 1:
+        raise ParameterError(f"series must be 1-d, got shape {series.shape}")
+    finite = np.isfinite(series)
+    if finite.all():
+        return series.copy()
+    if not finite.any():
+        raise ParameterError("series contains no finite values")
+
+    if method == "zero":
+        out = series.copy()
+        out[~finite] = 0.0
+        return out
+    if method == "ffill":
+        out = series.copy()
+        last = series[np.argmax(finite)]  # first finite value
+        for i in range(out.size):
+            if np.isfinite(out[i]):
+                last = out[i]
+            else:
+                out[i] = last
+        return out
+    if method == "linear":
+        indices = np.arange(series.size)
+        return np.interp(indices, indices[finite], series[finite])
+    raise ParameterError(f"unknown fill method {method!r}")
+
+
+def detrend(series: np.ndarray, *, kind: str = "linear") -> np.ndarray:
+    """Remove a global trend.
+
+    ``"linear"`` subtracts the least-squares line, ``"mean"`` subtracts
+    the mean.  (Per-window z-normalization already handles local drift;
+    global detrending helps when the drift dwarfs the signal and would
+    dominate the SAX breakpoints.)
+    """
+    series = np.asarray(series, dtype=float)
+    if series.ndim != 1:
+        raise ParameterError(f"series must be 1-d, got shape {series.shape}")
+    if series.size == 0:
+        return series.copy()
+    if kind == "mean":
+        return series - series.mean()
+    if kind == "linear":
+        x = np.arange(series.size, dtype=float)
+        slope, intercept = np.polyfit(x, series, 1)
+        return series - (slope * x + intercept)
+    raise ParameterError(f"unknown detrend kind {kind!r}")
+
+
+def downsample(series: np.ndarray, factor: int) -> np.ndarray:
+    """Reduce resolution by averaging blocks of *factor* points.
+
+    A trailing partial block is averaged too.  This is PAA applied to
+    the whole series — the right way to reduce an oversampled input
+    before discretization (plain striding would alias).
+    """
+    series = np.asarray(series, dtype=float)
+    if series.ndim != 1:
+        raise ParameterError(f"series must be 1-d, got shape {series.shape}")
+    if factor < 1:
+        raise ParameterError(f"factor must be >= 1, got {factor}")
+    if factor == 1 or series.size == 0:
+        return series.copy()
+    full = (series.size // factor) * factor
+    blocks = series[:full].reshape(-1, factor).mean(axis=1)
+    if full < series.size:
+        blocks = np.append(blocks, series[full:].mean())
+    return blocks
+
+
+def clip_outliers(
+    series: np.ndarray, *, z_limit: float = 6.0
+) -> np.ndarray:
+    """Clamp extreme point outliers to ±*z_limit* robust deviations.
+
+    The grammar pipeline targets *structural* anomalies; a single
+    corrupt sample (sensor glitch, parse error) would otherwise stretch
+    the z-normalization of every window containing it.  Clipping keeps
+    the point (its position still deviates) while bounding its leverage.
+
+    Scale is measured with the median absolute deviation (scaled to be
+    consistent with the standard deviation for Gaussian data) — unlike
+    mean/std, the MAD is not inflated by the very outliers being
+    clipped.
+    """
+    series = np.asarray(series, dtype=float)
+    if series.ndim != 1:
+        raise ParameterError(f"series must be 1-d, got shape {series.shape}")
+    if z_limit <= 0:
+        raise ParameterError(f"z_limit must be positive, got {z_limit}")
+    if series.size == 0:
+        return series.copy()
+    center = float(np.median(series))
+    mad = float(np.median(np.abs(series - center)))
+    scale = 1.4826 * mad  # Gaussian-consistent
+    if scale < 1e-12:
+        return series.copy()
+    lo = center - z_limit * scale
+    hi = center + z_limit * scale
+    return np.clip(series, lo, hi)
+
+
+def prepare(
+    series: np.ndarray,
+    *,
+    fill: str = "linear",
+    detrend_kind: str | None = None,
+    downsample_factor: int = 1,
+    clip_z: float | None = None,
+) -> np.ndarray:
+    """One-call preprocessing pipeline: fill -> clip -> detrend -> downsample."""
+    out = fill_missing(series, method=fill)
+    if clip_z is not None:
+        out = clip_outliers(out, z_limit=clip_z)
+    if detrend_kind is not None:
+        out = detrend(out, kind=detrend_kind)
+    if downsample_factor != 1:
+        out = downsample(out, downsample_factor)
+    return out

@@ -1,0 +1,65 @@
+"""Sliding-window subsequence extraction (paper Section 2).
+
+A subsequence of a series ``T`` of length ``m`` is a contiguous sampling of
+``n`` points starting at position ``p`` with ``0 <= p <= m - n`` (the paper
+uses 1-based indexing; this library is 0-based throughout).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+
+def num_windows(series_length: int, window: int) -> int:
+    """Number of sliding windows of size *window* over a series.
+
+    Returns 0 when the series is shorter than the window.
+    """
+    if window <= 0:
+        raise ParameterError(f"window must be positive, got {window}")
+    return max(0, series_length - window + 1)
+
+
+def subsequence(series: np.ndarray, start: int, length: int) -> np.ndarray:
+    """Extract the subsequence ``series[start : start + length]``.
+
+    Raises
+    ------
+    ParameterError
+        If the requested range does not fully lie inside the series.
+    """
+    series = np.asarray(series, dtype=float)
+    if length <= 0:
+        raise ParameterError(f"subsequence length must be positive, got {length}")
+    if start < 0 or start + length > series.size:
+        raise ParameterError(
+            f"subsequence [{start}, {start + length}) out of bounds "
+            f"for series of length {series.size}"
+        )
+    return series[start : start + length]
+
+
+def sliding_windows(series: np.ndarray, window: int) -> np.ndarray:
+    """All sliding windows of *series* as a 2-d view of shape (k, window).
+
+    The result is a read-only stride view — no copy is made.  Use
+    ``.copy()`` on a row before mutating it.
+    """
+    series = np.ascontiguousarray(series, dtype=float)
+    k = num_windows(series.size, window)
+    if k == 0:
+        return np.empty((0, window), dtype=float)
+    view = np.lib.stride_tricks.sliding_window_view(series, window)
+    view.flags.writeable = False
+    return view
+
+
+def windows_iter(series: np.ndarray, window: int) -> Iterator[tuple[int, np.ndarray]]:
+    """Yield ``(start, window_values)`` for every sliding window."""
+    view = sliding_windows(series, window)
+    for start in range(view.shape[0]):
+        yield start, view[start]

@@ -1,0 +1,89 @@
+"""Z-normalization of time-series subsequences.
+
+The paper (Section 2) requires every subsequence to be z-normalized before
+comparison: mean brought to zero, standard deviation to one.  Subsequences
+that are (nearly) flat carry no shape, and dividing them by a tiny standard
+deviation would amplify measurement noise into full-scale "shapes" that
+dominate distance computations.  Following the original GrammarViz/jmotif
+implementation, values whose standard deviation falls below a
+*normalization threshold* are only mean-centered, never variance-scaled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Below this standard deviation a subsequence is considered flat and is
+#: only mean-centered.  Matches the default normalization threshold of the
+#: original GrammarViz/jmotif implementation.
+DEFAULT_FLATNESS_THRESHOLD = 0.01
+
+
+def is_flat(values: np.ndarray, threshold: float = DEFAULT_FLATNESS_THRESHOLD) -> bool:
+    """Return True when *values* has standard deviation below *threshold*."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return True
+    return float(np.std(values)) < threshold
+
+
+def znorm(values: np.ndarray, threshold: float = DEFAULT_FLATNESS_THRESHOLD) -> np.ndarray:
+    """Z-normalize *values*: zero mean, unit standard deviation.
+
+    Flat inputs (std below *threshold*) are mean-centered but not scaled,
+    so noise on a plateau stays small instead of being blown up to unit
+    variance (the "flat subsequence" pathology of discord search).
+
+    Parameters
+    ----------
+    values:
+        One-dimensional array of scalar observations.
+    threshold:
+        Standard-deviation cutoff below which the input counts as flat.
+
+    Returns
+    -------
+    numpy.ndarray
+        A new array; the input is never modified.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1:
+        raise ValueError(f"znorm expects a 1-d array, got shape {values.shape}")
+    if values.size == 0:
+        return values.copy()
+    mean = float(np.mean(values))
+    std = float(np.std(values))
+    if std < threshold:
+        return values - mean
+    return (values - mean) / std
+
+
+def znorm_or_flat(
+    values: np.ndarray, threshold: float = DEFAULT_FLATNESS_THRESHOLD
+) -> tuple[np.ndarray, bool]:
+    """Z-normalize and also report whether the input was flat.
+
+    Returns ``(normalized, was_flat)``.  Useful when callers want to treat
+    flat segments specially (e.g. SAX maps them to the middle symbol).
+    """
+    values = np.asarray(values, dtype=float)
+    flat = is_flat(values, threshold)
+    return znorm(values, threshold), flat
+
+
+def znorm_rows(
+    matrix: np.ndarray, threshold: float = DEFAULT_FLATNESS_THRESHOLD
+) -> np.ndarray:
+    """Vectorized row-wise z-normalization with the flatness rule.
+
+    Rows with standard deviation below *threshold* are mean-centered
+    only.  Used by the sliding-window pipelines (SAX discretization,
+    HOTSAX, brute force), which normalize thousands of windows at once.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError(f"znorm_rows expects a 2-d array, got shape {matrix.shape}")
+    means = matrix.mean(axis=1, keepdims=True)
+    stds = matrix.std(axis=1, keepdims=True)
+    safe = np.where(stds < threshold, 1.0, stds)
+    return (matrix - means) / safe

@@ -1,0 +1,29 @@
+"""Spatial-trajectory support (paper Section 5.1).
+
+A multi-dimensional GPS trail is flattened to a scalar series by mapping
+each position to its Hilbert space-filling-curve cell index; spatial
+locality is largely preserved, so trajectory anomalies become time-series
+anomalies the grammar pipeline can find.
+"""
+
+from repro.trajectory.hilbert import (
+    hilbert_d2xy,
+    hilbert_xy2d,
+    hilbert_curve_points,
+)
+from repro.trajectory.convert import (
+    BoundingBox,
+    TrajectoryPoint,
+    trail_to_series,
+    series_index_to_trail_slice,
+)
+
+__all__ = [
+    "hilbert_d2xy",
+    "hilbert_xy2d",
+    "hilbert_curve_points",
+    "BoundingBox",
+    "TrajectoryPoint",
+    "trail_to_series",
+    "series_index_to_trail_slice",
+]

@@ -1,0 +1,117 @@
+"""GPS trail -> scalar time series via the Hilbert curve (paper §5.1).
+
+The paper converts a (time, latitude, longitude) trail into a sequence of
+Hilbert-cell visit indices, ordered by the recorded times, and feeds that
+scalar series to the anomaly pipeline.  An order-8 curve is used for the
+paper's experiments; the order is a parameter here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import TrajectoryError
+from repro.trajectory.hilbert import hilbert_xy2d
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """One GPS fix."""
+
+    time: float
+    lat: float
+    lon: float
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Geographic extent used to grid the trajectory manifold."""
+
+    min_lat: float
+    max_lat: float
+    min_lon: float
+    max_lon: float
+
+    def __post_init__(self) -> None:
+        if self.min_lat >= self.max_lat or self.min_lon >= self.max_lon:
+            raise TrajectoryError(f"degenerate bounding box: {self}")
+
+    @classmethod
+    def of_trail(cls, trail: Sequence[TrajectoryPoint], margin: float = 1e-9) -> "BoundingBox":
+        """Tight bounding box of a trail (tiny margin avoids edge cells)."""
+        if not trail:
+            raise TrajectoryError("empty trail")
+        lats = [p.lat for p in trail]
+        lons = [p.lon for p in trail]
+        return cls(
+            min_lat=min(lats) - margin,
+            max_lat=max(lats) + margin,
+            min_lon=min(lons) - margin,
+            max_lon=max(lons) + margin,
+        )
+
+    def to_cell(self, lat: float, lon: float, side: int) -> tuple[int, int]:
+        """Map a coordinate to integer grid-cell coordinates."""
+        fx = (lon - self.min_lon) / (self.max_lon - self.min_lon)
+        fy = (lat - self.min_lat) / (self.max_lat - self.min_lat)
+        x = min(side - 1, max(0, int(fx * side)))
+        y = min(side - 1, max(0, int(fy * side)))
+        return x, y
+
+
+def trail_to_series(
+    trail: Sequence[TrajectoryPoint],
+    *,
+    order: int = 8,
+    bbox: BoundingBox | None = None,
+) -> np.ndarray:
+    """Convert a GPS trail to a scalar series of Hilbert cell indices.
+
+    Parameters
+    ----------
+    trail:
+        GPS fixes; they are sorted by time before conversion.
+    order:
+        Hilbert-curve order (the paper uses 8: a 256 x 256 grid).
+    bbox:
+        Geographic extent of the grid; the trail's own bounding box by
+        default.
+
+    Returns
+    -------
+    numpy.ndarray
+        Float array of cell visit indices, one per fix, in time order.
+    """
+    if not trail:
+        raise TrajectoryError("empty trail")
+    ordered = sorted(trail, key=lambda p: p.time)
+    if bbox is None:
+        bbox = BoundingBox.of_trail(ordered)
+    side = 1 << order
+    series = np.empty(len(ordered), dtype=float)
+    for i, point in enumerate(ordered):
+        x, y = bbox.to_cell(point.lat, point.lon, side)
+        series[i] = float(hilbert_xy2d(order, x, y))
+    return series
+
+
+def series_index_to_trail_slice(
+    trail: Sequence[TrajectoryPoint], start: int, end: int
+) -> list[TrajectoryPoint]:
+    """Map a series interval back to the trail fixes it covers.
+
+    The conversion is one fix per series point, so this is a plain slice
+    of the time-ordered trail — provided as a named helper because the
+    mapping direction matters when presenting results (Figures 7–9 color
+    the discord's trail segment on the map).
+    """
+    ordered = sorted(trail, key=lambda p: p.time)
+    if not 0 <= start < end <= len(ordered):
+        raise TrajectoryError(
+            f"series interval [{start}, {end}) out of range for "
+            f"trail of {len(ordered)} fixes"
+        )
+    return ordered[start:end]

@@ -1,0 +1,99 @@
+"""The Hilbert space-filling curve (Hilbert 1891; paper Figure 6).
+
+An order-*k* Hilbert curve visits every cell of a 2^k x 2^k grid exactly
+once such that consecutive cells in the visit order are always
+edge-adjacent — the locality property the paper relies on when flattening
+trajectories ("points close in space are generally close in their
+Hilbert values").
+
+The conversions below are the classic iterative bit-twiddling algorithms
+(`xy2d` / `d2xy`), O(order) per point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+#: Largest supported curve order; 2^30 cells per side is far beyond any
+#: realistic trajectory resolution and keeps indices inside int64.
+MAX_ORDER = 30
+
+
+def _validate_order(order: int) -> int:
+    if not 1 <= order <= MAX_ORDER:
+        raise ParameterError(f"Hilbert order must be in [1, {MAX_ORDER}], got {order}")
+    return 1 << order  # grid side length
+
+
+def hilbert_xy2d(order: int, x: int, y: int) -> int:
+    """Cell coordinates -> position along the order-*order* curve.
+
+    Parameters
+    ----------
+    order:
+        Curve order k; the grid is 2^k x 2^k.
+    x, y:
+        Cell coordinates in [0, 2^k).
+
+    Returns
+    -------
+    int
+        Visit index d in [0, 4^k).
+    """
+    side = _validate_order(order)
+    if not (0 <= x < side and 0 <= y < side):
+        raise ParameterError(f"cell ({x}, {y}) outside {side}x{side} grid")
+    rx = ry = 0
+    d = 0
+    s = side // 2
+    while s > 0:
+        rx = 1 if (x & s) > 0 else 0
+        ry = 1 if (y & s) > 0 else 0
+        d += s * s * ((3 * rx) ^ ry)
+        x, y = _rotate(s, x, y, rx, ry)
+        s //= 2
+    return d
+
+
+def hilbert_d2xy(order: int, d: int) -> tuple[int, int]:
+    """Position along the curve -> cell coordinates (inverse of xy2d)."""
+    side = _validate_order(order)
+    if not 0 <= d < side * side:
+        raise ParameterError(f"index {d} outside order-{order} curve")
+    x = y = 0
+    t = d
+    s = 1
+    while s < side:
+        rx = 1 & (t // 2)
+        ry = 1 & (t ^ rx)
+        x, y = _rotate(s, x, y, rx, ry)
+        x += s * rx
+        y += s * ry
+        t //= 4
+        s *= 2
+    return x, y
+
+
+def _rotate(s: int, x: int, y: int, rx: int, ry: int) -> tuple[int, int]:
+    """Rotate/flip the quadrant so the sub-curve orientation is correct."""
+    if ry == 0:
+        if rx == 1:
+            x = s - 1 - x
+            y = s - 1 - y
+        x, y = y, x
+    return x, y
+
+
+def hilbert_curve_points(order: int) -> np.ndarray:
+    """All cells of the order-*order* curve in visit order, shape (4^k, 2).
+
+    ``hilbert_curve_points(1)`` is the paper's Figure 6 left panel:
+    ``[[0, 0], [0, 1], [1, 1], [1, 0]]``.
+    """
+    side = _validate_order(order)
+    points = np.empty((side * side, 2), dtype=np.int64)
+    for d in range(side * side):
+        points[d] = hilbert_d2xy(order, d)
+    return points

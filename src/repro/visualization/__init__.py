@@ -1,0 +1,41 @@
+"""Text-based visualization (stands in for the GrammarViz 2.0 GUI).
+
+The paper's Figures 11–12 are GUI screenshots showing (a) a ranked
+anomaly table, (b) a grammar-rule table, and (c) the series shaded by
+rule density.  This subpackage renders the same information as plain
+text: ASCII sparklines, a density-shaded strip, and aligned tables.
+"""
+
+from repro.visualization.ascii import (
+    density_strip,
+    marker_line,
+    render_panels,
+    sparkline,
+)
+from repro.visualization.report import (
+    anomaly_table,
+    grammar_report,
+    rule_table,
+)
+from repro.visualization.svg import (
+    FigurePlot,
+    SVGCanvas,
+    hilbert_plot,
+    scatter_plot,
+    trajectory_plot,
+)
+
+__all__ = [
+    "sparkline",
+    "density_strip",
+    "marker_line",
+    "render_panels",
+    "anomaly_table",
+    "rule_table",
+    "grammar_report",
+    "SVGCanvas",
+    "FigurePlot",
+    "scatter_plot",
+    "hilbert_plot",
+    "trajectory_plot",
+]

@@ -1,0 +1,102 @@
+"""Tests for repro.baselines.bitmap — the time-series-bitmap baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.bitmap import (
+    _bitmap_distance,
+    _subword_frequencies,
+    bitmap_anomalies,
+    bitmap_scores,
+)
+from repro.exceptions import ParameterError
+
+
+def _regime_change(length=2000, period=100, at=1200, seed=0):
+    """Sine that switches to double frequency at *at*."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    series = np.sin(2 * np.pi * t / period)
+    series[at:] = np.sin(2 * np.pi * 2 * np.arange(length - at) / period)
+    return series + rng.normal(0, 0.02, length)
+
+
+class TestSubwordFrequencies:
+    def test_counts(self):
+        counts = _subword_frequencies("abab", 2)
+        assert counts == {"ab": 2, "ba": 1}
+
+    def test_subword_equals_word(self):
+        assert _subword_frequencies("abc", 3) == {"abc": 1}
+
+
+class TestBitmapDistance:
+    def test_identical_maps_zero(self):
+        counts = _subword_frequencies("abcabc", 2)
+        assert _bitmap_distance(counts, counts) == 0.0
+
+    def test_disjoint_maps_positive(self):
+        a = _subword_frequencies("aaaa", 2)
+        b = _subword_frequencies("dddd", 2)
+        assert _bitmap_distance(a, b) > 1.0
+
+    def test_scale_invariant(self):
+        a = _subword_frequencies("abab", 2)
+        b = _subword_frequencies("abababab", 2)
+        # same distribution at different lengths -> near zero
+        assert _bitmap_distance(a, b) < 0.15
+
+
+class TestBitmapScores:
+    def test_peak_at_regime_change(self):
+        series = _regime_change()
+        scores = bitmap_scores(series, lag=200, lead=100, stride=4)
+        peak = int(np.argmax(scores))
+        assert 1100 <= peak <= 1350
+
+    def test_output_length(self):
+        series = _regime_change(length=800)
+        scores = bitmap_scores(series, lag=100, lead=50)
+        assert scores.size == 800
+
+    def test_quiet_on_stationary_series(self, rng):
+        t = np.arange(1500)
+        series = np.sin(2 * np.pi * t / 100) + rng.normal(0, 0.02, 1500)
+        scores = bitmap_scores(series, lag=200, lead=100, stride=4)
+        # stationary data: change scores stay small everywhere
+        assert scores.max() < 0.8
+
+    def test_parameter_validation(self):
+        series = _regime_change(length=500)
+        with pytest.raises(ParameterError):
+            bitmap_scores(series, lag=1, lead=100)
+        with pytest.raises(ParameterError):
+            bitmap_scores(series, lag=400, lead=200)  # longer than series
+        with pytest.raises(ParameterError):
+            bitmap_scores(series, lag=100, lead=50, subword_length=0)
+        with pytest.raises(ParameterError):
+            bitmap_scores(series, lag=100, lead=50, stride=0)
+
+
+class TestBitmapAnomalies:
+    def test_top_anomaly_is_the_change(self):
+        series = _regime_change()
+        anomalies = bitmap_anomalies(series, num_anomalies=2, lag=200, lead=100)
+        assert anomalies
+        best = anomalies[0]
+        assert best.start < 1350 and best.end > 1100
+        assert best.source == "bitmap"
+
+    def test_peaks_are_separated(self):
+        series = _regime_change()
+        anomalies = bitmap_anomalies(series, num_anomalies=3, lag=200, lead=100)
+        starts = [a.start for a in anomalies]
+        for i in range(len(starts)):
+            for j in range(i + 1, len(starts)):
+                assert abs(starts[i] - starts[j]) >= 100
+
+    def test_invalid_count(self):
+        with pytest.raises(ParameterError):
+            bitmap_anomalies(_regime_change(), num_anomalies=0)

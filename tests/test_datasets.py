@@ -1,0 +1,213 @@
+"""Tests for repro.datasets — generators, ground truth, registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    Dataset,
+    commute_trail,
+    dutch_power_demand_like,
+    ecg_qtdb_0606_like,
+    ecg_record_like,
+    get_row,
+    random_walk,
+    repeated_pattern,
+    respiration_like,
+    sine_with_anomaly,
+    synthetic_ecg,
+    table1_rows,
+    tek_like,
+    video_gun_like,
+)
+from repro.exceptions import DatasetError
+
+
+class TestDatasetContainer:
+    def test_anomaly_bounds_validated(self):
+        with pytest.raises(DatasetError):
+            Dataset(name="bad", series=np.zeros(10), anomalies=[(5, 15)])
+
+    def test_rejects_2d(self):
+        with pytest.raises(DatasetError):
+            Dataset(name="bad", series=np.zeros((3, 3)))
+
+    def test_contains_hit(self):
+        ds = Dataset(name="x", series=np.zeros(100), anomalies=[(40, 60)])
+        assert ds.contains_hit(45, 55)
+        assert ds.contains_hit(30, 50)  # 10/20 of the shorter = 0.5
+        assert not ds.contains_hit(0, 20)
+        assert not ds.contains_hit(58, 98, min_overlap=0.5)
+
+
+class TestGeneratorsDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: sine_with_anomaly(seed=1),
+            lambda: synthetic_ecg(seed=1),
+            lambda: dutch_power_demand_like(weeks=3, holiday_weeks=((1, 2),), seed=1),
+            lambda: video_gun_like(num_cycles=5, anomaly_cycles=(2,), seed=1),
+            lambda: tek_like("TEK14", num_cycles=9, seed=1),
+            lambda: respiration_like(length=2000, seed=1),
+            lambda: repeated_pattern(seed=1),
+        ],
+    )
+    def test_same_seed_same_series(self, factory):
+        a, b = factory(), factory()
+        np.testing.assert_array_equal(a.series, b.series)
+        assert a.anomalies == b.anomalies
+
+    def test_different_seed_different_series(self):
+        a = sine_with_anomaly(seed=1)
+        b = sine_with_anomaly(seed=2)
+        assert not np.array_equal(a.series, b.series)
+
+
+class TestSineWithAnomaly:
+    @pytest.mark.parametrize("kind", ["flip", "bump", "flat", "speedup"])
+    def test_kinds(self, kind):
+        ds = sine_with_anomaly(anomaly_kind=kind)
+        assert ds.anomalies == [(2000, 2120)]
+
+    def test_unknown_kind(self):
+        with pytest.raises(DatasetError):
+            sine_with_anomaly(anomaly_kind="wiggle")
+
+    def test_out_of_bounds_anomaly(self):
+        with pytest.raises(DatasetError):
+            sine_with_anomaly(length=100, anomaly_start=90, anomaly_length=20)
+
+
+class TestEcg:
+    def test_anomaly_intervals_cover_pvc_beats(self):
+        ds = synthetic_ecg(num_beats=10, anomaly_beats=(3, 7))
+        assert len(ds.anomalies) == 2
+        assert ds.anomalies[0][0] < ds.anomalies[1][0]
+
+    def test_qtdb_0606_scale(self):
+        ds = ecg_qtdb_0606_like()
+        assert 2000 <= ds.length <= 2600
+        assert ds.window == 120
+
+    def test_record_like_anomaly_count(self):
+        ds = ecg_record_like("300", length=6000, num_anomalies=3, seed=300)
+        assert len(ds.anomalies) == 3
+
+    def test_invalid_anomaly_beat(self):
+        with pytest.raises(DatasetError):
+            synthetic_ecg(num_beats=5, anomaly_beats=(9,))
+
+    def test_too_many_anomalies(self):
+        with pytest.raises(DatasetError):
+            ecg_record_like("x", length=1000, num_anomalies=50)
+
+
+class TestPower:
+    def test_week_structure(self):
+        ds = dutch_power_demand_like(weeks=4, holiday_weeks=((2, 1),))
+        assert ds.length == 4 * 7 * 96
+        assert len(ds.anomalies) == 1
+        # anomaly lies on the Tuesday of week 2
+        start, end = ds.anomalies[0]
+        assert start == (2 * 7 + 1) * 96
+        assert end - start == 96
+
+    def test_holiday_day_is_weekend_shaped(self):
+        ds = dutch_power_demand_like(weeks=4, holiday_weeks=((2, 1),), seed=5)
+        start, end = ds.anomalies[0]
+        holiday = ds.series[start:end]
+        weekday = ds.series[(2 * 7 + 0) * 96 : (2 * 7 + 1) * 96]
+        assert holiday.mean() < weekday.mean()  # low flat demand
+
+    def test_invalid_holiday(self):
+        with pytest.raises(DatasetError):
+            dutch_power_demand_like(weeks=4, holiday_weeks=((9, 0),))
+        with pytest.raises(DatasetError):
+            dutch_power_demand_like(weeks=4, holiday_weeks=((1, 6),))
+
+
+class TestVideoTelemetryRespiration:
+    def test_video_anomaly_inside_cycle(self):
+        ds = video_gun_like(num_cycles=8, anomaly_cycles=(4,))
+        (start, end), = ds.anomalies
+        assert 0 < start < end <= ds.length
+
+    def test_tek_variants_differ(self):
+        a = tek_like("TEK14").series
+        b = tek_like("TEK16").series
+        assert not np.array_equal(a, b)
+
+    def test_tek_unknown_variant(self):
+        with pytest.raises(DatasetError):
+            tek_like("TEK99")
+
+    def test_tek_num_cycles_too_small(self):
+        with pytest.raises(DatasetError):
+            tek_like("TEK16", num_cycles=5)
+
+    def test_respiration_lengths(self):
+        ds = respiration_like(length=4000)
+        assert ds.length == 4000
+        assert len(ds.anomalies) == 1
+
+
+class TestTrajectoryDataset:
+    def test_intervals_recorded(self):
+        trail = commute_trail(num_trips=6, detour_trip=3, gps_loss_trip=1)
+        assert trail.detour_interval[0] < trail.detour_interval[1]
+        assert trail.gps_loss_interval[0] < trail.gps_loss_interval[1]
+        assert trail.dataset.length == len(trail.trail)
+
+    def test_detour_equals_gps_trip_rejected(self):
+        with pytest.raises(DatasetError):
+            commute_trail(num_trips=6, detour_trip=2, gps_loss_trip=2)
+
+    def test_detour_trip_longer(self):
+        trail = commute_trail(num_trips=6, detour_trip=3, gps_loss_trip=1,
+                              points_per_leg=50)
+        # 5 normal trips x 4 legs + 1 detour trip x 6 legs
+        assert trail.dataset.length == (5 * 4 + 6) * 50
+
+
+class TestRandomWalkAndPattern:
+    def test_random_walk_no_ground_truth(self):
+        walk = random_walk(length=500)
+        assert walk.size == 500
+
+    def test_repeated_pattern_anomaly(self):
+        ds = repeated_pattern(repeats=10, anomaly_at=4)
+        (start, end), = ds.anomalies
+        assert start == 4 * 120
+
+
+class TestRegistry:
+    def test_fourteen_rows(self):
+        assert len(table1_rows()) == 14
+
+    def test_keys_unique(self):
+        keys = [r.key for r in table1_rows()]
+        assert len(set(keys)) == 14
+
+    def test_get_row(self):
+        row = get_row("ecg_qtdb_0606")
+        assert row.window == 120
+        assert row.paper.length == 2300
+
+    def test_get_row_unknown(self):
+        with pytest.raises(DatasetError):
+            get_row("nope")
+
+    def test_paper_numbers_consistent(self):
+        """RRA always beats HOTSAX in the published numbers."""
+        for row in table1_rows():
+            assert row.paper.rra_calls < row.paper.hotsax_calls
+            assert row.paper.hotsax_calls < row.paper.brute_force_calls
+
+    @pytest.mark.parametrize("row", table1_rows(), ids=lambda r: r.key)
+    def test_factories_produce_usable_datasets(self, row):
+        ds = row.factory()
+        assert ds.length >= 2 * row.window
+        assert ds.anomalies, f"{row.key} has no ground truth"
+        assert np.isfinite(ds.series).all()

@@ -1,0 +1,141 @@
+"""Tests for repro.discord (brute force + HOTSAX) and their agreement.
+
+The critical contract: HOTSAX is *exact* — it must return the same
+discord as brute force, only with fewer distance calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.discord.brute_force import (
+    brute_force_call_count,
+    brute_force_discord,
+    brute_force_discords,
+)
+from repro.discord.hotsax import hotsax_discord, hotsax_discords
+from repro.exceptions import DiscordSearchError
+from repro.timeseries.distance import DistanceCounter
+from repro.timeseries.windows import num_windows
+
+
+def _series_with_blip(length=400, period=40, blip_at=200, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    series = np.sin(2 * np.pi * t / period) + rng.normal(0, 0.02, length)
+    series[blip_at : blip_at + 30] += 2.0
+    return series
+
+
+class TestBruteForceCallCount:
+    def test_small_exact(self):
+        # m=10, n=3 -> k=8; enumerate by hand
+        m, n = 10, 3
+        k = num_windows(m, n)
+        expected = sum(
+            1 for p in range(k) for q in range(k) if abs(p - q) > n
+        )
+        assert brute_force_call_count(m, n) == expected
+
+    def test_zero_when_too_short(self):
+        assert brute_force_call_count(10, 10) == 0
+
+    def test_paper_scale_magnitude(self):
+        """Sanity: ECG300-scale count lands in the paper's ballpark."""
+        count = brute_force_call_count(536_976, 300)
+        assert 2.5e11 < count < 3.5e11  # paper reports 288 x 10^9
+
+    def test_matches_actual_run(self):
+        series = _series_with_blip(length=120)
+        counter = DistanceCounter()
+        brute_force_discord(series, 20, counter=counter, early_abandon=False)
+        assert counter.calls == brute_force_call_count(120, 20)
+
+
+class TestBruteForceDiscord:
+    def test_finds_planted_blip(self):
+        series = _series_with_blip()
+        discord, _ = brute_force_discord(series, 40)
+        assert 160 <= discord.start <= 235
+
+    def test_early_abandon_same_answer_fewer_calls(self):
+        series = _series_with_blip()
+        plain, c_plain = brute_force_discord(series, 40, early_abandon=False)
+        fast, c_fast = brute_force_discord(series, 40, early_abandon=True)
+        assert (plain.start, plain.end) == (fast.start, fast.end)
+        assert plain.nn_distance == pytest.approx(fast.nn_distance)
+        assert c_fast.calls <= c_plain.calls
+
+    def test_too_short_series(self):
+        with pytest.raises(DiscordSearchError):
+            brute_force_discord(np.zeros(10), 10)
+
+    def test_multi_discords_distinct(self):
+        series = _series_with_blip()
+        discords = brute_force_discords(series, 40, num_discords=2)
+        assert len(discords) == 2
+        assert abs(discords[0].start - discords[1].start) > 40
+
+    def test_fixed_length_output(self):
+        series = _series_with_blip()
+        discord, _ = brute_force_discord(series, 40)
+        assert discord.length == 40
+        assert discord.source == "brute_force"
+
+
+class TestHotsax:
+    def test_finds_planted_blip(self):
+        series = _series_with_blip()
+        discord, _ = hotsax_discord(series, 40)
+        assert 160 <= discord.start <= 235
+
+    def test_agrees_with_brute_force(self):
+        """HOTSAX is exact: same discord location and distance."""
+        for seed in range(4):
+            series = _series_with_blip(seed=seed, blip_at=80 + 40 * seed)
+            brute, _ = brute_force_discord(series, 32)
+            hot, _ = hotsax_discord(series, 32)
+            assert (hot.start, hot.end) == (brute.start, brute.end), f"seed {seed}"
+            assert hot.nn_distance == pytest.approx(brute.nn_distance)
+
+    def test_fewer_calls_than_brute_force(self):
+        series = _series_with_blip(length=600)
+        _, hot_counter = hotsax_discord(series, 40)
+        full = brute_force_call_count(600, 40)
+        assert hot_counter.calls < full / 3
+
+    def test_multi_discords(self):
+        series = _series_with_blip()
+        result = hotsax_discords(series, 40, num_discords=2)
+        assert len(result.discords) == 2
+        assert result.distance_calls > 0
+        assert abs(result.discords[0].start - result.discords[1].start) > 40
+
+    def test_ranked_scores_non_increasing(self):
+        series = _series_with_blip()
+        result = hotsax_discords(series, 40, num_discords=3)
+        scores = [d.nn_distance for d in result.discords]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_too_short_series(self):
+        with pytest.raises(DiscordSearchError):
+            hotsax_discord(np.zeros(5), 10)
+
+    def test_invalid_num_discords(self):
+        with pytest.raises(DiscordSearchError):
+            hotsax_discords(np.zeros(100), 10, num_discords=0)
+
+    def test_deterministic_given_seed(self):
+        series = _series_with_blip()
+        a, ca = hotsax_discord(series, 40, rng=np.random.default_rng(5))
+        b, cb = hotsax_discord(series, 40, rng=np.random.default_rng(5))
+        assert (a.start, a.nn_distance) == (b.start, b.nn_distance)
+        assert ca.calls == cb.calls
+
+    def test_sax_parameters_change_calls_not_result(self):
+        series = _series_with_blip()
+        d1, c1 = hotsax_discord(series, 40, paa_size=3, alphabet_size=3)
+        d2, c2 = hotsax_discord(series, 40, paa_size=6, alphabet_size=5)
+        assert (d1.start, d1.end) == (d2.start, d2.end)
+        assert d1.nn_distance == pytest.approx(d2.nn_distance)

@@ -1,0 +1,152 @@
+"""Tests for repro.sax.discretize (sliding-window SAX + numerosity reduction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DiscretizationError, ParameterError
+from repro.sax.discretize import (
+    Discretization,
+    NumerosityReduction,
+    SAXWord,
+    discretize,
+)
+from repro.sax.sax import sax_word
+
+
+def _sine(length=600, period=60, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    return np.sin(2 * np.pi * t / period) + rng.normal(0.0, noise, length)
+
+
+class TestDiscretize:
+    def test_word_count_matches_windows_without_reduction(self):
+        series = _sine(300)
+        disc = discretize(series, 50, 4, 4, strategy=NumerosityReduction.NONE)
+        assert len(disc) == 300 - 50 + 1
+        assert disc.raw_word_count == len(disc)
+
+    def test_offsets_strictly_increasing(self):
+        disc = discretize(_sine(), 60, 5, 4)
+        offsets = disc.offsets
+        assert (np.diff(offsets) > 0).all()
+
+    def test_words_match_direct_sax(self):
+        series = _sine(200, noise=0.05)
+        disc = discretize(series, 40, 4, 3, strategy=NumerosityReduction.NONE)
+        for sax in disc.words[:20]:
+            direct = sax_word(series[sax.offset : sax.offset + 40], 4, 3)
+            assert sax.word == direct
+
+    def test_exact_reduction_removes_consecutive_duplicates(self):
+        disc = discretize(_sine(), 60, 4, 4, strategy=NumerosityReduction.EXACT)
+        for a, b in zip(disc.words, disc.words[1:]):
+            assert a.word != b.word
+
+    def test_exact_reduction_keeps_first_occurrence(self):
+        series = _sine(300)
+        none = discretize(series, 50, 4, 4, strategy=NumerosityReduction.NONE)
+        exact = discretize(series, 50, 4, 4, strategy=NumerosityReduction.EXACT)
+        raw_words = [w.word for w in none.words]
+        for sax in exact.words:
+            assert raw_words[sax.offset] == sax.word
+            if sax.offset > 0:
+                assert raw_words[sax.offset - 1] != sax.word
+
+    def test_mindist_reduction_at_least_as_aggressive(self):
+        series = _sine(noise=0.05, seed=3)
+        exact = discretize(series, 60, 5, 6, strategy=NumerosityReduction.EXACT)
+        mind = discretize(series, 60, 5, 6, strategy=NumerosityReduction.MINDIST)
+        assert len(mind) <= len(exact)
+
+    def test_reduction_ratio(self):
+        series = _sine()
+        disc = discretize(series, 60, 4, 4)
+        assert 0.0 < disc.reduction_ratio() < 1.0
+        none = discretize(series, 60, 4, 4, strategy=NumerosityReduction.NONE)
+        assert none.reduction_ratio() == 0.0
+
+    def test_series_too_short(self):
+        with pytest.raises(DiscretizationError):
+            discretize(np.arange(10.0), 20, 4, 4)
+
+    def test_bad_paa(self):
+        with pytest.raises(ParameterError):
+            discretize(_sine(), 50, 60, 4)
+
+    def test_bad_window(self):
+        with pytest.raises(ParameterError):
+            discretize(_sine(), 1, 1, 4)
+
+    def test_bad_alphabet(self):
+        with pytest.raises(ParameterError):
+            discretize(_sine(), 50, 4, 1)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ParameterError):
+            discretize(np.zeros((10, 10)), 4, 2, 3)
+
+    def test_constant_series_single_word(self):
+        disc = discretize(np.full(100, 5.0), 20, 4, 4)
+        assert len(disc) == 1
+        assert disc.words[0].offset == 0
+
+    @given(
+        st.integers(0, 10_000),
+        st.integers(10, 40),
+        st.integers(2, 6),
+        st.integers(3, 6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_tokens_cover_series(self, seed, window, paa, alpha):
+        """First word starts at 0; every offset is a valid window start."""
+        series = _sine(200, period=37, noise=0.1, seed=seed)
+        disc = discretize(series, window, paa, alpha)
+        assert disc.words[0].offset == 0
+        assert all(0 <= w.offset <= 200 - window for w in disc.words)
+
+
+class TestSpanToInterval:
+    def test_single_token(self):
+        disc = discretize(_sine(300), 50, 4, 4)
+        start, end = disc.span_to_interval(0, 0)
+        assert start == 0
+        assert end == 50
+
+    def test_full_span_clipped_to_series(self):
+        disc = discretize(_sine(300), 50, 4, 4)
+        last = len(disc) - 1
+        start, end = disc.span_to_interval(0, last)
+        assert start == 0
+        assert end <= 300
+
+    def test_interval_contains_all_spanned_windows(self):
+        disc = discretize(_sine(300), 50, 4, 4)
+        if len(disc) >= 3:
+            start, end = disc.span_to_interval(1, 2)
+            assert start == disc.words[1].offset
+            assert end >= disc.words[2].offset + 1
+
+    def test_out_of_range(self):
+        disc = discretize(_sine(300), 50, 4, 4)
+        with pytest.raises(ParameterError):
+            disc.span_to_interval(0, len(disc))
+        with pytest.raises(ParameterError):
+            disc.span_to_interval(-1, 0)
+        with pytest.raises(ParameterError):
+            disc.span_to_interval(2, 1)
+
+
+class TestSAXWordType:
+    def test_frozen(self):
+        word = SAXWord("abc", 3)
+        with pytest.raises(AttributeError):
+            word.word = "xyz"
+
+    def test_tokens_helper(self):
+        disc = discretize(_sine(300), 50, 4, 4)
+        assert disc.tokens() == [w.word for w in disc.words]

@@ -1,0 +1,40 @@
+"""Run the library's docstring examples as doctests.
+
+Every ``>>>`` example in a public docstring is executable documentation;
+this module guards it against drift.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro
+import repro.baselines.viztree
+import repro.core.pipeline
+import repro.streaming.detector
+import repro.streaming.online_sax
+import repro.streaming.online_sequitur
+import repro.streaming.window_stats
+import repro.timeseries.znorm
+import repro.visualization.ascii
+
+MODULES = [
+    repro,
+    repro.core.pipeline,
+    repro.streaming.detector,
+    repro.streaming.online_sax,
+    repro.streaming.online_sequitur,
+    repro.streaming.window_stats,
+    repro.baselines.viztree,
+    repro.visualization.ascii,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False, optionflags=doctest.ELLIPSIS)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    # modules listed here are expected to actually contain examples
+    assert results.attempted > 0, f"{module.__name__} has no doctests"

@@ -1,0 +1,127 @@
+"""Tests for repro.evaluation — interval detection metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import (
+    DetectionScores,
+    detection_delays,
+    interval_overlap,
+    is_hit,
+    overlap_fraction,
+    score_detections,
+)
+from repro.exceptions import ParameterError
+
+intervals = st.tuples(st.integers(0, 500), st.integers(1, 100)).map(
+    lambda t: (t[0], t[0] + t[1])
+)
+
+
+class TestOverlap:
+    def test_disjoint(self):
+        assert interval_overlap((0, 10), (10, 20)) == 0
+
+    def test_nested(self):
+        assert interval_overlap((0, 100), (40, 60)) == 20
+
+    def test_partial(self):
+        assert interval_overlap((0, 10), (5, 15)) == 5
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ParameterError):
+            interval_overlap((5, 5), (0, 10))
+
+    @given(intervals, intervals)
+    @settings(max_examples=80, deadline=None)
+    def test_property_symmetric(self, a, b):
+        assert interval_overlap(a, b) == interval_overlap(b, a)
+
+    @given(intervals, intervals)
+    @settings(max_examples=80, deadline=None)
+    def test_property_bounded_by_shorter(self, a, b):
+        shorter = min(a[1] - a[0], b[1] - b[0])
+        assert 0 <= interval_overlap(a, b) <= shorter
+        assert 0.0 <= overlap_fraction(a, b) <= 1.0
+
+
+class TestIsHit:
+    def test_contained_short_detection_hits(self):
+        assert is_hit((45, 55), (0, 100))
+
+    def test_contained_short_truth_hits(self):
+        assert is_hit((0, 100), (45, 55))
+
+    def test_threshold(self):
+        # overlap 5, shorter 10 -> fraction 0.5
+        assert is_hit((0, 10), (5, 15), min_overlap=0.5)
+        assert not is_hit((0, 10), (6, 16), min_overlap=0.5)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ParameterError):
+            is_hit((0, 10), (0, 10), min_overlap=0.0)
+
+
+class TestScoreDetections:
+    def test_perfect(self):
+        scores = score_detections([(0, 10), (50, 60)], [(0, 10), (50, 60)])
+        assert scores.true_positives == 2
+        assert scores.false_positives == 0
+        assert scores.false_negatives == 0
+        assert scores.precision == scores.recall == scores.f1 == 1.0
+
+    def test_miss_and_false_alarm(self):
+        scores = score_detections([(200, 210)], [(0, 10)])
+        assert scores.true_positives == 0
+        assert scores.false_positives == 1
+        assert scores.false_negatives == 1
+        assert scores.f1 == 0.0
+
+    def test_multiple_detections_one_event(self):
+        """Two detections inside one long event: recall full, no FP."""
+        scores = score_detections([(10, 20), (30, 40)], [(0, 100)])
+        assert scores.true_positives == 1
+        assert scores.false_positives == 0
+        assert scores.recall == 1.0
+
+    def test_one_detection_two_events(self):
+        scores = score_detections([(0, 100)], [(10, 20), (60, 70)])
+        assert scores.true_positives == 2
+        assert scores.false_negatives == 0
+
+    def test_empty_cases(self):
+        assert score_detections([], []).f1 == 0.0
+        assert score_detections([], [(0, 5)]).false_negatives == 1
+        assert score_detections([(0, 5)], []).false_positives == 1
+
+    @given(
+        st.lists(intervals, max_size=8),
+        st.lists(intervals, max_size=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_counts_consistent(self, found, truth):
+        scores = score_detections(found, truth)
+        assert scores.true_positives + scores.false_negatives == len(truth)
+        assert scores.false_positives <= len(found)
+        assert 0.0 <= scores.precision <= 1.0
+        assert 0.0 <= scores.recall <= 1.0
+        assert 0.0 <= scores.f1 <= 1.0
+
+
+class TestDetectionDelays:
+    def test_earliest_alarm_wins(self):
+        alarms = [((100, 150), 400), ((100, 150), 250)]
+        delays = detection_delays(alarms, [(100, 160)])
+        assert delays == [150]  # 250 - 100
+
+    def test_unrecovered_event_skipped(self):
+        delays = detection_delays([((0, 10), 50)], [(500, 600)])
+        assert delays == []
+
+    def test_multiple_events(self):
+        alarms = [((100, 150), 200), ((500, 560), 700)]
+        delays = detection_delays(alarms, [(100, 160), (500, 570)])
+        assert delays == [100, 200]

@@ -1,0 +1,124 @@
+"""Tests for repro.grammar.grammar (the data model itself)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GrammarError
+from repro.grammar.grammar import (
+    Grammar,
+    GrammarRule,
+    RuleOccurrence,
+    START_RULE_ID,
+    compute_levels,
+)
+from repro.grammar.sequitur import induce_grammar
+
+
+def _toy_grammar() -> Grammar:
+    """R0 -> R1 x R1 ; R1 -> a b  over input 'a b x a b'."""
+    tokens = ["a", "b", "x", "a", "b"]
+    rules = {
+        0: GrammarRule(rule_id=0, rhs=[1, "x", 1], expansion=list(tokens),
+                       occurrences=[RuleOccurrence(0, 4)]),
+        1: GrammarRule(rule_id=1, rhs=["a", "b"], expansion=["a", "b"],
+                       occurrences=[RuleOccurrence(0, 1), RuleOccurrence(3, 4)]),
+    }
+    compute_levels(rules)
+    return Grammar(tokens=tokens, rules=rules)
+
+
+class TestRuleOccurrence:
+    def test_token_length(self):
+        assert RuleOccurrence(2, 5).token_length == 4
+
+    def test_rejects_malformed(self):
+        with pytest.raises(GrammarError):
+            RuleOccurrence(3, 2)
+        with pytest.raises(GrammarError):
+            RuleOccurrence(-1, 2)
+
+
+class TestGrammarRule:
+    def test_name(self):
+        assert GrammarRule(rule_id=7, rhs=[]).name == "R7"
+
+    def test_usage(self):
+        rule = _toy_grammar().rules[1]
+        assert rule.usage == 2
+
+    def test_displays(self):
+        rule = _toy_grammar().rules[0]
+        assert rule.rhs_display() == "R1 x R1"
+        assert rule.expansion_display() == "a b x a b"
+
+
+class TestGrammar:
+    def test_verify_ok(self):
+        _toy_grammar().verify()
+
+    def test_grammar_size(self):
+        assert _toy_grammar().grammar_size() == 5  # 3 + 2
+
+    def test_compression_ratio(self):
+        assert _toy_grammar().compression_ratio() == pytest.approx(1.0)
+
+    def test_expand_rule(self):
+        grammar = _toy_grammar()
+        assert grammar.expand_rule(1) == ["a", "b"]
+        with pytest.raises(GrammarError):
+            grammar.expand_rule(99)
+
+    def test_iteration_order(self):
+        ids = [r.rule_id for r in _toy_grammar()]
+        assert ids == sorted(ids)
+
+    def test_rules_by_usage(self):
+        grammar = induce_grammar(list("ababcdcdcdcd"))
+        usages = [r.usage for r in grammar.rules_by_usage()]
+        assert usages == sorted(usages)
+
+    def test_verify_catches_dangling_reference(self):
+        grammar = _toy_grammar()
+        grammar.rules[0].rhs = [1, "x", 2]
+        with pytest.raises(GrammarError):
+            grammar.verify()
+
+    def test_verify_catches_unused_rule(self):
+        grammar = _toy_grammar()
+        grammar.rules[2] = GrammarRule(rule_id=2, rhs=["q"], expansion=["q"])
+        with pytest.raises(GrammarError):
+            grammar.verify()
+
+    def test_verify_catches_occurrence_mismatch(self):
+        grammar = _toy_grammar()
+        grammar.rules[1].occurrences.append(RuleOccurrence(1, 2))
+        with pytest.raises(GrammarError):
+            grammar.verify()
+
+    def test_verify_catches_out_of_range_occurrence(self):
+        grammar = _toy_grammar()
+        grammar.rules[1].occurrences.append(RuleOccurrence(4, 5))
+        with pytest.raises(GrammarError):
+            grammar.verify()
+
+
+class TestComputeLevels:
+    def test_toy_levels(self):
+        grammar = _toy_grammar()
+        assert grammar.rules[1].level == 1
+        assert grammar.rules[0].level == 2
+
+    def test_deep_hierarchy(self):
+        grammar = induce_grammar(list("abcabc" * 8))
+        levels = {r.rule_id: r.level for r in grammar}
+        assert levels[START_RULE_ID] == max(levels.values())
+
+    def test_detects_cycles(self):
+        rules = {
+            0: GrammarRule(rule_id=0, rhs=[1]),
+            1: GrammarRule(rule_id=1, rhs=[2]),
+            2: GrammarRule(rule_id=2, rhs=[1]),
+        }
+        with pytest.raises(GrammarError):
+            compute_levels(rules)

@@ -1,0 +1,94 @@
+"""Tests for repro.trajectory.hilbert — the Hilbert space-filling curve."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.trajectory.hilbert import (
+    hilbert_curve_points,
+    hilbert_d2xy,
+    hilbert_xy2d,
+)
+
+
+class TestFirstOrder:
+    def test_paper_figure6_left_panel(self):
+        """Order-1 curve visits the 4 quadrants in the canonical order."""
+        points = hilbert_curve_points(1)
+        np.testing.assert_array_equal(points, [[0, 0], [0, 1], [1, 1], [1, 0]])
+
+
+class TestRoundTrip:
+    @given(st.integers(1, 8), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_property_d2xy_xy2d_roundtrip(self, order, data):
+        side = 1 << order
+        d = data.draw(st.integers(0, side * side - 1))
+        x, y = hilbert_d2xy(order, d)
+        assert hilbert_xy2d(order, x, y) == d
+
+    @given(st.integers(1, 8), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_property_xy2d_d2xy_roundtrip(self, order, data):
+        side = 1 << order
+        x = data.draw(st.integers(0, side - 1))
+        y = data.draw(st.integers(0, side - 1))
+        d = hilbert_xy2d(order, x, y)
+        assert hilbert_d2xy(order, d) == (x, y)
+
+
+class TestBijection:
+    @pytest.mark.parametrize("order", [1, 2, 3, 4])
+    def test_visits_every_cell_once(self, order):
+        points = hilbert_curve_points(order)
+        seen = {tuple(p) for p in points}
+        side = 1 << order
+        assert len(seen) == side * side
+
+
+class TestLocality:
+    @pytest.mark.parametrize("order", [1, 2, 3, 4, 5])
+    def test_consecutive_cells_edge_adjacent(self, order):
+        """The defining Hilbert property: consecutive cells share an edge."""
+        points = hilbert_curve_points(order)
+        diffs = np.abs(np.diff(points, axis=0)).sum(axis=1)
+        assert (diffs == 1).all()
+
+    def test_spatial_locality_preserved_on_average(self):
+        """Nearby cells have nearby indices much more often than not."""
+        order = 5
+        side = 1 << order
+        rng = np.random.default_rng(0)
+        index_gaps = []
+        for _ in range(300):
+            x = int(rng.integers(0, side - 1))
+            y = int(rng.integers(0, side))
+            d1 = hilbert_xy2d(order, x, y)
+            d2 = hilbert_xy2d(order, x + 1, y)
+            index_gaps.append(abs(d1 - d2))
+        # median index gap for adjacent cells is tiny relative to 4^order
+        assert np.median(index_gaps) <= side
+
+
+class TestValidation:
+    def test_bad_order(self):
+        with pytest.raises(ParameterError):
+            hilbert_xy2d(0, 0, 0)
+        with pytest.raises(ParameterError):
+            hilbert_d2xy(31, 0)
+
+    def test_out_of_grid(self):
+        with pytest.raises(ParameterError):
+            hilbert_xy2d(2, 4, 0)
+        with pytest.raises(ParameterError):
+            hilbert_xy2d(2, 0, -1)
+
+    def test_out_of_curve(self):
+        with pytest.raises(ParameterError):
+            hilbert_d2xy(2, 16)
+        with pytest.raises(ParameterError):
+            hilbert_d2xy(2, -1)

@@ -1,0 +1,178 @@
+"""Tests for repro.grammar.intervals (rule -> series interval mapping)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grammar.intervals import (
+    RuleInterval,
+    rule_intervals,
+    uncovered_intervals,
+    zero_coverage_gaps,
+)
+from repro.grammar.sequitur import induce_grammar
+from repro.sax.discretize import discretize
+
+
+def _pipeline(series, window=40, paa=4, alpha=4):
+    disc = discretize(np.asarray(series, dtype=float), window, paa, alpha)
+    grammar = induce_grammar(disc.tokens())
+    return disc, grammar
+
+
+def _periodic_with_blip(length=800, period=50, blip_at=400, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    series = np.sin(2 * np.pi * t / period) + rng.normal(0, 0.02, length)
+    series[blip_at : blip_at + 60] += 2.5
+    return series
+
+
+class TestRuleInterval:
+    def test_length(self):
+        assert RuleInterval(1, 10, 25, usage=2).length == 15
+
+    def test_overlaps(self):
+        a = RuleInterval(1, 0, 10, usage=1)
+        assert a.overlaps(RuleInterval(2, 5, 15, usage=1))
+        assert not a.overlaps(RuleInterval(2, 10, 20, usage=1))
+
+    def test_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            RuleInterval(1, 5, 5, usage=0)
+        with pytest.raises(ValueError):
+            RuleInterval(1, -1, 5, usage=0)
+
+
+class TestRuleIntervals:
+    def test_every_occurrence_produces_interval(self):
+        disc, grammar = _pipeline(_periodic_with_blip())
+        intervals = rule_intervals(grammar, disc)
+        expected = sum(r.usage for r in grammar.non_start_rules())
+        assert len(intervals) == expected
+
+    def test_start_rule_excluded_by_default(self):
+        disc, grammar = _pipeline(_periodic_with_blip())
+        intervals = rule_intervals(grammar, disc)
+        assert all(iv.rule_id != 0 for iv in intervals)
+
+    def test_start_rule_included_on_request(self):
+        disc, grammar = _pipeline(_periodic_with_blip())
+        intervals = rule_intervals(grammar, disc, include_start_rule=True)
+        r0 = [iv for iv in intervals if iv.rule_id == 0]
+        assert len(r0) == 1
+        assert r0[0].start == 0
+        assert r0[0].end == disc.series_length
+
+    def test_intervals_inside_series(self):
+        disc, grammar = _pipeline(_periodic_with_blip())
+        for iv in rule_intervals(grammar, disc):
+            assert 0 <= iv.start < iv.end <= disc.series_length
+
+    def test_interval_at_least_window_long(self):
+        disc, grammar = _pipeline(_periodic_with_blip())
+        # each interval covers at least its last token's full window
+        # (unless clipped by the series end)
+        for iv in rule_intervals(grammar, disc):
+            assert iv.length >= min(disc.window, disc.series_length - iv.start)
+
+    def test_sorted_by_position(self):
+        disc, grammar = _pipeline(_periodic_with_blip())
+        intervals = rule_intervals(grammar, disc)
+        keys = [(iv.start, iv.end, iv.rule_id) for iv in intervals]
+        assert keys == sorted(keys)
+
+    def test_usage_matches_rule(self):
+        disc, grammar = _pipeline(_periodic_with_blip())
+        for iv in rule_intervals(grammar, disc):
+            assert iv.usage == grammar.rules[iv.rule_id].usage
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_intervals_well_formed(self, seed):
+        series = _periodic_with_blip(seed=seed)
+        disc, grammar = _pipeline(series)
+        for iv in rule_intervals(grammar, disc):
+            assert 0 <= iv.start < iv.end <= series.size
+            assert iv.usage >= 2
+
+
+class TestUncoveredIntervals:
+    def test_anomaly_region_is_uncovered(self):
+        """The planted blip's tokens form no rule -> a gap covers it."""
+        series = _periodic_with_blip()
+        disc, grammar = _pipeline(series)
+        gaps = uncovered_intervals(grammar, disc)
+        assert any(gap.start < 460 and 400 < gap.end for gap in gaps)
+
+    def test_gap_usage_zero_and_tagged(self):
+        disc, grammar = _pipeline(_periodic_with_blip())
+        for gap in uncovered_intervals(grammar, disc):
+            assert gap.usage == 0
+            assert gap.rule_id == -1
+
+    def test_gaps_match_terminal_runs_in_r0(self):
+        disc, grammar = _pipeline(_periodic_with_blip())
+        gaps = uncovered_intervals(grammar, disc)
+        terminal_runs = 0
+        in_run = False
+        for item in grammar.start_rule.rhs:
+            if isinstance(item, str):
+                if not in_run:
+                    terminal_runs += 1
+                    in_run = True
+            else:
+                in_run = False
+        assert len(gaps) == terminal_runs
+
+    def test_fully_compressed_input_has_no_gaps(self):
+        # perfectly periodic, noiseless series: R0 should be all rules
+        t = np.arange(640)
+        series = np.sin(2 * np.pi * t / 40)
+        disc, grammar = _pipeline(series, window=40)
+        gaps = uncovered_intervals(grammar, disc)
+        # tolerate tiny head/tail runs, but the bulk must be covered
+        uncovered_points = sum(g.length for g in gaps)
+        assert uncovered_points < 0.2 * series.size
+
+
+class TestZeroCoverageGaps:
+    def test_empty_intervals_whole_series_gap(self):
+        gaps = zero_coverage_gaps([], 100)
+        assert len(gaps) == 1
+        assert (gaps[0].start, gaps[0].end) == (0, 100)
+
+    def test_full_coverage_no_gaps(self):
+        intervals = [RuleInterval(1, 0, 100, usage=2)]
+        assert zero_coverage_gaps(intervals, 100) == []
+
+    def test_gap_between_intervals(self):
+        intervals = [
+            RuleInterval(1, 0, 40, usage=2),
+            RuleInterval(2, 60, 100, usage=2),
+        ]
+        gaps = zero_coverage_gaps(intervals, 100)
+        assert [(g.start, g.end) for g in gaps] == [(40, 60)]
+
+    def test_min_length_filter(self):
+        intervals = [
+            RuleInterval(1, 0, 50, usage=2),
+            RuleInterval(2, 51, 100, usage=2),
+        ]
+        assert zero_coverage_gaps(intervals, 100, min_length=2) == []
+        gaps = zero_coverage_gaps(intervals, 100, min_length=1)
+        assert [(g.start, g.end) for g in gaps] == [(50, 51)]
+
+    def test_consistent_with_density_zero(self):
+        from repro.core.rule_density import rule_density_curve
+
+        series = _periodic_with_blip()
+        disc, grammar = _pipeline(series)
+        intervals = rule_intervals(grammar, disc)
+        gaps = zero_coverage_gaps(intervals, series.size, min_length=1)
+        curve = rule_density_curve(intervals, series.size)
+        for gap in gaps:
+            assert (curve[gap.start : gap.end] == 0).all()

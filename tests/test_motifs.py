@@ -1,0 +1,111 @@
+"""Tests for repro.core.motifs — variable-length motif discovery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.motifs import Motif, find_motifs, motif_cover_fraction
+from repro.core.pipeline import GrammarAnomalyDetector
+from repro.datasets import ecg_qtdb_0606_like, repeated_pattern
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture(scope="module")
+def fitted_ecg():
+    dataset = ecg_qtdb_0606_like()
+    detector = GrammarAnomalyDetector(
+        dataset.window, dataset.paa_size, dataset.alphabet_size
+    )
+    result = detector.fit(dataset.series)
+    return dataset, result
+
+
+class TestFindMotifs:
+    def test_motifs_exist_on_periodic_data(self, fitted_ecg):
+        _, result = fitted_ecg
+        motifs = find_motifs(result.grammar, result.discretization)
+        assert motifs
+        assert all(m.frequency >= 2 for m in motifs)
+
+    def test_sorted_by_frequency(self, fitted_ecg):
+        _, result = fitted_ecg
+        motifs = find_motifs(result.grammar, result.discretization)
+        freqs = [m.frequency for m in motifs]
+        assert freqs == sorted(freqs, reverse=True)
+        assert [m.rank for m in motifs] == list(range(len(motifs)))
+
+    def test_top_motif_is_the_heartbeat(self, fitted_ecg):
+        """The most frequent motif recurs on the order of the beat count
+        and spans roughly a beat length."""
+        dataset, result = fitted_ecg
+        top = find_motifs(result.grammar, result.discretization, top_k=1)[0]
+        beats = dataset.length // 115
+        assert top.frequency >= beats // 2
+        lo, hi = top.length_range
+        assert lo >= 60  # at least half a beat
+
+    def test_variable_lengths(self, fitted_ecg):
+        _, result = fitted_ecg
+        motifs = find_motifs(result.grammar, result.discretization, top_k=5)
+        assert any(m.length_range[0] != m.length_range[1] for m in motifs)
+
+    def test_min_length_filter(self, fitted_ecg):
+        _, result = fitted_ecg
+        all_motifs = find_motifs(result.grammar, result.discretization)
+        long_only = find_motifs(
+            result.grammar, result.discretization, min_length=200
+        )
+        assert len(long_only) <= len(all_motifs)
+        assert all(m.mean_length >= 200 for m in long_only)
+
+    def test_top_k(self, fitted_ecg):
+        _, result = fitted_ecg
+        assert len(find_motifs(result.grammar, result.discretization, top_k=3)) <= 3
+
+    def test_invalid_min_occurrences(self, fitted_ecg):
+        _, result = fitted_ecg
+        with pytest.raises(ParameterError):
+            find_motifs(result.grammar, result.discretization, min_occurrences=1)
+
+    def test_motif_avoids_the_anomaly(self):
+        """On the sawtooth data, the top motif's occurrences skip the
+        time-reversed repetition."""
+        dataset = repeated_pattern(repeats=20, anomaly_at=10, seed=3)
+        detector = GrammarAnomalyDetector(
+            dataset.window, dataset.paa_size, dataset.alphabet_size
+        )
+        result = detector.fit(dataset.series)
+        top = find_motifs(result.grammar, result.discretization, top_k=1)[0]
+        (a0, a1), = dataset.anomalies
+        fully_inside = [
+            (s, e) for s, e in top.occurrences if s >= a0 and e <= a1
+        ]
+        assert not fully_inside, "top motif claims the anomalous repetition"
+
+
+class TestMotifType:
+    def test_properties(self):
+        motif = Motif(rule_id=3, occurrences=((0, 10), (20, 34)), level=2)
+        assert motif.frequency == 2
+        assert motif.mean_length == pytest.approx(12.0)
+        assert motif.length_range == (10, 14)
+
+
+class TestCoverFraction:
+    def test_full_cover(self):
+        motifs = [Motif(rule_id=1, occurrences=((0, 50), (50, 100)), level=1)]
+        assert motif_cover_fraction(motifs, 100) == 1.0
+
+    def test_partial_cover(self):
+        motifs = [Motif(rule_id=1, occurrences=((0, 25),), level=1)]
+        assert motif_cover_fraction(motifs, 100) == pytest.approx(0.25)
+
+    def test_invalid_length(self):
+        with pytest.raises(ParameterError):
+            motif_cover_fraction([], 0)
+
+    def test_high_cover_on_periodic_data(self, fitted_ecg):
+        dataset, result = fitted_ecg
+        motifs = find_motifs(result.grammar, result.discretization)
+        assert motif_cover_fraction(motifs, dataset.length) > 0.8

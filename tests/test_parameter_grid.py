@@ -1,0 +1,101 @@
+"""Tests for repro.core.parameter_grid (the Figure 10 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parameter_grid import (
+    GridPoint,
+    ParameterGridStudy,
+    _hit,
+    _paa_reconstruct,
+    approximation_distance,
+)
+from repro.datasets import sine_with_anomaly
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture(scope="module")
+def bump():
+    return sine_with_anomaly(
+        length=1500, period=100, anomaly_start=700, anomaly_length=90,
+        anomaly_kind="bump", noise=0.03, seed=11,
+    )
+
+
+class TestApproximationDistance:
+    def test_finer_paa_smaller_error(self, bump):
+        coarse = approximation_distance(bump.series, 100, 3, sample_stride=25)
+        fine = approximation_distance(bump.series, 100, 20, sample_stride=25)
+        assert fine < coarse
+
+    def test_identity_paa_zero_error(self, bump):
+        # w == n reconstructs exactly
+        err = approximation_distance(bump.series, 50, 50, sample_stride=50)
+        assert err == pytest.approx(0.0, abs=1e-9)
+
+    def test_invalid_stride(self, bump):
+        with pytest.raises(ParameterError):
+            approximation_distance(bump.series, 50, 5, sample_stride=0)
+
+    def test_series_too_short(self):
+        with pytest.raises(ParameterError):
+            approximation_distance(np.zeros(10), 20, 4)
+
+
+class TestPaaReconstruct:
+    def test_divisible(self):
+        means = np.array([1.0, 2.0])
+        np.testing.assert_array_equal(
+            _paa_reconstruct(means, 4), [1.0, 1.0, 2.0, 2.0]
+        )
+
+    def test_non_divisible_lengths(self):
+        out = _paa_reconstruct(np.array([1.0, 2.0, 3.0]), 7)
+        assert out.size == 7
+        assert out[0] == 1.0 and out[-1] == 3.0
+
+
+class TestHitHelper:
+    def test_overlap_relative_to_shorter(self):
+        # short found interval fully inside long truth counts as a hit
+        assert _hit([(100, 110)], 50, 300, 0.5)
+        assert not _hit([(0, 40)], 50, 300, 0.5)
+
+
+class TestStudy:
+    def test_invalid_truth(self, bump):
+        with pytest.raises(ParameterError):
+            ParameterGridStudy(bump.series, (900, 100))
+
+    def test_evaluate_point_invalid_combo_none(self, bump):
+        study = ParameterGridStudy(bump.series, bump.anomalies[0])
+        assert study.evaluate_point(50, 60, 4) is None  # paa > window
+        assert study.evaluate_point(5000, 4, 4) is None  # window > series
+
+    def test_evaluate_point_fields(self, bump):
+        study = ParameterGridStudy(bump.series, bump.anomalies[0])
+        point = study.evaluate_point(100, 5, 4)
+        assert isinstance(point, GridPoint)
+        assert point.grammar_size > 0
+        assert point.approximation_distance > 0
+
+    def test_good_parameters_hit(self, bump):
+        # Not every combination succeeds (that is Figure 10's point);
+        # this one is verified to sit inside the success region.
+        study = ParameterGridStudy(bump.series, bump.anomalies[0], min_overlap=0.3)
+        point = study.evaluate_point(50, 4, 4)
+        assert point.rra_hit
+        # the paper-faithful density detector is edge-sensitive; the
+        # enhanced (edge-excluded) variant hits reliably
+        assert point.density_hit_enhanced
+
+    def test_sweep_and_counts(self, bump):
+        study = ParameterGridStudy(bump.series, bump.anomalies[0], min_overlap=0.3)
+        points = study.sweep(windows=[40, 80], paa_sizes=[4], alphabet_sizes=[3, 4])
+        assert 1 <= len(points) <= 4
+        counts = ParameterGridStudy.success_counts(points)
+        assert counts["total"] == len(points)
+        assert 0 <= counts["density_hits"] <= counts["total"]
+        assert 0 <= counts["rra_hits"] <= counts["total"]

@@ -1,0 +1,104 @@
+"""Tests for repro.grammar.postprocess — pruning and periodicity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import GrammarAnomalyDetector
+from repro.datasets import ecg_qtdb_0606_like, repeated_pattern
+from repro.exceptions import ParameterError
+from repro.grammar.intervals import rule_intervals
+from repro.grammar.postprocess import prune_rules, rule_periodicity
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    dataset = ecg_qtdb_0606_like()
+    detector = GrammarAnomalyDetector(
+        dataset.window, dataset.paa_size, dataset.alphabet_size
+    )
+    result = detector.fit(dataset.series)
+    return dataset, result
+
+
+class TestPruneRules:
+    def test_pruned_set_is_smaller(self, fitted):
+        _, result = fitted
+        kept = prune_rules(result.grammar, result.discretization)
+        assert 0 < len(kept) < len(result.grammar.non_start_rules())
+
+    def test_coverage_preserved(self, fitted):
+        """The kept rules cover exactly the points the full set covers."""
+        dataset, result = fitted
+        full = np.zeros(dataset.length, dtype=bool)
+        for iv in result.intervals:
+            full[iv.start : iv.end] = True
+
+        kept_ids = {k.rule_id for k in prune_rules(result.grammar,
+                                                   result.discretization)}
+        pruned_cover = np.zeros(dataset.length, dtype=bool)
+        for iv in result.intervals:
+            if iv.rule_id in kept_ids:
+                pruned_cover[iv.start : iv.end] = True
+        np.testing.assert_array_equal(pruned_cover, full)
+
+    def test_selection_order_by_contribution(self, fitted):
+        _, result = fitted
+        kept = prune_rules(result.grammar, result.discretization)
+        # the first selected rule contributes the most new points
+        assert kept[0].new_points == max(k.new_points for k in kept)
+        # every kept rule contributed something
+        assert all(k.new_points >= 1 for k in kept)
+
+    def test_min_new_points_filter(self, fitted):
+        _, result = fitted
+        loose = prune_rules(result.grammar, result.discretization)
+        strict = prune_rules(
+            result.grammar, result.discretization, min_new_points=50
+        )
+        assert len(strict) <= len(loose)
+        assert all(k.new_points >= 50 for k in strict)
+
+    def test_invalid_parameter(self, fitted):
+        _, result = fitted
+        with pytest.raises(ParameterError):
+            prune_rules(result.grammar, result.discretization, min_new_points=0)
+
+
+class TestRulePeriodicity:
+    def test_periodic_pattern_detected(self):
+        """On exactly repeated patterns, top rules are near-perfectly
+        periodic (CV ~ 0)."""
+        dataset = repeated_pattern(repeats=25, pattern_length=120, seed=1)
+        detector = GrammarAnomalyDetector(
+            dataset.window, dataset.paa_size, dataset.alphabet_size
+        )
+        result = detector.fit(dataset.series)
+        stats = rule_periodicity(result.grammar, result.discretization)
+        assert stats
+        most_regular = stats[0]
+        assert most_regular.period_cv < 0.1
+        assert most_regular.is_periodic
+        # the period is a multiple of the pattern length
+        ratio = most_regular.mean_period / 120.0
+        assert abs(ratio - round(ratio)) < 0.15
+
+    def test_sorted_by_cv(self, fitted):
+        _, result = fitted
+        stats = rule_periodicity(result.grammar, result.discretization)
+        cvs = [s.period_cv for s in stats]
+        assert cvs == sorted(cvs)
+
+    def test_min_occurrences_respected(self, fitted):
+        _, result = fitted
+        stats = rule_periodicity(
+            result.grammar, result.discretization, min_occurrences=5
+        )
+        assert all(s.usage >= 5 for s in stats)
+
+    def test_invalid_parameter(self, fitted):
+        _, result = fitted
+        with pytest.raises(ParameterError):
+            rule_periodicity(result.grammar, result.discretization,
+                             min_occurrences=1)

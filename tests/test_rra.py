@@ -1,0 +1,177 @@
+"""Tests for repro.core.rra — the Rare Rule Anomaly algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rra import (
+    RRAResult,
+    _is_non_self_match,
+    find_discord,
+    find_discords,
+    nearest_neighbor_distances,
+)
+from repro.exceptions import DiscordSearchError
+from repro.grammar.intervals import RuleInterval
+from repro.timeseries.distance import DistanceCounter
+
+
+def _blip_series(length=800, period=50, blip_at=400, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    series = np.sin(2 * np.pi * t / period) + rng.normal(0, 0.02, length)
+    series[blip_at : blip_at + 60] += 2.5
+    return series
+
+
+def _candidates_for(series, window=40, paa=4, alpha=4):
+    from repro.grammar.intervals import rule_intervals, uncovered_intervals
+    from repro.grammar.sequitur import induce_grammar
+    from repro.sax.discretize import discretize
+
+    disc = discretize(series, window, paa, alpha)
+    grammar = induce_grammar(disc.tokens())
+    return rule_intervals(grammar, disc) + uncovered_intervals(grammar, disc)
+
+
+class TestNonSelfMatch:
+    def test_overlap_excluded(self):
+        p = RuleInterval(1, 100, 150, usage=1)
+        q = RuleInterval(2, 120, 170, usage=1)
+        assert not _is_non_self_match(p, q)
+
+    def test_far_apart_allowed(self):
+        p = RuleInterval(1, 100, 150, usage=1)
+        q = RuleInterval(2, 200, 260, usage=1)
+        assert _is_non_self_match(p, q)
+
+    def test_paper_boundary(self):
+        # |p0 - q0| must be STRICTLY greater than Length(p)
+        p = RuleInterval(1, 100, 150, usage=1)  # length 50
+        assert not _is_non_self_match(p, RuleInterval(2, 150, 190, usage=1))
+        assert _is_non_self_match(p, RuleInterval(2, 151, 190, usage=1))
+
+
+class TestFindDiscord:
+    def test_finds_planted_blip(self):
+        series = _blip_series()
+        discord, counter = find_discord(series, _candidates_for(series))
+        assert discord is not None
+        assert discord.start < 470 and discord.end > 390
+        assert counter.calls > 0
+
+    def test_no_candidates(self):
+        discord, _ = find_discord(np.zeros(100), [])
+        assert discord is None
+
+    def test_single_candidate_has_no_match(self):
+        discord, _ = find_discord(
+            np.random.default_rng(0).normal(size=100),
+            [RuleInterval(1, 10, 40, usage=1)],
+        )
+        assert discord is None
+
+    def test_exclusion_removes_winner(self):
+        series = _blip_series()
+        candidates = _candidates_for(series)
+        first, _ = find_discord(series, candidates)
+        second, _ = find_discord(
+            series, candidates, exclude=[(first.start, first.end)]
+        )
+        assert second is not None
+        assert (second.start, second.end) != (first.start, first.end)
+
+    def test_rejects_2d_series(self):
+        with pytest.raises(DiscordSearchError):
+            find_discord(np.zeros((5, 5)), [])
+
+    def test_counter_accumulates(self):
+        series = _blip_series()
+        counter = DistanceCounter()
+        find_discord(series, _candidates_for(series), counter=counter)
+        before = counter.calls
+        find_discord(series, _candidates_for(series), counter=counter)
+        assert counter.calls > before
+
+    def test_deterministic_given_seed(self):
+        series = _blip_series()
+        candidates = _candidates_for(series)
+        d1, _ = find_discord(series, candidates, rng=np.random.default_rng(3))
+        d2, _ = find_discord(series, candidates, rng=np.random.default_rng(3))
+        assert (d1.start, d1.end, d1.nn_distance) == (d2.start, d2.end, d2.nn_distance)
+
+    def test_discord_metadata(self):
+        series = _blip_series()
+        discord, _ = find_discord(series, _candidates_for(series))
+        assert discord.source == "rra"
+        assert discord.score == discord.nn_distance > 0
+
+    def test_result_is_true_max_nn_distance(self):
+        """The reported discord maximizes NN distance over candidates."""
+        series = _blip_series(length=500)
+        candidates = _candidates_for(series)
+        discord, _ = find_discord(series, candidates)
+        profile = nearest_neighbor_distances(series, candidates)
+        finite = [(iv, d) for iv, d in profile if np.isfinite(d)]
+        best_iv, best_d = max(finite, key=lambda x: x[1])
+        assert discord.nn_distance == pytest.approx(best_d)
+        assert (discord.start, discord.end) == (best_iv.start, best_iv.end)
+
+
+class TestFindDiscords:
+    def test_requested_count(self):
+        series = _blip_series()
+        result = find_discords(series, _candidates_for(series), num_discords=3)
+        assert isinstance(result, RRAResult)
+        assert 1 <= len(result.discords) <= 3
+        assert result.distance_calls > 0
+
+    def test_ranks_sequential(self):
+        series = _blip_series()
+        result = find_discords(series, _candidates_for(series), num_discords=3)
+        assert [d.rank for d in result.discords] == list(range(len(result.discords)))
+
+    def test_discords_do_not_repeat(self):
+        series = _blip_series()
+        result = find_discords(series, _candidates_for(series), num_discords=3)
+        spans = [(d.start, d.end) for d in result.discords]
+        assert len(set(spans)) == len(spans)
+
+    def test_invalid_count(self):
+        with pytest.raises(DiscordSearchError):
+            find_discords(np.zeros(10), [], num_discords=0)
+
+    def test_best_property(self):
+        series = _blip_series()
+        result = find_discords(series, _candidates_for(series), num_discords=2)
+        assert result.best is result.discords[0]
+        assert RRAResult().best is None
+
+    def test_scores_non_increasing(self):
+        series = _blip_series()
+        result = find_discords(series, _candidates_for(series), num_discords=3)
+        scores = [d.nn_distance for d in result.discords]
+        # Later discords exclude earlier ones, so scores should not grow
+        # (modulo candidates whose NN was inside an excluded region).
+        assert all(a >= b - 0.25 for a, b in zip(scores, scores[1:]))
+
+
+class TestNearestNeighborDistances:
+    def test_profile_covers_candidates(self):
+        series = _blip_series(length=400)
+        candidates = _candidates_for(series)
+        profile = nearest_neighbor_distances(series, candidates)
+        valid = [iv for iv in candidates if iv.end <= series.size and iv.length >= 2]
+        assert len(profile) == len(valid)
+
+    def test_same_rule_occurrences_have_small_nn(self):
+        series = _blip_series(length=600)
+        candidates = _candidates_for(series)
+        profile = nearest_neighbor_distances(series, candidates)
+        frequent = [
+            d for iv, d in profile
+            if iv.usage >= 4 and np.isfinite(d)
+        ]
+        if frequent:
+            assert min(frequent) < 0.5

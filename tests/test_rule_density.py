@@ -1,0 +1,140 @@
+"""Tests for repro.core.rule_density."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rule_density import (
+    density_minima_intervals,
+    density_statistics,
+    find_density_anomalies,
+    rule_density_curve,
+)
+from repro.exceptions import ParameterError
+from repro.grammar.intervals import RuleInterval
+
+
+class TestRuleDensityCurve:
+    def test_single_interval(self):
+        curve = rule_density_curve([RuleInterval(1, 2, 5, usage=2)], 8)
+        np.testing.assert_array_equal(curve, [0, 0, 1, 1, 1, 0, 0, 0])
+
+    def test_overlapping_intervals_sum(self):
+        intervals = [
+            RuleInterval(1, 0, 6, usage=2),
+            RuleInterval(2, 3, 9, usage=2),
+        ]
+        curve = rule_density_curve(intervals, 10)
+        np.testing.assert_array_equal(curve, [1, 1, 1, 2, 2, 2, 1, 1, 1, 0])
+
+    def test_empty_intervals(self):
+        np.testing.assert_array_equal(rule_density_curve([], 4), np.zeros(4))
+
+    def test_interval_clipped_at_series_end(self):
+        curve = rule_density_curve([RuleInterval(1, 2, 99, usage=2)], 5)
+        np.testing.assert_array_equal(curve, [0, 0, 1, 1, 1])
+
+    def test_interval_beyond_series_ignored(self):
+        curve = rule_density_curve([RuleInterval(1, 10, 20, usage=2)], 5)
+        np.testing.assert_array_equal(curve, np.zeros(5))
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ParameterError):
+            rule_density_curve([], -1)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 90), st.integers(1, 30)),
+            min_size=0,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_naive_counting(self, raw):
+        intervals = [RuleInterval(1, s, s + l, usage=2) for s, l in raw]
+        curve = rule_density_curve(intervals, 100)
+        naive = np.zeros(100, dtype=int)
+        for iv in intervals:
+            naive[iv.start : min(iv.end, 100)] += 1
+        np.testing.assert_array_equal(curve, naive)
+
+    def test_linear_total_mass(self):
+        intervals = [RuleInterval(1, i, i + 10, usage=2) for i in range(0, 50, 5)]
+        curve = rule_density_curve(intervals, 100)
+        assert curve.sum() == sum(min(iv.end, 100) - iv.start for iv in intervals)
+
+
+class TestDensityMinimaIntervals:
+    def test_global_min_default(self):
+        curve = np.array([3, 3, 1, 1, 3, 3, 2, 3])
+        assert density_minima_intervals(curve) == [(2, 4)]
+
+    def test_threshold(self):
+        curve = np.array([3, 3, 1, 1, 3, 3, 2, 3])
+        assert density_minima_intervals(curve, threshold=2) == [(2, 4), (6, 7)]
+
+    def test_min_length(self):
+        curve = np.array([3, 1, 3, 1, 1, 3])
+        assert density_minima_intervals(curve, min_length=2) == [(3, 5)]
+
+    def test_interval_reaching_end(self):
+        curve = np.array([3, 3, 0, 0])
+        assert density_minima_intervals(curve) == [(2, 4)]
+
+    def test_empty_curve(self):
+        assert density_minima_intervals(np.array([])) == []
+
+    def test_constant_curve_everything_minimal(self):
+        curve = np.full(6, 2)
+        assert density_minima_intervals(curve) == [(0, 6)]
+
+
+class TestFindDensityAnomalies:
+    def test_ranking_by_mean_density(self):
+        curve = np.array([5, 5, 0, 0, 5, 5, 1, 1, 5, 5], dtype=float)
+        anomalies = find_density_anomalies(curve, threshold=1)
+        assert [(a.start, a.end) for a in anomalies] == [(2, 4), (6, 8)]
+        assert anomalies[0].rank == 0
+        assert anomalies[0].score > anomalies[1].score
+
+    def test_max_anomalies(self):
+        curve = np.array([5, 0, 5, 0, 5, 0, 5], dtype=float)
+        anomalies = find_density_anomalies(curve, max_anomalies=2)
+        assert len(anomalies) == 2
+
+    def test_edge_exclusion(self):
+        curve = np.array([0, 0, 5, 5, 1, 1, 5, 5, 0, 0], dtype=float)
+        # without exclusion: edges (density 0) win
+        plain = find_density_anomalies(curve)
+        assert plain[0].start in (0, 8)
+        # with exclusion: the interior minimum wins
+        trimmed = find_density_anomalies(curve, edge_exclusion=2)
+        assert (trimmed[0].start, trimmed[0].end) == (4, 6)
+
+    def test_edge_exclusion_too_large_is_ignored(self):
+        curve = np.array([1, 0, 1], dtype=float)
+        anomalies = find_density_anomalies(curve, edge_exclusion=5)
+        assert anomalies  # falls back to the full curve
+
+    def test_negative_edge_exclusion_rejected(self):
+        with pytest.raises(ParameterError):
+            find_density_anomalies(np.zeros(5), edge_exclusion=-1)
+
+    def test_source_tag(self):
+        anomalies = find_density_anomalies(np.array([1.0, 0.0, 1.0]))
+        assert all(a.source == "density" for a in anomalies)
+
+
+class TestDensityStatistics:
+    def test_basic(self):
+        stats = density_statistics(np.array([0.0, 2.0, 4.0]))
+        assert stats["min"] == 0.0
+        assert stats["max"] == 4.0
+        assert stats["mean"] == pytest.approx(2.0)
+
+    def test_empty(self):
+        stats = density_statistics(np.array([]))
+        assert stats["mean"] == 0.0

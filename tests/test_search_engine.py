@@ -1,0 +1,108 @@
+"""Tests for repro.discord.search — the shared ordered-search engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.discord.brute_force import brute_force_discord
+from repro.discord.search import iterated_search, ordered_discord_search
+from repro.exceptions import DiscordSearchError
+from repro.timeseries.distance import DistanceCounter
+
+
+def _series(length=300, period=30, blip_at=150, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    series = np.sin(2 * np.pi * t / period) + rng.normal(0, 0.02, length)
+    series[blip_at : blip_at + 20] += 2.0
+    return series
+
+
+def _single_bucket(series, window):
+    """Degenerate bucketing: every window in one bucket."""
+    k = series.size - window + 1
+    return ["x"] * k
+
+
+def _unique_buckets(series, window):
+    """Degenerate bucketing: every window alone."""
+    k = series.size - window + 1
+    return [str(i) for i in range(k)]
+
+
+class TestOrderedDiscordSearch:
+    @pytest.mark.parametrize("bucket_fn", [_single_bucket, _unique_buckets])
+    def test_exact_regardless_of_bucketing(self, bucket_fn):
+        """Any bucketing yields the brute-force discord (exactness)."""
+        series = _series()
+        brute, _ = brute_force_discord(series, 30)
+        found, _ = ordered_discord_search(
+            series, 30, bucket_fn, source="test"
+        )
+        assert (found.start, found.end) == (brute.start, brute.end)
+        assert found.nn_distance == pytest.approx(brute.nn_distance)
+
+    def test_bad_bucket_count_rejected(self):
+        series = _series()
+        with pytest.raises(DiscordSearchError):
+            ordered_discord_search(
+                series, 30, lambda s, w: ["x"], source="test"
+            )
+
+    def test_too_short_series(self):
+        with pytest.raises(DiscordSearchError):
+            ordered_discord_search(
+                np.zeros(5), 10, _single_bucket, source="test"
+            )
+
+    def test_exclusion(self):
+        series = _series()
+        first, _ = ordered_discord_search(
+            series, 30, _single_bucket, source="test"
+        )
+        second, _ = ordered_discord_search(
+            series, 30, _single_bucket, source="test",
+            exclude=((first.start - 29, first.start + 30),),
+        )
+        assert abs(second.start - first.start) > 29
+
+    def test_counter_shared(self):
+        series = _series()
+        counter = DistanceCounter()
+        ordered_discord_search(series, 30, _single_bucket, source="t",
+                               counter=counter)
+        first = counter.calls
+        ordered_discord_search(series, 30, _single_bucket, source="t",
+                               counter=counter)
+        assert counter.calls > first
+
+    def test_source_tag_propagates(self):
+        series = _series()
+        found, _ = ordered_discord_search(
+            series, 30, _single_bucket, source="custom"
+        )
+        assert found.source == "custom"
+
+
+class TestIteratedSearch:
+    def test_ranked_output(self):
+        series = _series()
+        discords, counter = iterated_search(
+            series, 30, _single_bucket, source="t", num_discords=3
+        )
+        assert [d.rank for d in discords] == list(range(len(discords)))
+        assert counter.calls > 0
+
+    def test_invalid_count(self):
+        with pytest.raises(DiscordSearchError):
+            iterated_search(_series(), 30, _single_bucket, source="t",
+                            num_discords=0)
+
+    def test_stops_when_exhausted(self):
+        # a tiny series supports only a couple of non-overlapping discords
+        series = _series(length=100, period=20, blip_at=50)
+        discords, _ = iterated_search(
+            series, 25, _single_bucket, source="t", num_discords=10
+        )
+        assert 1 <= len(discords) < 10

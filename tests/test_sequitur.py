@@ -1,0 +1,250 @@
+"""Tests for repro.grammar.sequitur — the Sequitur induction algorithm.
+
+The property tests verify the two Sequitur invariants on random inputs:
+digram uniqueness and rule utility, plus the fundamental guarantee that
+the grammar reproduces its input exactly, with correct occurrence spans.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GrammarError
+from repro.grammar.grammar import START_RULE_ID, Grammar, GrammarRule
+from repro.grammar.sequitur import induce_grammar
+
+token = st.sampled_from(["a", "b", "c", "d"])
+token_seqs = st.lists(token, min_size=0, max_size=200)
+
+
+def _digram_multiset(grammar: Grammar) -> Counter:
+    """Non-overlapping digram counts over all rule bodies.
+
+    Overlapping digrams (the middle pairs of a run like ``aaa``) are
+    exempt from the uniqueness invariant: the algorithm cannot replace
+    two occurrences that share a symbol, so it deliberately ignores
+    them.  We therefore count greedily left-to-right, skipping a pair
+    that overlaps the previously counted identical pair.
+    """
+    counts: Counter = Counter()
+    for rule in grammar:
+        rhs = [("R", x) if isinstance(x, int) else ("t", x) for x in rule.rhs]
+        i = 0
+        prev_counted_at = -2
+        prev_key = None
+        while i < len(rhs) - 1:
+            key = (rhs[i], rhs[i + 1])
+            if key == prev_key and i == prev_counted_at + 1:
+                i += 1
+                continue
+            counts[key] += 1
+            prev_key = key
+            prev_counted_at = i
+            i += 1
+    return counts
+
+
+class TestPaperExample:
+    """The worked example from Section 3 of the paper."""
+
+    def test_grammar_structure(self):
+        tokens = "abc abc cba xxx abc abc cba".split()
+        grammar = induce_grammar(tokens)
+        grammar.verify()
+        # exactly one induced rule: R1 -> abc abc cba, used twice
+        rules = grammar.non_start_rules()
+        assert len(rules) == 1
+        assert rules[0].expansion == ["abc", "abc", "cba"]
+        assert rules[0].usage == 2
+
+    def test_xxx_is_uncovered(self):
+        tokens = "abc abc cba xxx abc abc cba".split()
+        grammar = induce_grammar(tokens)
+        # the anomalous token stays directly in R0
+        assert "xxx" in grammar.start_rule.rhs
+
+    def test_rule_word_counts(self):
+        """Each 'abc'/'cba' is inside R1; 'xxx' is inside no rule."""
+        tokens = "abc abc cba xxx abc abc cba".split()
+        grammar = induce_grammar(tokens)
+        covered = [0] * len(tokens)
+        for rule in grammar.non_start_rules():
+            for occ in rule.occurrences:
+                for i in range(occ.start, occ.end + 1):
+                    covered[i] += 1
+        assert covered == [1, 1, 1, 0, 1, 1, 1]
+
+
+class TestNumerosityExample:
+    """The S1 example from Section 3.3 (variable-length rule spans)."""
+
+    def test_shared_rule_spans_variable_token_counts(self):
+        tokens = "aac abc abb acd aac abc".split()
+        grammar = induce_grammar(tokens)
+        grammar.verify()
+        rules = grammar.non_start_rules()
+        assert len(rules) == 1
+        assert rules[0].expansion == ["aac", "abc"]
+        starts = sorted(o.start for o in rules[0].occurrences)
+        assert starts == [0, 4]
+
+
+class TestBasics:
+    def test_empty_input(self):
+        grammar = induce_grammar([])
+        grammar.verify()
+        assert grammar.start_rule.rhs == []
+
+    def test_single_token(self):
+        grammar = induce_grammar(["x"])
+        grammar.verify()
+        assert grammar.start_rule.expansion == ["x"]
+        assert len(grammar.non_start_rules()) == 0
+
+    def test_two_identical_tokens_no_rule(self):
+        # a digram must occur twice to trigger a rule
+        grammar = induce_grammar(["a", "a"])
+        grammar.verify()
+        assert len(grammar.non_start_rules()) == 0
+
+    def test_simple_repeat(self):
+        grammar = induce_grammar(list("abab"))
+        grammar.verify()
+        rules = grammar.non_start_rules()
+        assert len(rules) == 1
+        assert rules[0].expansion == ["a", "b"]
+        assert rules[0].usage == 2
+
+    def test_nested_hierarchy(self):
+        # abcabc abcabc -> R1=abc (x4 via R2), R2=R1 R1 (x2)
+        grammar = induce_grammar(list("abcabcabcabc"))
+        grammar.verify()
+        assert grammar.start_rule.expansion == list("abcabcabcabc")
+        assert len(grammar.non_start_rules()) >= 1
+        # deepest rule level above 1 proves hierarchy
+        assert max(r.level for r in grammar.non_start_rules()) >= 2
+
+    def test_all_same_token(self):
+        grammar = induce_grammar(["z"] * 64)
+        grammar.verify()
+        # repetitive input compresses well
+        assert grammar.grammar_size() < 30
+
+    def test_all_distinct_tokens_incompressible(self):
+        tokens = [f"t{i}" for i in range(50)]
+        grammar = induce_grammar(tokens)
+        grammar.verify()
+        assert len(grammar.non_start_rules()) == 0
+        assert grammar.grammar_size() == 50
+
+    def test_tokens_coerced_to_str(self):
+        grammar = induce_grammar([1, 2, 1, 2])  # type: ignore[list-item]
+        assert grammar.start_rule.expansion == ["1", "2", "1", "2"]
+
+    def test_occurrence_spans_match_expansion(self):
+        tokens = list("xyxyzxyxyz")
+        grammar = induce_grammar(tokens)
+        for rule in grammar.non_start_rules():
+            for occ in rule.occurrences:
+                assert tokens[occ.start : occ.end + 1] == rule.expansion
+
+    def test_algorithm_tag(self):
+        assert induce_grammar(list("abab")).algorithm == "sequitur"
+
+
+class TestInvariants:
+    @given(token_seqs)
+    @settings(max_examples=150, deadline=None)
+    def test_property_expansion_reproduces_input(self, tokens):
+        grammar = induce_grammar(tokens)
+        assert grammar.start_rule.expansion == tokens
+
+    @given(token_seqs)
+    @settings(max_examples=150, deadline=None)
+    def test_property_digram_uniqueness(self, tokens):
+        """No digram occurs twice across all rule bodies."""
+        grammar = induce_grammar(tokens)
+        for digram, count in _digram_multiset(grammar).items():
+            assert count <= 1, f"digram {digram} occurs {count} times"
+
+    @given(token_seqs)
+    @settings(max_examples=150, deadline=None)
+    def test_property_rule_utility(self, tokens):
+        """Every non-start rule is referenced at least twice."""
+        grammar = induce_grammar(tokens)
+        refs: Counter = Counter()
+        for rule in grammar:
+            for item in rule.rhs:
+                if isinstance(item, int):
+                    refs[item] += 1
+        for rule in grammar.non_start_rules():
+            assert refs[rule.rule_id] >= 2, f"{rule.name} used {refs[rule.rule_id]}x"
+
+    @given(token_seqs)
+    @settings(max_examples=100, deadline=None)
+    def test_property_occurrences_consistent(self, tokens):
+        """usage == len(occurrences) and spans match expansions."""
+        grammar = induce_grammar(tokens)
+        grammar.verify()
+        for rule in grammar.non_start_rules():
+            assert rule.usage == len(rule.occurrences) >= 2
+            for occ in rule.occurrences:
+                assert tokens[occ.start : occ.end + 1] == rule.expansion
+
+    @given(token_seqs)
+    @settings(max_examples=100, deadline=None)
+    def test_property_grammar_never_longer_than_input(self, tokens):
+        """Compression never expands: size <= max(len(input), 1)."""
+        grammar = induce_grammar(tokens)
+        assert grammar.grammar_size() <= max(len(tokens), 1) + 1
+
+    @given(st.lists(st.sampled_from(["a", "b"]), min_size=0, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_property_binary_alphabet_stress(self, tokens):
+        """Binary alphabets maximize digram collisions — worst case."""
+        grammar = induce_grammar(tokens)
+        grammar.verify()
+
+    def test_pathological_repetition_runs(self):
+        """Runs like aaaa...b trigger the overlapping-digram handling."""
+        for run in (2, 3, 4, 5, 7, 10, 16, 33):
+            tokens = ["a"] * run + ["b"] + ["a"] * run
+            grammar = induce_grammar(tokens)
+            grammar.verify()
+
+    def test_square_input(self):
+        """w w for a long w: one rule should cover the repetition."""
+        w = list("abcdefgh")
+        grammar = induce_grammar(w + w)
+        grammar.verify()
+        top = [r for r in grammar.non_start_rules() if r.expansion == w]
+        assert top and top[0].usage == 2
+
+
+class TestCompressionQuality:
+    def test_periodic_input_compresses_logarithmically(self):
+        tokens = list("ab" * 256)
+        grammar = induce_grammar(tokens)
+        # Sequitur achieves O(log n) size on (ab)^n
+        assert grammar.grammar_size() <= 40
+
+    def test_random_input_barely_compresses(self, rng):
+        tokens = [str(rng.integers(0, 1000)) for _ in range(200)]
+        grammar = induce_grammar(tokens)
+        assert grammar.grammar_size() >= 150
+
+
+class TestGrammarVerify:
+    def test_detects_bad_expansion(self):
+        grammar = induce_grammar(list("abab"))
+        grammar.rules[1].expansion = ["x", "y"]
+        with pytest.raises(GrammarError):
+            grammar.verify()
+
+    def test_detects_missing_start_rule(self):
+        with pytest.raises(GrammarError):
+            Grammar(tokens=[], rules={1: GrammarRule(rule_id=1, rhs=[])})

@@ -1,0 +1,111 @@
+"""Tests for repro.trajectory.convert (GPS trail -> scalar series)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrajectoryError
+from repro.trajectory.convert import (
+    BoundingBox,
+    TrajectoryPoint,
+    series_index_to_trail_slice,
+    trail_to_series,
+)
+
+
+def _square_trail(n_per_side=10):
+    """A closed loop around the unit square."""
+    points = []
+    t = 0.0
+    for i in range(n_per_side):
+        points.append(TrajectoryPoint(t, 0.0, i / n_per_side)); t += 1
+    for i in range(n_per_side):
+        points.append(TrajectoryPoint(t, i / n_per_side, 1.0)); t += 1
+    for i in range(n_per_side):
+        points.append(TrajectoryPoint(t, 1.0, 1.0 - i / n_per_side)); t += 1
+    for i in range(n_per_side):
+        points.append(TrajectoryPoint(t, 1.0 - i / n_per_side, 0.0)); t += 1
+    return points
+
+
+class TestBoundingBox:
+    def test_of_trail(self):
+        bbox = BoundingBox.of_trail(_square_trail())
+        assert bbox.min_lat <= 0.0 and bbox.max_lat >= 1.0
+        assert bbox.min_lon <= 0.0 and bbox.max_lon >= 1.0
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(TrajectoryError):
+            BoundingBox(1.0, 1.0, 0.0, 1.0)
+
+    def test_empty_trail_rejected(self):
+        with pytest.raises(TrajectoryError):
+            BoundingBox.of_trail([])
+
+    def test_to_cell_corners(self):
+        bbox = BoundingBox(0.0, 1.0, 0.0, 1.0)
+        assert bbox.to_cell(0.0, 0.0, 16) == (0, 0)
+        assert bbox.to_cell(1.0, 1.0, 16) == (15, 15)
+
+    def test_to_cell_clamps(self):
+        bbox = BoundingBox(0.0, 1.0, 0.0, 1.0)
+        assert bbox.to_cell(-5.0, -5.0, 8) == (0, 0)
+        assert bbox.to_cell(5.0, 5.0, 8) == (7, 7)
+
+
+class TestTrailToSeries:
+    def test_one_value_per_fix(self):
+        trail = _square_trail()
+        series = trail_to_series(trail, order=4)
+        assert series.size == len(trail)
+
+    def test_values_in_curve_range(self):
+        series = trail_to_series(_square_trail(), order=4)
+        assert (series >= 0).all()
+        assert (series < 16 * 16).all()
+
+    def test_sorted_by_time(self):
+        """Fixes are reordered by timestamp before conversion."""
+        trail = _square_trail()
+        shuffled = list(reversed(trail))
+        np.testing.assert_array_equal(
+            trail_to_series(trail, order=5), trail_to_series(shuffled, order=5)
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(TrajectoryError):
+            trail_to_series([])
+
+    def test_same_location_same_value(self):
+        """Revisiting a place reproduces the same cell index."""
+        trail = _square_trail()
+        loop_twice = trail + [
+            TrajectoryPoint(p.time + 1000.0, p.lat, p.lon) for p in trail
+        ]
+        bbox = BoundingBox.of_trail(trail)
+        series = trail_to_series(loop_twice, order=6, bbox=bbox)
+        half = len(trail)
+        np.testing.assert_array_equal(series[:half], series[half:])
+
+    def test_locality_small_steps_small_jumps(self):
+        """Continuous movement gives mostly small Hilbert-index steps."""
+        series = trail_to_series(_square_trail(50), order=6)
+        jumps = np.abs(np.diff(series))
+        # most transitions are local (the SFC preserves locality)
+        assert np.median(jumps) <= 64
+
+
+class TestSeriesIndexToTrailSlice:
+    def test_roundtrip_slice(self):
+        trail = _square_trail()
+        segment = series_index_to_trail_slice(trail, 5, 12)
+        assert len(segment) == 7
+        assert segment[0].time == sorted(p.time for p in trail)[5]
+
+    def test_out_of_range(self):
+        trail = _square_trail()
+        with pytest.raises(TrajectoryError):
+            series_index_to_trail_slice(trail, 0, len(trail) + 1)
+        with pytest.raises(TrajectoryError):
+            series_index_to_trail_slice(trail, 5, 5)

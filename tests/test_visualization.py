@@ -1,0 +1,113 @@
+"""Tests for repro.visualization (ASCII panels and text reports)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.anomaly import Anomaly, Discord
+from repro.core.pipeline import GrammarAnomalyDetector
+from repro.exceptions import ParameterError
+from repro.visualization.ascii import (
+    density_strip,
+    marker_line,
+    render_panels,
+    sparkline,
+)
+from repro.visualization.report import anomaly_table, grammar_report, rule_table
+
+
+class TestSparkline:
+    def test_width(self):
+        assert len(sparkline(np.sin(np.arange(100)), width=40)) == 40
+
+    def test_monotone_ramp(self):
+        line = sparkline([0, 1, 2, 3], width=4)
+        assert line == "▁▃▆█"
+
+    def test_constant_series(self):
+        assert sparkline(np.ones(50), width=10) == "▁" * 10
+
+    def test_invalid_width(self):
+        with pytest.raises(ParameterError):
+            sparkline([1, 2], width=0)
+
+    def test_short_series_long_width(self):
+        # more cells than points still renders full width
+        assert len(sparkline([1.0, 5.0], width=20)) == 20
+
+
+class TestDensityStrip:
+    def test_low_density_is_light(self):
+        curve = np.array([10.0] * 40 + [0.0] * 10 + [10.0] * 40)
+        strip = density_strip(curve, width=45)
+        middle = strip[18:27]
+        assert " " in middle or "░" in middle
+        assert strip[0] in "▓█"
+
+    def test_constant_curve(self):
+        assert density_strip(np.full(20, 3.0), width=5) == "█████"
+
+
+class TestMarkerLine:
+    def test_marks_scaled_interval(self):
+        line = marker_line(100, [(50, 60)], width=10)
+        assert line[5] == "^"
+        assert line[0] == " "
+
+    def test_multiple_intervals(self):
+        line = marker_line(100, [(0, 10), (90, 100)], width=10)
+        assert line[0] == "^" and line[-1] == "^"
+
+    def test_invalid_length(self):
+        with pytest.raises(ParameterError):
+            marker_line(0, [], width=10)
+
+
+class TestRenderPanels:
+    def test_three_lines_plus_title(self):
+        series = np.sin(np.arange(200) / 10)
+        curve = np.ones(200)
+        text = render_panels(series, curve, [(50, 80)], width=40, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert len(lines) == 4
+        assert all(len(line) == len("series  | ") + 40 for line in lines[1:])
+
+
+class TestTables:
+    def test_anomaly_table_contents(self):
+        anomalies = [
+            Discord(start=10, end=60, score=1.5, rank=0, nn_distance=1.5),
+            Anomaly(start=100, end=120, score=0.5, rank=1, source="density"),
+        ]
+        table = anomaly_table(anomalies)
+        assert "rra" in table and "density" in table
+        assert "1.50000" in table
+
+    def test_rule_table_truncates_expansion(self, sine_bump):
+        detector = GrammarAnomalyDetector(50, 4, 4)
+        detector.fit(sine_bump.series)
+        table = rule_table(detector.result.grammar, max_rules=5,
+                           max_expansion_chars=20)
+        lines = table.splitlines()
+        assert len(lines) <= 2 + 5
+        assert "R1" in table
+
+    def test_rule_table_excludes_r0(self, sine_bump):
+        detector = GrammarAnomalyDetector(50, 4, 4)
+        detector.fit(sine_bump.series)
+        table = rule_table(detector.result.grammar)
+        assert "R0 " not in table
+
+
+class TestGrammarReport:
+    def test_report_sections(self, sine_bump):
+        detector = GrammarAnomalyDetector(50, 4, 4)
+        detector.fit(sine_bump.series)
+        anomalies = detector.discords(num_discords=2).discords
+        report = grammar_report(detector.result, anomalies)
+        assert "Anomalies:" in report
+        assert "Grammar rules" in report
+        assert "W=50 P=4 A=4" in report
+        assert "series  | " in report

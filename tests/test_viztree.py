@@ -1,0 +1,113 @@
+"""Tests for repro.baselines.viztree — the SAX subword trie."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.viztree import SAXTrie
+from repro.datasets import sine_with_anomaly
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture(scope="module")
+def trie():
+    dataset = sine_with_anomaly(
+        length=1500, period=100, anomaly_start=700, anomaly_length=90,
+        anomaly_kind="bump", noise=0.02, seed=4,
+    )
+    return dataset, SAXTrie(dataset.series, 50, 4, 3)
+
+
+class TestConstruction:
+    def test_word_count(self, trie):
+        dataset, t = trie
+        assert t.total_words == dataset.length - 50 + 1
+        assert t.root.count == t.total_words
+
+    def test_counts_consistent_down_the_trie(self, trie):
+        _, t = trie
+        # a node's count equals the sum of its children's counts
+        # (interior nodes; leaves hold the word occurrences)
+        def check(node, depth):
+            if depth == t.word_length:
+                assert len(node.positions) == node.count
+                return
+            assert node.count == sum(c.count for c in node.children.values())
+            for child in node.children.values():
+                check(child, depth + 1)
+
+        check(t.root, 0)
+
+    def test_frequency_prefix_query(self, trie):
+        _, t = trie
+        total = sum(t.frequency(ch) for ch in "abc")
+        assert total == t.total_words
+
+    def test_missing_prefix_zero(self, trie):
+        _, t = trie
+        assert t.frequency("zzzz") == 0
+
+
+class TestQueries:
+    def test_word_positions_roundtrip(self, trie):
+        _, t = trie
+        word, count = t.frequent_words(top_k=1)[0]
+        positions = t.word_positions(word)
+        assert len(positions) == count
+
+    def test_word_positions_length_check(self, trie):
+        _, t = trie
+        with pytest.raises(ParameterError):
+            t.word_positions("ab")
+
+    def test_rare_words_sorted(self, trie):
+        _, t = trie
+        rare = t.rare_words()
+        counts = [c for _, c in rare]
+        assert counts == sorted(counts)
+
+    def test_rare_words_max_count(self, trie):
+        _, t = trie
+        assert all(c <= 3 for _, c in t.rare_words(max_count=3))
+
+    def test_frequent_words_top_k(self, trie):
+        _, t = trie
+        top = t.frequent_words(top_k=3)
+        assert len(top) == 3
+        assert top[0][1] >= top[1][1] >= top[2][1]
+
+    def test_anomaly_candidates_near_the_bump(self, trie):
+        """With enough word resolution, the rarest words cluster at the
+        planted anomaly (a coarse trie cannot separate it — the
+        granularity sensitivity VizTree is known for)."""
+        dataset, _ = trie
+        fine = SAXTrie(dataset.series, 100, 6, 4)
+        candidates = fine.anomaly_candidates(max_candidates=6)
+        assert candidates
+        (t0, t1), = dataset.anomalies
+        near = [p for p, _, _ in candidates if t0 - 100 <= p <= t1]
+        assert len(near) >= len(candidates) // 2, (
+            f"rare words not at the anomaly: {candidates}"
+        )
+
+    def test_invalid_parameters(self, trie):
+        _, t = trie
+        with pytest.raises(ParameterError):
+            t.frequent_words(top_k=0)
+        with pytest.raises(ParameterError):
+            t.anomaly_candidates(max_candidates=0)
+
+
+class TestRendering:
+    def test_render_contains_counts(self, trie):
+        _, t = trie
+        text = t.render(max_depth=1)
+        assert "SAX trie" in text
+        assert "#" in text
+
+    def test_render_depth_limit(self, trie):
+        _, t = trie
+        shallow = t.render(max_depth=1)
+        deep = t.render()
+        assert len(deep.splitlines()) > len(shallow.splitlines())

@@ -1,0 +1,59 @@
+"""Tests for repro.baselines.wcad — the compression-based baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.wcad import wcad_anomalies, wcad_scores
+from repro.datasets import sine_with_anomaly
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture(scope="module")
+def flat_anomaly():
+    # WCAD works on coarse non-overlapping windows; use a structural
+    # anomaly that dominates a whole window.
+    return sine_with_anomaly(
+        length=2000, period=100, anomaly_start=1000, anomaly_length=100,
+        anomaly_kind="bump", noise=0.02, seed=5,
+    )
+
+
+class TestWcadScores:
+    def test_one_score_per_window(self, flat_anomaly):
+        scores = wcad_scores(flat_anomaly.series, 100)
+        assert scores.size == flat_anomaly.length // 100
+
+    def test_anomalous_window_scores_high(self, flat_anomaly):
+        scores = wcad_scores(flat_anomaly.series, 100)
+        anomaly_window = 1000 // 100
+        rank = (scores >= scores[anomaly_window]).sum()
+        assert rank <= 4  # among the least compressible windows
+
+    def test_invalid_window(self, flat_anomaly):
+        with pytest.raises(ParameterError):
+            wcad_scores(flat_anomaly.series, 1)
+
+    def test_series_shorter_than_window(self):
+        with pytest.raises(ParameterError):
+            wcad_scores(np.zeros(10), 100)
+
+
+class TestWcadAnomalies:
+    def test_intervals_aligned_to_windows(self, flat_anomaly):
+        anomalies = wcad_anomalies(flat_anomaly.series, 100, num_anomalies=3)
+        assert len(anomalies) == 3
+        for anomaly in anomalies:
+            assert anomaly.start % 100 == 0
+            assert anomaly.length == 100
+            assert anomaly.source == "wcad"
+
+    def test_ranked_by_score(self, flat_anomaly):
+        anomalies = wcad_anomalies(flat_anomaly.series, 100, num_anomalies=3)
+        scores = [a.score for a in anomalies]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_invalid_count(self, flat_anomaly):
+        with pytest.raises(ParameterError):
+            wcad_anomalies(flat_anomaly.series, 100, num_anomalies=0)

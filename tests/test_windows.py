@@ -1,0 +1,96 @@
+"""Tests for repro.timeseries.windows."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.timeseries.windows import (
+    num_windows,
+    sliding_windows,
+    subsequence,
+    windows_iter,
+)
+
+
+class TestNumWindows:
+    def test_exact(self):
+        assert num_windows(10, 3) == 8
+
+    def test_window_equals_length(self):
+        assert num_windows(5, 5) == 1
+
+    def test_window_longer_than_series(self):
+        assert num_windows(4, 5) == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ParameterError):
+            num_windows(10, 0)
+
+    @given(st.integers(0, 500), st.integers(1, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_property_consistent_with_enumeration(self, m, n):
+        expected = len([p for p in range(m) if p + n <= m])
+        assert num_windows(m, n) == expected
+
+
+class TestSubsequence:
+    def test_basic(self):
+        series = np.arange(10.0)
+        np.testing.assert_array_equal(subsequence(series, 2, 3), [2.0, 3.0, 4.0])
+
+    def test_full_series(self):
+        series = np.arange(5.0)
+        np.testing.assert_array_equal(subsequence(series, 0, 5), series)
+
+    def test_out_of_bounds(self):
+        with pytest.raises(ParameterError):
+            subsequence(np.arange(5.0), 3, 3)
+
+    def test_negative_start(self):
+        with pytest.raises(ParameterError):
+            subsequence(np.arange(5.0), -1, 2)
+
+    def test_zero_length(self):
+        with pytest.raises(ParameterError):
+            subsequence(np.arange(5.0), 0, 0)
+
+
+class TestSlidingWindows:
+    def test_shape(self):
+        view = sliding_windows(np.arange(10.0), 4)
+        assert view.shape == (7, 4)
+
+    def test_contents(self):
+        view = sliding_windows(np.arange(5.0), 2)
+        np.testing.assert_array_equal(view[0], [0.0, 1.0])
+        np.testing.assert_array_equal(view[3], [3.0, 4.0])
+
+    def test_read_only(self):
+        view = sliding_windows(np.arange(6.0), 3)
+        with pytest.raises((ValueError, RuntimeError)):
+            view[0, 0] = 99.0
+
+    def test_too_short_series(self):
+        assert sliding_windows(np.arange(3.0), 5).shape == (0, 5)
+
+    @given(st.integers(2, 60), st.integers(2, 20))
+    @settings(max_examples=50, deadline=None)
+    def test_property_each_row_is_the_slice(self, m, n):
+        series = np.arange(float(m))
+        view = sliding_windows(series, n)
+        for start in range(view.shape[0]):
+            np.testing.assert_array_equal(view[start], series[start : start + n])
+
+
+class TestWindowsIter:
+    def test_yields_pairs(self):
+        pairs = list(windows_iter(np.arange(5.0), 3))
+        assert [p[0] for p in pairs] == [0, 1, 2]
+        np.testing.assert_array_equal(pairs[1][1], [1.0, 2.0, 3.0])
+
+    def test_empty_when_series_short(self):
+        assert list(windows_iter(np.arange(2.0), 5)) == []

@@ -1,0 +1,143 @@
+"""Tests for repro.timeseries.znorm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.timeseries.znorm import (
+    DEFAULT_FLATNESS_THRESHOLD,
+    is_flat,
+    znorm,
+    znorm_or_flat,
+    znorm_rows,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestZnorm:
+    def test_basic_mean_and_std(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        result = znorm(values)
+        assert abs(result.mean()) < 1e-12
+        assert abs(result.std() - 1.0) < 1e-12
+
+    def test_input_not_modified(self):
+        values = np.array([1.0, 2.0, 3.0])
+        snapshot = values.copy()
+        znorm(values)
+        np.testing.assert_array_equal(values, snapshot)
+
+    def test_flat_input_is_mean_centered_not_scaled(self):
+        values = np.full(50, 7.0)
+        values[0] += 1e-4  # tiny ripple, std far below threshold
+        result = znorm(values)
+        # mean-centered...
+        assert abs(result.mean()) < 1e-12
+        # ...but NOT scaled up to unit variance
+        assert result.std() < DEFAULT_FLATNESS_THRESHOLD
+
+    def test_constant_input_becomes_zeros(self):
+        result = znorm(np.full(10, 3.5))
+        np.testing.assert_allclose(result, np.zeros(10))
+
+    def test_empty_input(self):
+        assert znorm(np.array([])).size == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            znorm(np.zeros((3, 3)))
+
+    def test_custom_threshold(self):
+        values = np.array([0.0, 0.5, 1.0, 0.5, 0.0])
+        # std ~ 0.35; with threshold above that, only mean-centering
+        result = znorm(values, threshold=1.0)
+        assert abs(result.std() - values.std()) < 1e-12
+
+    def test_negative_values(self):
+        values = np.array([-5.0, -3.0, -1.0, -7.0])
+        result = znorm(values)
+        assert abs(result.mean()) < 1e-12
+        assert abs(result.std() - 1.0) < 1e-12
+
+    @given(arrays(np.float64, st.integers(8, 64), elements=finite_floats))
+    @settings(max_examples=60, deadline=None)
+    def test_property_mean_zero(self, values):
+        result = znorm(values)
+        assert abs(float(result.mean())) < 1e-6 * max(1.0, np.abs(values).max())
+
+    @given(arrays(np.float64, st.integers(8, 64), elements=finite_floats))
+    @settings(max_examples=60, deadline=None)
+    def test_property_std_one_or_flat(self, values):
+        result = znorm(values)
+        if is_flat(values):
+            # flat inputs are only centered; std stays below threshold
+            assert float(result.std()) < DEFAULT_FLATNESS_THRESHOLD
+        else:
+            assert abs(float(result.std()) - 1.0) < 1e-6
+
+    @given(
+        arrays(np.float64, st.integers(8, 32), elements=finite_floats),
+        st.floats(min_value=0.5, max_value=100.0),
+        st.floats(min_value=-100.0, max_value=100.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_shift_scale_invariance(self, values, scale, shift):
+        """z-normalization is invariant to affine transforms (non-flat)."""
+        if is_flat(values) or is_flat(values * scale + shift):
+            return
+        a = znorm(values)
+        b = znorm(values * scale + shift)
+        np.testing.assert_allclose(a, b, atol=1e-6)
+
+
+class TestIsFlat:
+    def test_flat(self):
+        assert is_flat(np.full(10, 2.0))
+
+    def test_not_flat(self):
+        assert not is_flat(np.array([0.0, 1.0, 0.0, 1.0]))
+
+    def test_empty_is_flat(self):
+        assert is_flat(np.array([]))
+
+    def test_threshold_boundary(self):
+        values = np.array([0.0, 0.02, 0.0, 0.02])  # std = 0.01
+        assert not is_flat(values, threshold=0.0099)
+        assert is_flat(values, threshold=0.0101)
+
+
+class TestZnormOrFlat:
+    def test_reports_flat(self):
+        normalized, flat = znorm_or_flat(np.full(5, 1.0))
+        assert flat
+        np.testing.assert_allclose(normalized, np.zeros(5))
+
+    def test_reports_not_flat(self):
+        normalized, flat = znorm_or_flat(np.array([0.0, 10.0, 0.0, 10.0]))
+        assert not flat
+        assert abs(normalized.std() - 1.0) < 1e-12
+
+
+class TestZnormRows:
+    def test_matches_per_row_znorm(self, rng):
+        matrix = rng.normal(0.0, 3.0, (20, 16))
+        rows = znorm_rows(matrix)
+        for i in range(20):
+            np.testing.assert_allclose(rows[i], znorm(matrix[i]), atol=1e-12)
+
+    def test_flat_rows_handled(self):
+        matrix = np.vstack([np.full(8, 5.0), np.arange(8.0)])
+        rows = znorm_rows(matrix)
+        np.testing.assert_allclose(rows[0], np.zeros(8))
+        assert abs(rows[1].std() - 1.0) < 1e-12
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            znorm_rows(np.arange(5.0))
