@@ -27,6 +27,7 @@ from repro.grammar.intervals import (
 from repro.grammar.repair import repair_grammar
 from repro.grammar.sequitur import induce_grammar
 from repro.sax.discretize import Discretization, NumerosityReduction, discretize
+from repro.timeseries.kernels import validate_backend
 
 
 @dataclass
@@ -68,6 +69,11 @@ class GrammarAnomalyDetector:
         ``"sequitur"`` (the paper) or ``"repair"`` (ablation).
     seed:
         Seed for the RRA inner-loop shuffle; fixed for reproducibility.
+    backend:
+        Distance backend for the discord queries: ``"kernel"``
+        (vectorized batch kernels, the default) or ``"scalar"`` (the
+        per-pair reference path).  Results and distance-call counts are
+        identical; only wall time differs.
 
     Examples
     --------
@@ -93,12 +99,15 @@ class GrammarAnomalyDetector:
         numerosity_reduction: NumerosityReduction = NumerosityReduction.EXACT,
         grammar_algorithm: str = "sequitur",
         seed: int = 0,
+        backend: str = "kernel",
     ) -> None:
         if grammar_algorithm not in ("sequitur", "repair"):
             raise ParameterError(
                 f"grammar_algorithm must be 'sequitur' or 'repair', "
                 f"got {grammar_algorithm!r}"
             )
+        validate_backend(backend)
+        self.backend = backend
         self.window = window
         self.paa_size = paa_size
         self.alphabet_size = alphabet_size
@@ -180,12 +189,15 @@ class GrammarAnomalyDetector:
             result.candidates,
             num_discords=num_discords,
             rng=np.random.default_rng(self.seed),
+            backend=self.backend,
         )
 
     def nn_distance_profile(self) -> list[tuple[RuleInterval, float]]:
         """Nearest-non-self-match distance per candidate (figure panels)."""
         result = self.result
-        return nearest_neighbor_distances(result.series, result.candidates)
+        return nearest_neighbor_distances(
+            result.series, result.candidates, backend=self.backend
+        )
 
     # -- summaries ------------------------------------------------------
 

@@ -26,6 +26,7 @@ comparable with HOTSAX and brute force (Table 1).
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -34,8 +35,9 @@ import numpy as np
 from repro.core.anomaly import Discord
 from repro.exceptions import DiscordSearchError
 from repro.grammar.intervals import RuleInterval
+from repro.timeseries import kernels
 from repro.timeseries.distance import DistanceCounter
-from repro.timeseries.znorm import znorm
+from repro.timeseries.kernels import validate_backend
 
 
 @dataclass
@@ -62,20 +64,82 @@ class RRAResult:
 
 
 class _CandidateSet:
-    """Candidate intervals with cached z-normalized subsequences."""
+    """Candidate intervals with cached kernel statistics.
+
+    Z-normalization of every interval comes from one O(m) pass of
+    cumulative sums over the series (:class:`~repro.timeseries.kernels.
+    SeriesStats`) instead of a per-window ``znorm`` call, and the
+    quantities the batch distance kernels need — squared norms and
+    squared cumulative sums of the normalized values — are cached per
+    distinct interval.  One instance is shared across the ranks of an
+    iterative :func:`find_discords` extraction.
+    """
 
     def __init__(self, series: np.ndarray, intervals: Sequence[RuleInterval]):
-        self.series = series
+        self.series = np.ascontiguousarray(series, dtype=float)
         self.intervals = list(intervals)
-        self._cache: dict[tuple[int, int], np.ndarray] = {}
+        self._stats = kernels.SeriesStats(self.series)
+        self._values: dict[tuple[int, int], np.ndarray] = {}
+        self._sqnorms: dict[tuple[int, int], float] = {}
+        self._sq_cumsums: dict[tuple[int, int], np.ndarray] = {}
 
     def values(self, interval: RuleInterval) -> np.ndarray:
+        """Z-normalized subsequence of *interval* (cached)."""
         key = (interval.start, interval.end)
-        cached = self._cache.get(key)
+        cached = self._values.get(key)
         if cached is None:
-            cached = znorm(self.series[interval.start : interval.end])
-            self._cache[key] = cached
+            cached = self._stats.znorm(interval.start, interval.end)
+            self._values[key] = cached
         return cached
+
+    def sqnorm(self, interval: RuleInterval) -> float:
+        """Squared L2 norm of the normalized subsequence (cached)."""
+        key = (interval.start, interval.end)
+        cached = self._sqnorms.get(key)
+        if cached is None:
+            values = self.values(interval)
+            cached = float(np.dot(values, values))
+            self._sqnorms[key] = cached
+        return cached
+
+    def sq_cumsum(self, interval: RuleInterval) -> np.ndarray:
+        """Squared cumulative sum of the normalized subsequence (cached).
+
+        Feeds the sliding-alignment kernel when this interval plays the
+        "long" role of an unequal-length comparison.
+        """
+        key = (interval.start, interval.end)
+        cached = self._sq_cumsums.get(key)
+        if cached is None:
+            cached = kernels.sq_cumsum(self.values(interval))
+            self._sq_cumsums[key] = cached
+        return cached
+
+
+def _kernel_pair_distance(
+    cache: _CandidateSet, p: RuleInterval, q: RuleInterval
+) -> float:
+    """Vectorized Eq. 1 distance between two cached candidates.
+
+    Equal lengths use the dot-product identity with the cached squared
+    norms; unequal lengths evaluate the full sliding-alignment profile
+    in one shot instead of the scalar per-offset loop.
+    """
+    a = cache.values(p)
+    b = cache.values(q)
+    if a.size == b.size:
+        sq = cache.sqnorm(p) + cache.sqnorm(q) - 2.0 * float(np.dot(a, b))
+        return float(np.sqrt(max(sq, 0.0) / a.size))
+    if a.size < b.size:
+        short_iv, long_iv, short, long_ = p, q, a, b
+    else:
+        short_iv, long_iv, short, long_ = q, p, b, a
+    return kernels.sliding_min_normalized_distance(
+        short,
+        long_,
+        short_sqnorm=cache.sqnorm(short_iv),
+        long_sq_cumsum=cache.sq_cumsum(long_iv),
+    )
 
 
 def _is_non_self_match(p: RuleInterval, q: RuleInterval) -> bool:
@@ -83,24 +147,43 @@ def _is_non_self_match(p: RuleInterval, q: RuleInterval) -> bool:
     return abs(p.start - q.start) > p.length
 
 
-def _inner_order(
-    candidate: RuleInterval,
-    others: list[RuleInterval],
-    rng: np.random.Generator,
-) -> list[RuleInterval]:
-    """Same-rule intervals first, then the rest shuffled."""
-    same_rule = [
-        iv
-        for iv in others
-        if iv.rule_id == candidate.rule_id and candidate.rule_id >= 0
-    ]
-    rest = [
-        iv
-        for iv in others
-        if not (iv.rule_id == candidate.rule_id and candidate.rule_id >= 0)
-    ]
-    rng.shuffle(rest)
-    return same_rule + rest
+class _InnerOrdering:
+    """Precomputed same-rule buckets for the RRA inner-loop ordering.
+
+    Built once per :func:`find_discord` invocation over the (exclusion-
+    filtered) candidate list, so ordering a candidate's inner loop no
+    longer rescans all candidates with a Python predicate per outer
+    iteration — it concatenates a cached bucket with a cached
+    complement.
+    """
+
+    #: Bucket key for gap candidates (any negative rule id).
+    _GAP = -1
+
+    def __init__(self, candidates: list[RuleInterval]):
+        self._candidates = candidates
+        self._same_rule: dict[int, list[RuleInterval]] = defaultdict(list)
+        for iv in candidates:
+            if iv.rule_id >= 0:
+                self._same_rule[iv.rule_id].append(iv)
+        self._rest: dict[int, list[RuleInterval]] = {}
+
+    def order(
+        self, candidate: RuleInterval, rng: np.random.Generator
+    ) -> list[RuleInterval]:
+        """Same-rule intervals first, then the rest shuffled."""
+        key = candidate.rule_id if candidate.rule_id >= 0 else self._GAP
+        rest = self._rest.get(key)
+        if rest is None:
+            if key == self._GAP:
+                rest = self._candidates
+            else:
+                rest = [iv for iv in self._candidates if iv.rule_id != key]
+            self._rest[key] = rest
+        same_rule = self._same_rule[key] if key != self._GAP else []
+        shuffled = list(rest)
+        rng.shuffle(shuffled)
+        return same_rule + shuffled
 
 
 def find_discord(
@@ -110,6 +193,8 @@ def find_discord(
     counter: Optional[DistanceCounter] = None,
     rng: Optional[np.random.Generator] = None,
     exclude: Sequence[tuple[int, int]] = (),
+    backend: str = "kernel",
+    cache: Optional[_CandidateSet] = None,
 ) -> tuple[Optional[Discord], DistanceCounter]:
     """Find the single best variable-length discord (paper Algorithm 1).
 
@@ -126,12 +211,22 @@ def find_discord(
     exclude:
         Half-open ``(start, end)`` ranges; candidates overlapping any of
         them are skipped (used for iterative multi-discord extraction).
+    backend:
+        ``"kernel"`` (default) draws every pair distance from the
+        vectorized kernels in :mod:`repro.timeseries.kernels`;
+        ``"scalar"`` keeps the per-pair reference path.  Both visit the
+        same pairs in the same order, so call counts are identical.
+    cache:
+        Prebuilt :class:`_CandidateSet` over *series* and *intervals*,
+        reused across the ranks of an iterative extraction so the znorm
+        and kernel-statistic caches are computed once.
 
     Returns
     -------
     (discord or None, counter)
         None when no candidate has a non-self match (degenerate input).
     """
+    validate_backend(backend)
     series = np.asarray(series, dtype=float)
     if series.ndim != 1:
         raise DiscordSearchError(f"series must be 1-d, got shape {series.shape}")
@@ -150,7 +245,10 @@ def find_discord(
     if not candidates:
         return None, counter
 
-    cache = _CandidateSet(series, candidates)
+    if cache is None:
+        cache = _CandidateSet(series, candidates)
+    ordering = _InnerOrdering(candidates)
+    use_kernel = backend == "kernel"
 
     # Outer ordering: ascending rule usage (gaps first), deterministic
     # tie-break by position.
@@ -163,12 +261,16 @@ def find_discord(
         p_values = cache.values(p)
         nearest = float("inf")
         pruned = False
-        for q in _inner_order(p, candidates, rng):
+        for q in ordering.order(p, rng):
             if q is p or not _is_non_self_match(p, q):
                 continue
-            dist = counter.variable_length(
-                p_values, cache.values(q), normalize_inputs=False
-            )
+            if use_kernel:
+                counter.batch(1)
+                dist = _kernel_pair_distance(cache, p, q)
+            else:
+                dist = counter.variable_length(
+                    p_values, cache.values(q), normalize_inputs=False
+                )
             if dist < best_dist:
                 pruned = True  # p cannot beat the current best discord
                 break
@@ -199,14 +301,17 @@ def find_discords(
     num_discords: int = 1,
     counter: Optional[DistanceCounter] = None,
     rng: Optional[np.random.Generator] = None,
+    backend: str = "kernel",
 ) -> RRAResult:
     """Iteratively extract up to *num_discords* ranked discords.
 
     After each discovery the found interval is excluded (paper: "when run
     iteratively, excluding the current best discord from Intervals list,
     RRA outputs a ranked list of multiple co-existing discords of
-    variable length").
+    variable length").  The candidate cache (z-normalized subsequences
+    and kernel statistics) is built once and shared across ranks.
     """
+    validate_backend(backend)
     series = np.asarray(series, dtype=float)
     if counter is None:
         counter = DistanceCounter()
@@ -216,14 +321,20 @@ def find_discords(
         raise DiscordSearchError(f"num_discords must be >= 1, got {num_discords}")
 
     result = RRAResult(candidate_count=len(list(intervals)))
+    valid = [
+        iv for iv in intervals if iv.end <= series.size and iv.length >= 2
+    ]
+    cache = _CandidateSet(series, valid)
     exclusions: list[tuple[int, int]] = []
     for rank in range(num_discords):
         discord, counter = find_discord(
             series,
-            intervals,
+            valid,
             counter=counter,
             rng=rng,
             exclude=exclusions,
+            backend=backend,
+            cache=cache,
         )
         if discord is None:
             break
@@ -247,6 +358,7 @@ def nearest_neighbor_distances(
     intervals: Sequence[RuleInterval],
     *,
     counter: Optional[DistanceCounter] = None,
+    backend: str = "kernel",
 ) -> list[tuple[RuleInterval, float]]:
     """Exact nearest-non-self-match distance for every candidate interval.
 
@@ -254,23 +366,78 @@ def nearest_neighbor_distances(
     plot: a vertical line at each rule-interval start whose height is the
     distance to the interval's nearest non-self match.  O(k^2) distance
     calls — intended for analysis/visualization, not for search.
+
+    The kernel backend goes one-vs-all: candidates of the same length
+    are compared with a single matrix-vector product per query, the
+    rest through the vectorized sliding-alignment kernel.  Accounting
+    is unchanged — one logical call per non-self-match pair.
     """
+    validate_backend(backend)
     series = np.asarray(series, dtype=float)
     if counter is None:
         counter = DistanceCounter()
     candidates = [iv for iv in intervals if iv.end <= series.size and iv.length >= 2]
     cache = _CandidateSet(series, candidates)
     results: list[tuple[RuleInterval, float]] = []
-    for p in candidates:
-        p_values = cache.values(p)
+
+    if backend == "scalar":
+        for p in candidates:
+            p_values = cache.values(p)
+            nearest = float("inf")
+            for q in candidates:
+                if q is p or not _is_non_self_match(p, q):
+                    continue
+                dist = counter.variable_length(
+                    p_values, cache.values(q), normalize_inputs=False
+                )
+                if dist < nearest:
+                    nearest = dist
+            results.append((p, nearest))
+        return results
+
+    if not candidates:
+        return results
+    starts = np.asarray([iv.start for iv in candidates], dtype=np.intp)
+    by_length: dict[int, list[int]] = defaultdict(list)
+    for i, iv in enumerate(candidates):
+        by_length[iv.length].append(i)
+    group_rows: dict[int, np.ndarray] = {}
+    group_sqnorms: dict[int, np.ndarray] = {}
+    group_index: dict[int, np.ndarray] = {}
+    for length, members in by_length.items():
+        rows = np.stack([cache.values(candidates[i]) for i in members])
+        group_rows[length] = rows
+        group_sqnorms[length] = kernels.row_sqnorms(rows)
+        group_index[length] = np.asarray(members, dtype=np.intp)
+
+    for i, p in enumerate(candidates):
+        # Paper line 7 as a mask: |p0 - q0| > Length(p).  This also
+        # removes p itself, so every True entry is one logical call.
+        valid = np.abs(starts - p.start) > p.length
+        counter.batch(int(np.count_nonzero(valid)))
         nearest = float("inf")
-        for q in candidates:
-            if q is p or not _is_non_self_match(p, q):
-                continue
-            dist = counter.variable_length(
-                p_values, cache.values(q), normalize_inputs=False
+        p_values = cache.values(p)
+        p_sqnorm = cache.sqnorm(p)
+
+        same = group_index[p.length]
+        keep = valid[same]
+        if keep.any():
+            sq = kernels.one_vs_all_sq_euclidean(
+                p_values,
+                group_rows[p.length][keep],
+                query_sqnorm=p_sqnorm,
+                sqnorms=group_sqnorms[p.length][keep],
             )
-            if dist < nearest:
-                nearest = dist
+            nearest = float(np.sqrt(sq.min() / p.length))
+
+        for length, members in by_length.items():
+            if length == p.length:
+                continue
+            for j in members:
+                if not valid[j]:
+                    continue
+                dist = _kernel_pair_distance(cache, p, candidates[j])
+                if dist < nearest:
+                    nearest = dist
         results.append((p, nearest))
     return results

@@ -18,7 +18,9 @@ from typing import Optional
 import numpy as np
 
 from repro.core.anomaly import Discord
+from repro.discord.search import validate_backend
 from repro.exceptions import DiscordSearchError
+from repro.timeseries import kernels
 from repro.timeseries.distance import DistanceCounter
 from repro.timeseries.windows import num_windows, sliding_windows
 from repro.timeseries.znorm import znorm_rows
@@ -33,15 +35,12 @@ def brute_force_call_count(series_length: int, window: int) -> int:
 
         sum over p of |{ q : |p - q| > n }|
 
-    which this function evaluates exactly.
+    Each direction contributes ``sum_{j=1}^{d} j`` pairs with
+    ``d = k - n - 1``, so the total collapses to ``d * (d + 1)``.
     """
     k = num_windows(series_length, window)
-    total = 0
-    for p in range(k):
-        left = max(0, p - window)  # matches q < p - n
-        right = max(0, k - p - window - 1)  # matches q > p + n
-        total += left + right
-    return total
+    d = k - window - 1
+    return d * (d + 1) if d > 0 else 0
 
 
 def brute_force_discord(
@@ -51,6 +50,7 @@ def brute_force_discord(
     counter: Optional[DistanceCounter] = None,
     early_abandon: bool = False,
     exclude: tuple[tuple[int, int], ...] = (),
+    backend: str = "kernel",
 ) -> tuple[Optional[Discord], DistanceCounter]:
     """Exact fixed-length discord by exhaustive search.
 
@@ -70,7 +70,12 @@ def brute_force_discord(
     exclude:
         Candidate start positions falling in any of these half-open
         ranges are skipped (multi-discord extraction).
+    backend:
+        ``"kernel"`` (default) computes each candidate's distance row
+        with one matrix-vector product; ``"scalar"`` keeps the per-pair
+        reference loop.  Results and call counts are identical.
     """
+    validate_backend(backend)
     series = np.asarray(series, dtype=float)
     k = num_windows(series.size, window)
     if k < 2:
@@ -82,6 +87,7 @@ def brute_force_discord(
 
     windows = sliding_windows(series, window)
     normalized = znorm_rows(windows)
+    sqnorms = kernels.row_sqnorms(normalized) if backend == "kernel" else None
 
     best_dist = -1.0
     best_pos = None
@@ -90,19 +96,40 @@ def brute_force_discord(
             continue
         nearest = float("inf")
         pruned = False
-        for q in range(k):
-            if abs(p - q) <= window:
-                continue
-            # Abandoning beyond `nearest` never loses information: while
-            # the candidate is alive, nearest >= best_dist, so an
-            # abandoned (inf) result can trigger neither branch below.
-            cutoff = nearest if early_abandon else float("inf")
-            dist = counter.euclidean(normalized[p], normalized[q], cutoff=cutoff)
-            if early_abandon and dist < best_dist:
-                pruned = True
-                break
-            if dist < nearest:
-                nearest = dist
+        if backend == "kernel":
+            # One matrix-vector product yields the candidate's entire
+            # distance row; the scalar prune logic is replayed on it so
+            # the logical call count stays identical.
+            sq_row = kernels.one_vs_all_sq_euclidean(
+                normalized[p], normalized, query_sqnorm=sqnorms[p], sqnorms=sqnorms
+            )
+            valid = np.ones(k, dtype=bool)
+            valid[max(0, p - window) : p + window + 1] = False
+            dists = np.sqrt(sq_row[valid])
+            if early_abandon:
+                hit = kernels.first_below(dists, best_dist)
+                if hit >= 0:
+                    counter.batch(hit + 1)
+                    pruned = True
+            if not pruned:
+                counter.batch(dists.size)
+                if dists.size:
+                    nearest = float(dists.min())
+        else:
+            for q in range(k):
+                if abs(p - q) <= window:
+                    continue
+                # Abandoning beyond `nearest` never loses information:
+                # while the candidate is alive, nearest >= best_dist, so
+                # an abandoned (inf) result can trigger neither branch
+                # below.
+                cutoff = nearest if early_abandon else float("inf")
+                dist = counter.euclidean(normalized[p], normalized[q], cutoff=cutoff)
+                if early_abandon and dist < best_dist:
+                    pruned = True
+                    break
+                if dist < nearest:
+                    nearest = dist
         if not pruned and np.isfinite(nearest) and nearest > best_dist:
             best_dist = nearest
             best_pos = p
@@ -128,8 +155,10 @@ def brute_force_discords(
     num_discords: int = 1,
     counter: Optional[DistanceCounter] = None,
     early_abandon: bool = True,
+    backend: str = "kernel",
 ) -> list[Discord]:
     """Ranked top-k fixed-length discords by exhaustive search."""
+    validate_backend(backend)
     series = np.asarray(series, dtype=float)
     if counter is None:
         counter = DistanceCounter()
@@ -142,6 +171,7 @@ def brute_force_discords(
             counter=counter,
             early_abandon=early_abandon,
             exclude=tuple(exclusions),
+            backend=backend,
         )
         if found is None:
             break

@@ -108,6 +108,7 @@ def haar_discord(
     counter: Optional[DistanceCounter] = None,
     rng: Optional[np.random.Generator] = None,
     exclude: tuple[tuple[int, int], ...] = (),
+    backend: str = "kernel",
 ) -> tuple[Optional[Discord], DistanceCounter]:
     """Best fixed-length discord with Haar-word loop ordering (exact)."""
     return ordered_discord_search(
@@ -118,6 +119,7 @@ def haar_discord(
         counter=counter,
         rng=rng,
         exclude=exclude,
+        backend=backend,
     )
 
 
@@ -129,6 +131,7 @@ def haar_discords(
     num_coefficients: int = 4,
     counter: Optional[DistanceCounter] = None,
     rng: Optional[np.random.Generator] = None,
+    backend: str = "kernel",
 ) -> HaarResult:
     """Ranked top-k discords with Haar-word loop ordering."""
     discords, counter = iterated_search(
@@ -139,6 +142,7 @@ def haar_discords(
         num_discords=num_discords,
         counter=counter,
         rng=rng,
+        backend=backend,
     )
     return HaarResult(
         discords=discords, distance_calls=counter.calls, window=window

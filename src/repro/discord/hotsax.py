@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.core.anomaly import Discord
 from repro.discord.search import iterated_search, ordered_discord_search
-from repro.sax.alphabet import breakpoints
+from repro.sax.alphabet import alphabet_letters, breakpoints_array
 from repro.timeseries.distance import DistanceCounter
 from repro.timeseries.paa import paa_batch
 from repro.timeseries.windows import sliding_windows
@@ -51,9 +51,9 @@ def _sax_words_per_window(
     windows = sliding_windows(series, window)
     normalized = znorm_rows(windows)
     paa_values = paa_batch(normalized, paa_size)
-    cuts = np.asarray(breakpoints(alphabet_size))
+    cuts = breakpoints_array(alphabet_size)
     letter_idx = np.searchsorted(cuts, paa_values, side="right")
-    alphabet = [chr(ord("a") + i) for i in range(alphabet_size)]
+    alphabet = alphabet_letters(alphabet_size)
     return ["".join(alphabet[i] for i in row) for row in letter_idx]
 
 
@@ -66,6 +66,7 @@ def hotsax_discord(
     counter: Optional[DistanceCounter] = None,
     rng: Optional[np.random.Generator] = None,
     exclude: tuple[tuple[int, int], ...] = (),
+    backend: str = "kernel",
 ) -> tuple[Optional[Discord], DistanceCounter]:
     """Find the best fixed-length discord with the HOTSAX heuristics.
 
@@ -85,6 +86,9 @@ def hotsax_discord(
     exclude:
         Candidate start positions inside these half-open ranges are
         skipped (multi-discord extraction).
+    backend:
+        ``"kernel"`` (default) or ``"scalar"`` — see
+        :func:`repro.discord.search.ordered_discord_search`.
     """
     return ordered_discord_search(
         series,
@@ -94,6 +98,7 @@ def hotsax_discord(
         counter=counter,
         rng=rng,
         exclude=exclude,
+        backend=backend,
     )
 
 
@@ -106,6 +111,7 @@ def hotsax_discords(
     alphabet_size: int = 3,
     counter: Optional[DistanceCounter] = None,
     rng: Optional[np.random.Generator] = None,
+    backend: str = "kernel",
 ) -> HOTSAXResult:
     """Ranked top-k fixed-length discords with the HOTSAX heuristics."""
     discords, counter = iterated_search(
@@ -116,6 +122,7 @@ def hotsax_discords(
         num_discords=num_discords,
         counter=counter,
         rng=rng,
+        backend=backend,
     )
     return HOTSAXResult(
         discords=discords, distance_calls=counter.calls, window=window

@@ -11,13 +11,16 @@ that engine so each baseline supplies only its bucketing function.
 from __future__ import annotations
 
 from collections import defaultdict
+from itertools import islice
 from typing import Callable, Optional, Sequence
 
 import numpy as np
 
 from repro.core.anomaly import Discord
 from repro.exceptions import DiscordSearchError
+from repro.timeseries import kernels
 from repro.timeseries.distance import DistanceCounter
+from repro.timeseries.kernels import BACKENDS, validate_backend  # noqa: F401
 from repro.timeseries.windows import num_windows, sliding_windows
 from repro.timeseries.znorm import znorm_rows
 
@@ -34,6 +37,7 @@ def ordered_discord_search(
     counter: Optional[DistanceCounter] = None,
     rng: Optional[np.random.Generator] = None,
     exclude: tuple[tuple[int, int], ...] = (),
+    backend: str = "kernel",
 ) -> tuple[Optional[Discord], DistanceCounter]:
     """Exact fixed-length discord via bucket-driven loop orderings.
 
@@ -49,7 +53,13 @@ def ordered_discord_search(
         Tag recorded on the returned :class:`Discord`.
     counter, rng, exclude:
         As in :func:`repro.discord.hotsax.hotsax_discord`.
+    backend:
+        ``"kernel"`` (default) evaluates the inner loop in vectorized
+        blocks via :mod:`repro.timeseries.kernels`; ``"scalar"`` keeps
+        the per-pair reference path.  Both visit the same pairs in the
+        same order, so results and call counts are identical.
     """
+    validate_backend(backend)
     series = np.asarray(series, dtype=float)
     k = num_windows(series.size, window)
     if k < 2:
@@ -71,6 +81,7 @@ def ordered_discord_search(
         buckets[key].append(pos)
 
     normalized = znorm_rows(sliding_windows(series, window))
+    sqnorms = kernels.row_sqnorms(normalized) if backend == "kernel" else None
 
     outer = sorted(range(k), key=lambda p: (len(buckets[keys[p]]), p))
 
@@ -83,17 +94,30 @@ def ordered_discord_search(
         pruned = False
         same_bucket = [q for q in buckets[keys[p]] if q != p]
         tail = rng.permutation(k)
-        for q in _inner_sequence(same_bucket, tail, p):
-            if abs(p - q) <= window:
-                continue
-            # Abandoning beyond `nearest` is lossless: while the candidate
-            # is alive, nearest >= best_dist (see hotsax.py).
-            dist = counter.euclidean(normalized[p], normalized[q], cutoff=nearest)
-            if dist < best_dist:
-                pruned = True
-                break
-            if dist < nearest:
-                nearest = dist
+        if backend == "kernel":
+            order = (
+                q
+                for q in _inner_sequence(same_bucket, tail, p)
+                if abs(p - q) > window
+            )
+            nearest, consumed, pruned = _kernel_inner_scan(
+                normalized, sqnorms, p, order, best_dist
+            )
+            counter.batch(consumed)
+        else:
+            for q in _inner_sequence(same_bucket, tail, p):
+                if abs(p - q) <= window:
+                    continue
+                # Abandoning beyond `nearest` is lossless: while the
+                # candidate is alive, nearest >= best_dist (see hotsax.py).
+                dist = counter.euclidean(
+                    normalized[p], normalized[q], cutoff=nearest
+                )
+                if dist < best_dist:
+                    pruned = True
+                    break
+                if dist < nearest:
+                    nearest = dist
         if not pruned and np.isfinite(nearest) and nearest > best_dist:
             best_dist = nearest
             best_pos = p
@@ -110,6 +134,51 @@ def ordered_discord_search(
         source=source,
     )
     return discord, counter
+
+
+def _kernel_inner_scan(
+    normalized: np.ndarray,
+    sqnorms: np.ndarray,
+    p: int,
+    order,
+    best_dist: float,
+) -> tuple[float, int, bool]:
+    """Replay the scalar inner loop over lazy *order* in vectorized blocks.
+
+    Pulls candidate positions from the *order* iterator in geometrically
+    growing blocks, evaluates each block's distances to window *p* with
+    one matrix-vector product, and applies the exact scalar prune logic
+    to the block results in sequence.  Returns
+    ``(nearest, consumed, pruned)`` where *consumed* is the number of
+    pairs the scalar loop would have visited — the logical call count.
+
+    Laziness matters as much as vectorization: a candidate pruned after
+    a handful of same-bucket comparisons (the common HOTSAX case) must
+    not pay for materializing its full O(k) inner ordering, so only the
+    pairs actually scanned — plus bounded block speculation — are ever
+    pulled from the iterator.
+    """
+    nearest = float("inf")
+    consumed = 0
+    block = 8
+    p_row = normalized[p]
+    p_sq = sqnorms[p]
+    while True:
+        idx = np.fromiter(islice(order, block), dtype=np.intp)
+        if idx.size == 0:
+            return nearest, consumed, False
+        sq = kernels.one_vs_all_sq_euclidean(
+            p_row, normalized[idx], query_sqnorm=p_sq, sqnorms=sqnorms[idx]
+        )
+        dists = np.sqrt(sq)
+        hit = kernels.first_below(dists, best_dist)
+        if hit >= 0:
+            return nearest, consumed + hit + 1, True
+        consumed += idx.size
+        block_min = float(dists.min())
+        if block_min < nearest:
+            nearest = block_min
+        block = min(block * 4, 2048)
 
 
 def _inner_sequence(same_bucket: list[int], tail: np.ndarray, p: int):
@@ -133,8 +202,10 @@ def iterated_search(
     num_discords: int,
     counter: Optional[DistanceCounter] = None,
     rng: Optional[np.random.Generator] = None,
+    backend: str = "kernel",
 ) -> tuple[list[Discord], DistanceCounter]:
     """Top-k discords by repeated search with window-sized exclusion."""
+    validate_backend(backend)
     series = np.asarray(series, dtype=float)
     if counter is None:
         counter = DistanceCounter()
@@ -148,6 +219,7 @@ def iterated_search(
         found, counter = ordered_discord_search(
             series, window, bucket_fn,
             source=source, counter=counter, rng=rng, exclude=tuple(exclusions),
+            backend=backend,
         )
         if found is None:
             break

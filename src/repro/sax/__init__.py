@@ -10,7 +10,9 @@ compacted with numerosity reduction so that Sequitur sees one token per
 from repro.sax.alphabet import (
     MAX_ALPHABET_SIZE,
     MIN_ALPHABET_SIZE,
+    alphabet_letters,
     breakpoints,
+    breakpoints_array,
     symbol_for_value,
     symbols_for_values,
 )
@@ -26,6 +28,8 @@ __all__ = [
     "MAX_ALPHABET_SIZE",
     "MIN_ALPHABET_SIZE",
     "breakpoints",
+    "breakpoints_array",
+    "alphabet_letters",
     "symbol_for_value",
     "symbols_for_values",
     "sax_word",

@@ -41,6 +41,26 @@ def breakpoints(alpha: int) -> tuple[float, ...]:
     return tuple(float(x) for x in norm.ppf(qs))
 
 
+@lru_cache(maxsize=None)
+def breakpoints_array(alpha: int) -> np.ndarray:
+    """:func:`breakpoints` as a cached read-only numpy array.
+
+    Hot paths (window-by-window SAX conversion, parameter-grid sweeps)
+    call ``np.searchsorted`` against the breakpoints thousands of times;
+    caching the array form avoids rebuilding it on every call.
+    """
+    cuts = np.asarray(breakpoints(alpha), dtype=float)
+    cuts.flags.writeable = False
+    return cuts
+
+
+@lru_cache(maxsize=None)
+def alphabet_letters(alpha: int) -> tuple[str, ...]:
+    """The *alpha* SAX letters, cached (``('a', 'b', ...)``)."""
+    _validate_alphabet_size(alpha)
+    return tuple(chr(ord(_FIRST_SYMBOL) + i) for i in range(alpha))
+
+
 def symbol_for_value(value: float, alpha: int) -> str:
     """Map a single z-normalized value to its SAX letter."""
     cuts = breakpoints(alpha)
@@ -50,9 +70,10 @@ def symbol_for_value(value: float, alpha: int) -> str:
 
 def symbols_for_values(values: np.ndarray, alpha: int) -> str:
     """Map an array of values (e.g. PAA means) to a SAX word string."""
-    cuts = np.asarray(breakpoints(alpha))
+    cuts = breakpoints_array(alpha)
     idxs = np.searchsorted(cuts, np.asarray(values, dtype=float), side="right")
-    return "".join(chr(ord(_FIRST_SYMBOL) + int(i)) for i in idxs)
+    letters = alphabet_letters(alpha)
+    return "".join(letters[int(i)] for i in idxs)
 
 
 def symbol_index(symbol: str) -> int:

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import DiscretizationError, ParameterError
-from repro.sax.alphabet import breakpoints
+from repro.sax.alphabet import breakpoints_array
 from repro.sax.sax import mindist
 from repro.timeseries.paa import paa_batch
 from repro.timeseries.windows import sliding_windows
@@ -171,7 +171,7 @@ def discretize(
             f"PAA size {paa_size} exceeds window length {window}"
         )
     # Validate alphabet early (breakpoints() raises ParameterError).
-    cuts = np.asarray(breakpoints(alphabet_size))
+    cuts = breakpoints_array(alphabet_size)
 
     windows = sliding_windows(series, window)
     normalized = znorm_rows(windows, flatness_threshold)

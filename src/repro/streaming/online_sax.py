@@ -14,7 +14,7 @@ from typing import Optional
 import numpy as np
 
 from repro.exceptions import ParameterError
-from repro.sax.alphabet import breakpoints
+from repro.sax.alphabet import alphabet_letters, breakpoints_array
 from repro.sax.discretize import NumerosityReduction, SAXWord
 from repro.sax.sax import mindist
 from repro.streaming.window_stats import RollingStats
@@ -60,8 +60,8 @@ class OnlineDiscretizer:
         self.alphabet_size = alphabet_size
         self.strategy = strategy
         self.flatness_threshold = flatness_threshold
-        self._cuts = np.asarray(breakpoints(alphabet_size))
-        self._alphabet = [chr(ord("a") + i) for i in range(alphabet_size)]
+        self._cuts = breakpoints_array(alphabet_size)
+        self._alphabet = list(alphabet_letters(alphabet_size))
         self._stats = RollingStats(window)
         self._position = 0  # index of the NEXT point to be pushed
         self._last_word: Optional[str] = None

@@ -20,6 +20,14 @@ from repro.timeseries.distance import (
     normalized_euclidean,
     variable_length_distance,
 )
+from repro.timeseries.kernels import (
+    SeriesStats,
+    one_vs_all_euclidean,
+    one_vs_all_sq_euclidean,
+    sliding_min_normalized_distance,
+    sliding_window_stats,
+    znorm_sliding_windows,
+)
 from repro.timeseries.preprocess import (
     clip_outliers,
     detrend,
@@ -44,6 +52,12 @@ __all__ = [
     "euclidean_early_abandon",
     "normalized_euclidean",
     "variable_length_distance",
+    "SeriesStats",
+    "sliding_window_stats",
+    "znorm_sliding_windows",
+    "one_vs_all_sq_euclidean",
+    "one_vs_all_euclidean",
+    "sliding_min_normalized_distance",
     "fill_missing",
     "detrend",
     "downsample",

@@ -14,6 +14,10 @@ Two distance flavours are used:
   variable-length subsequences — used by RRA.  For unequal lengths the
   shorter sequence is slid along the longer one and the best (minimum)
   alignment is kept; see DESIGN.md §5.
+
+The functions here are the *scalar reference* path (``backend="scalar"``
+in the discord searches); the vectorized batch equivalents live in
+:mod:`repro.timeseries.kernels` and are the default backend.
 """
 
 from __future__ import annotations
@@ -134,6 +138,19 @@ class DistanceCounter:
         """Counted Euclidean distance with optional early abandoning."""
         self.calls += 1
         return euclidean_early_abandon(a, b, cutoff)
+
+    def batch(self, count: int) -> None:
+        """Record *count* logical calls evaluated by a batched kernel.
+
+        The kernel backends (:mod:`repro.timeseries.kernels`) evaluate
+        many candidate pairs with one numpy operation but still account
+        one logical call per pair the scalar loop would have visited —
+        including the pair that triggers an early-abandon break — so
+        Table 1 call counts are bit-identical across backends.
+        """
+        if count < 0:
+            raise ParameterError(f"batch count must be >= 0, got {count}")
+        self.calls += int(count)
 
     def variable_length(
         self,

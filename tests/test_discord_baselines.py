@@ -52,6 +52,25 @@ class TestBruteForceCallCount:
         brute_force_discord(series, 20, counter=counter, early_abandon=False)
         assert counter.calls == brute_force_call_count(120, 20)
 
+    @staticmethod
+    def _loop_reference(series_length: int, window: int) -> int:
+        """The original O(k) summation the closed form replaced."""
+        k = num_windows(series_length, window)
+        total = 0
+        for p in range(k):
+            left = max(0, p - window)
+            right = max(0, k - p - window - 1)
+            total += left + right
+        return total
+
+    def test_closed_form_matches_loop_sweep(self):
+        """Pin the closed form against the loop over a sweep of (m, n)."""
+        for m in (1, 2, 5, 10, 33, 100, 257, 1000):
+            for n in (1, 2, 3, 7, 20, 99, 100, 150):
+                assert brute_force_call_count(m, n) == self._loop_reference(
+                    m, n
+                ), f"mismatch at m={m}, n={n}"
+
 
 class TestBruteForceDiscord:
     def test_finds_planted_blip(self):

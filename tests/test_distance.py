@@ -179,3 +179,80 @@ class TestDistanceCounter:
         counter = DistanceCounter()
         a, b = rng.normal(size=16), rng.normal(size=16)
         assert counter.euclidean(a, b) == pytest.approx(euclidean(a, b))
+
+
+class TestVariableLengthAlignmentEdgeCases:
+    """Unequal-length alignment against a naive reference implementation."""
+
+    @staticmethod
+    def _naive_reference(p, q, *, normalize_inputs=True):
+        """Direct transcription of DESIGN.md §5: slide, score, minimize."""
+        p = np.asarray(p, dtype=float)
+        q = np.asarray(q, dtype=float)
+        if normalize_inputs:
+            p, q = znorm(p), znorm(q)
+        short, long_ = (p, q) if p.size <= q.size else (q, p)
+        best = float("inf")
+        for offset in range(long_.size - short.size + 1):
+            segment = long_[offset : offset + short.size]
+            best = min(
+                best,
+                float(np.sqrt(np.sum((short - segment) ** 2) / short.size)),
+            )
+        return best
+
+    def test_shortest_possible_shorter(self, rng):
+        """shorter == 2 — the smallest length RRA ever compares."""
+        for _ in range(10):
+            short = rng.normal(size=2)
+            long_ = rng.normal(size=int(rng.integers(2, 30)))
+            expected = self._naive_reference(short, long_)
+            assert variable_length_distance(short, long_) == pytest.approx(
+                expected, abs=1e-9
+            )
+
+    def test_lengths_differing_by_one(self, rng):
+        """Off-by-one lengths exercise the two-offset alignment."""
+        for n in (2, 3, 7, 16):
+            p = rng.normal(size=n)
+            q = rng.normal(size=n + 1)
+            expected = self._naive_reference(p, q)
+            assert variable_length_distance(p, q) == pytest.approx(
+                expected, abs=1e-9
+            )
+            assert variable_length_distance(q, p) == pytest.approx(
+                expected, abs=1e-9
+            )
+
+    def test_constant_short_against_noisy_long(self, rng):
+        """A flat segment is mean-centered (not scaled) before comparing."""
+        short = np.full(5, 3.25)
+        long_ = rng.normal(size=20)
+        expected = self._naive_reference(short, long_)
+        assert variable_length_distance(short, long_) == pytest.approx(
+            expected, abs=1e-9
+        )
+
+    def test_both_constant(self):
+        """Two flat segments z-normalize to zeros: distance is exactly 0."""
+        p = np.full(4, 7.0)
+        q = np.full(9, -2.0)
+        assert variable_length_distance(p, q) == pytest.approx(0.0, abs=1e-12)
+
+    def test_flat_stretch_inside_long(self, rng):
+        """Plateaus inside the longer sequence must not derail alignment."""
+        long_ = rng.normal(size=40)
+        long_[10:25] = 0.5
+        short = rng.normal(size=8)
+        expected = self._naive_reference(short, long_)
+        assert variable_length_distance(short, long_) == pytest.approx(
+            expected, abs=1e-9
+        )
+
+    def test_unnormalized_inputs_edge_lengths(self, rng):
+        for n, m in [(2, 3), (2, 2), (3, 4), (5, 40)]:
+            p = rng.normal(size=n)
+            q = rng.normal(size=m)
+            expected = self._naive_reference(p, q, normalize_inputs=False)
+            got = variable_length_distance(p, q, normalize_inputs=False)
+            assert got == pytest.approx(expected, abs=1e-9)
