@@ -39,6 +39,8 @@ from repro.core import (
 )
 from repro.streaming import StreamAlarm, StreamingAnomalyDetector
 from repro.exceptions import (
+    CheckpointError,
+    DataQualityError,
     DatasetError,
     DiscordSearchError,
     DiscretizationError,
@@ -47,6 +49,7 @@ from repro.exceptions import (
     ReproError,
     TrajectoryError,
 )
+from repro.resilience import CancellationToken, SearchBudget, SearchStatus
 from repro.grammar import Grammar, GrammarRule, induce_grammar, repair_grammar
 from repro.sax import Discretization, NumerosityReduction, discretize, sax_word
 
@@ -73,6 +76,10 @@ __all__ = [
     # streaming
     "StreamAlarm",
     "StreamingAnomalyDetector",
+    # resilience
+    "CancellationToken",
+    "SearchBudget",
+    "SearchStatus",
     # grammar
     "Grammar",
     "GrammarRule",
@@ -90,5 +97,7 @@ __all__ = [
     "GrammarError",
     "DiscordSearchError",
     "DatasetError",
+    "DataQualityError",
+    "CheckpointError",
     "TrajectoryError",
 ]

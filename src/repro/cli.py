@@ -30,7 +30,9 @@ from repro.core.pipeline import GrammarAnomalyDetector
 from repro.exceptions import ReproError
 
 
-def _load_series(path: str, column: int) -> np.ndarray:
+def _load_series(
+    path: str, column: int, *, keep_nonfinite: bool = False
+) -> np.ndarray:
     """Load a 1-d series from a text file (CSV or whitespace-separated)."""
     try:
         data = np.genfromtxt(path, delimiter=None, dtype=float)
@@ -44,22 +46,61 @@ def _load_series(path: str, column: int) -> np.ndarray:
                 f"column {column} requested but file has {data.shape[1]} columns"
             )
         series = data[:, column]
-    series = series[np.isfinite(series)]
-    if series.size == 0:
+    if not keep_nonfinite:
+        series = series[np.isfinite(series)]
+    if series.size == 0 or not np.isfinite(series).any():
         raise ReproError(f"no numeric data found in {path}")
     return series
 
 
 def _cmd_find(args: argparse.Namespace) -> int:
+    from repro.resilience import SearchBudget
     from repro.visualization.report import grammar_report
 
-    series = _load_series(args.path, args.column)
-    detector = GrammarAnomalyDetector(args.window, args.paa, args.alphabet)
+    # With an explicit quality policy the gate sees the raw values;
+    # without one, the legacy behaviour (drop non-finite rows) holds.
+    series = _load_series(
+        args.path, args.column, keep_nonfinite=args.quality is not None
+    )
+    detector = GrammarAnomalyDetector(
+        args.window,
+        args.paa,
+        args.alphabet,
+        quality_policy=args.quality or "raise",
+    )
     result = detector.fit(series)
     anomalies = list(detector.density_anomalies(max_anomalies=args.discords))
-    rra = detector.discords(num_discords=args.discords)
+    budget = None
+    if args.deadline is not None or args.max_calls is not None:
+        budget = SearchBudget(deadline=args.deadline, max_calls=args.max_calls)
+    rra = detector.discords(
+        num_discords=args.discords,
+        budget=budget,
+        checkpoint_path=args.checkpoint,
+        resume_from=args.resume,
+    )
     anomalies.extend(rra.discords)
     print(grammar_report(result, anomalies))
+    if not rra.complete:
+        exact = sum(rra.rank_complete)
+        print(
+            f"search stopped early ({rra.status.value}) after "
+            f"{rra.distance_calls} distance calls: {exact} exact rank(s), "
+            f"{len(rra.discords) - exact} best-so-far",
+            file=sys.stderr,
+        )
+        if args.checkpoint:
+            print(
+                f"resume with: --resume {args.checkpoint} "
+                f"--checkpoint {args.checkpoint}",
+                file=sys.stderr,
+            )
+        if rra.degraded and rra.fallback:
+            print(
+                "degraded fallback (rule-density intervals): "
+                + ", ".join(f"[{a.start}, {a.end})" for a in rra.fallback),
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -181,6 +222,31 @@ def build_parser() -> argparse.ArgumentParser:
     find.add_argument("path", help="CSV or whitespace-separated series file")
     add_sax_args(find)
     find.add_argument("--discords", "-k", type=int, default=3, help="discords to report")
+    find.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the discord search (anytime: prints "
+             "best-so-far results when it trips)",
+    )
+    find.add_argument(
+        "--max-calls", type=int, default=None, metavar="N",
+        help="distance-call budget for the discord search",
+    )
+    find.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="autosave search state to this JSON file so a killed run "
+             "can be resumed",
+    )
+    find.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume from a checkpoint written by a previous run over "
+             "the same inputs (bit-identical final result)",
+    )
+    find.add_argument(
+        "--quality", choices=["raise", "interpolate", "mask"], default=None,
+        help="NaN/Inf policy: raise refuses dirty data, interpolate "
+             "repairs gaps, mask repairs but never reports anomalies "
+             "from repaired spans (default: drop non-finite rows on load)",
+    )
     find.set_defaults(func=_cmd_find)
 
     density = sub.add_parser("density", help="print the rule density curve")

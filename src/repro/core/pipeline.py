@@ -26,8 +26,10 @@ from repro.grammar.intervals import (
 )
 from repro.grammar.repair import repair_grammar
 from repro.grammar.sequitur import induce_grammar
+from repro.resilience.budget import SearchBudget
 from repro.sax.discretize import Discretization, NumerosityReduction, discretize
 from repro.timeseries.kernels import validate_backend
+from repro.timeseries.preprocess import QUALITY_POLICIES, quality_gate
 
 
 @dataclass
@@ -45,11 +47,27 @@ class PipelineResult:
     intervals: list[RuleInterval]
     gaps: list[RuleInterval]
     density: np.ndarray = field(repr=False, default=None)
+    masked_spans: tuple[tuple[int, int], ...] = ()
 
     @property
     def candidates(self) -> list[RuleInterval]:
-        """RRA candidate set: rule intervals plus zero-coverage gaps."""
-        return self.intervals + self.gaps
+        """RRA candidate set: rule intervals plus zero-coverage gaps.
+
+        Under the ``mask`` quality policy, candidates overlapping a
+        masked (originally non-finite) span are excluded — an anomaly
+        must never be reported from interpolated filler data.
+        """
+        pool = self.intervals + self.gaps
+        if not self.masked_spans:
+            return pool
+        return [
+            iv
+            for iv in pool
+            if not any(
+                iv.start < end and start < iv.end
+                for start, end in self.masked_spans
+            )
+        ]
 
 
 class GrammarAnomalyDetector:
@@ -74,6 +92,13 @@ class GrammarAnomalyDetector:
         (vectorized batch kernels, the default) or ``"scalar"`` (the
         per-pair reference path).  Results and distance-call counts are
         identical; only wall time differs.
+    quality_policy:
+        How :meth:`fit` treats NaN/Inf values in the input series:
+        ``"raise"`` (default) refuses dirty data with
+        :class:`~repro.exceptions.DataQualityError`; ``"interpolate"``
+        repairs gaps linearly; ``"mask"`` repairs them but excludes any
+        candidate interval overlapping a repaired span, so anomalies are
+        never reported from invented data.
 
     Examples
     --------
@@ -100,14 +125,21 @@ class GrammarAnomalyDetector:
         grammar_algorithm: str = "sequitur",
         seed: int = 0,
         backend: str = "kernel",
+        quality_policy: str = "raise",
     ) -> None:
         if grammar_algorithm not in ("sequitur", "repair"):
             raise ParameterError(
                 f"grammar_algorithm must be 'sequitur' or 'repair', "
                 f"got {grammar_algorithm!r}"
             )
+        if quality_policy not in QUALITY_POLICIES:
+            raise ParameterError(
+                f"quality_policy must be one of {QUALITY_POLICIES}, "
+                f"got {quality_policy!r}"
+            )
         validate_backend(backend)
         self.backend = backend
+        self.quality_policy = quality_policy
         self.window = window
         self.paa_size = paa_size
         self.alphabet_size = alphabet_size
@@ -119,8 +151,15 @@ class GrammarAnomalyDetector:
     # -- fitting --------------------------------------------------------
 
     def fit(self, series: np.ndarray) -> PipelineResult:
-        """Run discretization + grammar induction + interval projection."""
-        series = np.asarray(series, dtype=float)
+        """Run discretization + grammar induction + interval projection.
+
+        The input passes through the data-quality gate first; see the
+        *quality_policy* constructor argument.
+        """
+        report = quality_gate(
+            np.asarray(series, dtype=float), policy=self.quality_policy
+        )
+        series = report.series
         disc = discretize(
             series,
             self.window,
@@ -142,6 +181,7 @@ class GrammarAnomalyDetector:
             intervals=intervals,
             gaps=gaps,
             density=density,
+            masked_spans=report.bad_spans if self.quality_policy == "mask" else (),
         )
         return self._result
 
@@ -181,16 +221,47 @@ class GrammarAnomalyDetector:
             edge_exclusion=edge_exclusion,
         )
 
-    def discords(self, *, num_discords: int = 1) -> RRAResult:
-        """RRA variable-length discords (paper Section 4.2)."""
+    def discords(
+        self,
+        *,
+        num_discords: int = 1,
+        budget: Optional[SearchBudget] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 32,
+        resume_from: Optional[str] = None,
+    ) -> RRAResult:
+        """RRA variable-length discords (paper Section 4.2).
+
+        Anytime and fault-tolerant: pass a
+        :class:`~repro.resilience.budget.SearchBudget` to bound the
+        search, and/or a *checkpoint_path* so a killed run can be
+        resumed bit-identically via *resume_from* (see
+        :func:`repro.core.rra.find_discords`).
+
+        Graceful degradation: when the budget trips before every rank
+        is exact, the result carries ``degraded=True`` and its
+        ``fallback`` field holds ranked rule-density anomalies — the
+        paper's cheap O(m) signal — so callers always get a usable
+        ranked answer even from a starved search.
+        """
         result = self.result
-        return find_discords(
+        rra = find_discords(
             result.series,
             result.candidates,
             num_discords=num_discords,
             rng=np.random.default_rng(self.seed),
             backend=self.backend,
+            budget=budget,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            resume_from=resume_from,
         )
+        if not rra.complete:
+            rra.degraded = True
+            rra.fallback = self.density_anomalies(
+                max_anomalies=max(num_discords, 1)
+            )
+        return rra
 
     def nn_distance_profile(self) -> list[tuple[RuleInterval, float]]:
         """Nearest-non-self-match distance per candidate (figure panels)."""

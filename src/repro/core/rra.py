@@ -28,13 +28,21 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from repro.core.anomaly import Discord
-from repro.exceptions import DiscordSearchError
+from repro.core.anomaly import Anomaly, Discord
+from repro.exceptions import CheckpointError, DiscordSearchError
 from repro.grammar.intervals import RuleInterval
+from repro.resilience.budget import SearchBudget, SearchStatus
+from repro.resilience.checkpoint import (
+    load_checkpoint,
+    restore_rng,
+    rng_state_to_json,
+    save_checkpoint,
+    search_fingerprint,
+)
 from repro.timeseries import kernels
 from repro.timeseries.distance import DistanceCounter
 from repro.timeseries.kernels import validate_backend
@@ -52,15 +60,58 @@ class RRAResult:
         Total distance-function invocations (Table 1 metric).
     candidate_count:
         Number of candidate intervals considered.
+    status:
+        How the search ended — ``COMPLETE`` (exact), or
+        ``BUDGET_EXHAUSTED`` / ``CANCELLED`` with best-so-far contents.
+    rank_complete:
+        One flag per returned discord: True when that rank's scan
+        visited every candidate (the discord is exact), False when the
+        rank was truncated and its discord is only the best seen so far.
+    degraded:
+        True when the pipeline substituted rule-density intervals for
+        missing discord ranks (see
+        :meth:`repro.core.pipeline.GrammarAnomalyDetector.discords`).
+    fallback:
+        Ranked rule-density anomalies supplied as a degraded substitute
+        for the ranks the budget did not allow RRA to compute.
     """
 
     discords: list[Discord] = field(default_factory=list)
     distance_calls: int = 0
     candidate_count: int = 0
+    status: SearchStatus = SearchStatus.COMPLETE
+    rank_complete: list[bool] = field(default_factory=list)
+    degraded: bool = False
+    fallback: list[Anomaly] = field(default_factory=list)
 
     @property
     def best(self) -> Optional[Discord]:
         return self.discords[0] if self.discords else None
+
+    @property
+    def complete(self) -> bool:
+        """True when the search ran to exact completion."""
+        return self.status is SearchStatus.COMPLETE
+
+
+@dataclass
+class _RankState:
+    """Mutable per-rank search state at an outer-loop boundary.
+
+    The boundary before outer candidate *outer_index* is a deterministic
+    point of the search: candidates ``outer[:outer_index]`` are fully
+    processed, the counter reads *calls*, and the RNG (captured *before*
+    the candidate's inner-loop shuffle) is in *rng_state*.  Restoring
+    these four values and re-entering the loop reproduces the
+    uninterrupted run bit-for-bit.
+    """
+
+    outer_index: int = 0
+    best_dist: float = 0.0
+    best_key: Optional[tuple[int, int, int]] = None
+    calls: int = 0
+    rng_state: Optional[dict] = None
+    complete: bool = False
 
 
 class _CandidateSet:
@@ -195,6 +246,9 @@ def find_discord(
     exclude: Sequence[tuple[int, int]] = (),
     backend: str = "kernel",
     cache: Optional[_CandidateSet] = None,
+    budget: Optional[SearchBudget] = None,
+    _state: Optional[_RankState] = None,
+    _on_boundary: Optional[Callable[[_RankState, list[RuleInterval]], None]] = None,
 ) -> tuple[Optional[Discord], DistanceCounter]:
     """Find the single best variable-length discord (paper Algorithm 1).
 
@@ -220,6 +274,15 @@ def find_discord(
         Prebuilt :class:`_CandidateSet` over *series* and *intervals*,
         reused across the ranks of an iterative extraction so the znorm
         and kernel-statistic caches are computed once.
+    budget:
+        Optional :class:`~repro.resilience.budget.SearchBudget` checked
+        once per outer candidate.  When it trips (deadline, call
+        ceiling, cancellation, or a ``KeyboardInterrupt`` during the
+        scan) the function returns its best-so-far discord instead of
+        raising; read the outcome from ``budget.status``.  Without a
+        budget the search behaves exactly as before (and a
+        ``KeyboardInterrupt`` propagates, since there would be no way to
+        report the truncation).
 
     Returns
     -------
@@ -234,6 +297,14 @@ def find_discord(
         counter = DistanceCounter()
     if rng is None:
         rng = np.random.default_rng(0)
+    # A budget or an externally owned state object gives the caller a
+    # channel to observe truncation; only then may interrupts be
+    # swallowed into a best-so-far return.
+    has_channel = budget is not None or _state is not None
+    if budget is None:
+        budget = SearchBudget.unlimited()
+    state = _state if _state is not None else _RankState()
+    capture_rng = _on_boundary is not None
 
     candidates = [
         iv
@@ -243,6 +314,7 @@ def find_discord(
         and not any(iv.start < ex_end and ex_start < iv.end for ex_start, ex_end in exclude)
     ]
     if not candidates:
+        state.complete = True
         return None, counter
 
     if cache is None:
@@ -253,32 +325,63 @@ def find_discord(
     # Outer ordering: ascending rule usage (gaps first), deterministic
     # tie-break by position.
     outer = sorted(candidates, key=lambda iv: (iv.usage, iv.start, iv.end))
+    by_key = {(iv.start, iv.end, iv.rule_id): iv for iv in candidates}
 
-    best_dist = 0.0
-    best_candidate: Optional[RuleInterval] = None
+    best_dist = state.best_dist
+    best_candidate: Optional[RuleInterval] = (
+        by_key.get(state.best_key) if state.best_key is not None else None
+    )
 
-    for p in outer:
-        p_values = cache.values(p)
-        nearest = float("inf")
-        pruned = False
-        for q in ordering.order(p, rng):
-            if q is p or not _is_non_self_match(p, q):
-                continue
-            if use_kernel:
-                counter.batch(1)
-                dist = _kernel_pair_distance(cache, p, q)
-            else:
-                dist = counter.variable_length(
-                    p_values, cache.values(q), normalize_inputs=False
-                )
-            if dist < best_dist:
-                pruned = True  # p cannot beat the current best discord
+    try:
+        for i in range(state.outer_index, len(outer)):
+            # Record the boundary *before* consuming any randomness or
+            # distance calls for candidate i: this is the deterministic
+            # point a checkpoint resumes from.
+            state.outer_index = i
+            state.calls = counter.calls
+            if capture_rng:
+                state.rng_state = rng_state_to_json(rng)
+            if budget.interrupted(counter.calls) is not None:
                 break
-            if dist < nearest:
-                nearest = dist
-        if not pruned and np.isfinite(nearest) and nearest > best_dist:
-            best_dist = nearest
-            best_candidate = p
+            if _on_boundary is not None:
+                _on_boundary(state, outer)
+            p = outer[i]
+            p_values = cache.values(p)
+            nearest = float("inf")
+            pruned = False
+            for q in ordering.order(p, rng):
+                if q is p or not _is_non_self_match(p, q):
+                    continue
+                if use_kernel:
+                    counter.batch(1)
+                    dist = _kernel_pair_distance(cache, p, q)
+                else:
+                    dist = counter.variable_length(
+                        p_values, cache.values(q), normalize_inputs=False
+                    )
+                if dist < best_dist:
+                    pruned = True  # p cannot beat the current best discord
+                    break
+                if dist < nearest:
+                    nearest = dist
+            if not pruned and np.isfinite(nearest) and nearest > best_dist:
+                best_dist = nearest
+                best_candidate = p
+                state.best_dist = nearest
+                state.best_key = (p.start, p.end, p.rule_id)
+        else:
+            state.outer_index = len(outer)
+            state.calls = counter.calls
+            if capture_rng:
+                state.rng_state = rng_state_to_json(rng)
+            state.complete = True
+    except KeyboardInterrupt:
+        if not has_channel:
+            raise
+        # The aborted candidate's partial work is discarded: the state
+        # still describes the last completed boundary, so a resumed run
+        # replays candidate i in full and stays bit-identical.
+        budget.note_cancelled()
 
     if best_candidate is None:
         return None, counter
@@ -294,6 +397,29 @@ def find_discord(
     return discord, counter
 
 
+def _discord_to_json(discord: Discord) -> dict:
+    return {
+        "start": discord.start,
+        "end": discord.end,
+        "score": discord.score,
+        "rank": discord.rank,
+        "nn_distance": discord.nn_distance,
+        "rule_id": discord.rule_id,
+    }
+
+
+def _discord_from_json(data: dict) -> Discord:
+    return Discord(
+        start=int(data["start"]),
+        end=int(data["end"]),
+        score=float(data["score"]),
+        rank=int(data["rank"]),
+        nn_distance=float(data["nn_distance"]),
+        rule_id=data["rule_id"],
+        source="rra",
+    )
+
+
 def find_discords(
     series: np.ndarray,
     intervals: Sequence[RuleInterval],
@@ -302,6 +428,10 @@ def find_discords(
     counter: Optional[DistanceCounter] = None,
     rng: Optional[np.random.Generator] = None,
     backend: str = "kernel",
+    budget: Optional[SearchBudget] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 32,
+    resume_from: Optional[str] = None,
 ) -> RRAResult:
     """Iteratively extract up to *num_discords* ranked discords.
 
@@ -310,6 +440,31 @@ def find_discords(
     RRA outputs a ranked list of multiple co-existing discords of
     variable length").  The candidate cache (z-normalized subsequences
     and kernel statistics) is built once and shared across ranks.
+
+    The search is *anytime*: give it a
+    :class:`~repro.resilience.budget.SearchBudget` and it returns its
+    best-so-far ranked list with ``status != COMPLETE`` when the budget
+    trips (or on ``KeyboardInterrupt``) instead of raising.
+
+    Parameters
+    ----------
+    budget:
+        Wall-clock / distance-call / cancellation budget, checked at
+        every outer-loop boundary.
+    checkpoint_path:
+        When set, the search state is autosaved to this JSON file every
+        *checkpoint_every* outer candidates, after every completed rank,
+        and on interruption, so a killed run can be resumed.
+    checkpoint_every:
+        Autosave cadence in outer-loop boundaries.
+    resume_from:
+        Path of a checkpoint written by a previous (interrupted) run
+        over the *same* series, intervals, and parameters.  The run
+        continues from the recorded boundary and its final output —
+        discords and distance-call count — is bit-identical to an
+        uninterrupted run.  Raises
+        :class:`~repro.exceptions.CheckpointError` on a fingerprint
+        mismatch.
     """
     validate_backend(backend)
     series = np.asarray(series, dtype=float)
@@ -319,14 +474,99 @@ def find_discords(
         rng = np.random.default_rng(0)
     if num_discords < 1:
         raise DiscordSearchError(f"num_discords must be >= 1, got {num_discords}")
+    if checkpoint_every < 1:
+        raise DiscordSearchError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every}"
+        )
+    if budget is None:
+        budget = SearchBudget.unlimited()
 
     result = RRAResult(candidate_count=len(list(intervals)))
     valid = [
         iv for iv in intervals if iv.end <= series.size and iv.length >= 2
     ]
     cache = _CandidateSet(series, valid)
+
+    fingerprint: Optional[str] = None
+    if checkpoint_path is not None or resume_from is not None:
+        fingerprint = search_fingerprint(
+            series, valid, {"num_discords": num_discords, "backend": backend}
+        )
+
     exclusions: list[tuple[int, int]] = []
-    for rank in range(num_discords):
+    start_rank = 0
+    resumed_state: Optional[_RankState] = None
+    if resume_from is not None:
+        data = load_checkpoint(resume_from)
+        if data.get("fingerprint") != fingerprint:
+            raise CheckpointError(
+                f"checkpoint {resume_from} was written for different search "
+                f"inputs (series/candidates/parameters changed)"
+            )
+        for entry in data.get("discords", []):
+            result.discords.append(_discord_from_json(entry))
+            result.rank_complete.append(True)
+        exclusions = [tuple(pair) for pair in data.get("exclusions", [])]
+        counter.calls = int(data["distance_calls"])
+        start_rank = int(data["rank"])
+        if data.get("rng_state") is not None:
+            rng = restore_rng(data["rng_state"])
+        if data.get("done"):
+            result.distance_calls = counter.calls
+            return result
+        best_key = data.get("best_key")
+        resumed_state = _RankState(
+            outer_index=int(data["outer_index"]),
+            best_dist=float(data["best_dist"]),
+            best_key=tuple(best_key) if best_key is not None else None,
+            calls=counter.calls,
+        )
+
+    # -- checkpoint plumbing -------------------------------------------
+    current_rank = [start_rank]
+    boundary_count = [0]
+
+    def _write(state: _RankState, outer: list[RuleInterval], done: bool) -> None:
+        save_checkpoint(
+            checkpoint_path,
+            {
+                "fingerprint": fingerprint,
+                "num_discords": num_discords,
+                "backend": backend,
+                "discords": [
+                    _discord_to_json(d)
+                    for d, ok in zip(result.discords, result.rank_complete)
+                    if ok
+                ],
+                "exclusions": [list(pair) for pair in exclusions],
+                "rank": current_rank[0],
+                "outer_index": state.outer_index,
+                "visited": [
+                    [iv.start, iv.end] for iv in outer[: state.outer_index]
+                ],
+                "best_dist": state.best_dist,
+                "best_key": list(state.best_key) if state.best_key else None,
+                "distance_calls": state.calls,
+                "rng_state": state.rng_state,
+                "candidate_count": len(valid),
+                "done": done,
+                "status": budget.status.value,
+            },
+        )
+
+    def _on_boundary(state: _RankState, outer: list[RuleInterval]) -> None:
+        boundary_count[0] += 1
+        if boundary_count[0] % checkpoint_every == 0:
+            _write(state, outer, done=False)
+
+    on_boundary = _on_boundary if checkpoint_path is not None else None
+    last_outer: list[RuleInterval] = []
+
+    for rank in range(start_rank, num_discords):
+        current_rank[0] = rank
+        state = resumed_state if rank == start_rank and resumed_state else _RankState()
+        if checkpoint_path is not None:
+            state.rng_state = rng_state_to_json(rng)
         discord, counter = find_discord(
             series,
             valid,
@@ -335,8 +575,45 @@ def find_discords(
             exclude=exclusions,
             backend=backend,
             cache=cache,
+            budget=budget,
+            _state=state,
+            _on_boundary=on_boundary,
         )
+        if checkpoint_path is not None:
+            # Only needed for the final interruption write below.
+            last_outer = sorted(
+                (
+                    iv
+                    for iv in valid
+                    if not any(
+                        iv.start < ex_end and ex_start < iv.end
+                        for ex_start, ex_end in exclusions
+                    )
+                ),
+                key=lambda iv: (iv.usage, iv.start, iv.end),
+            )
+        if not state.complete:
+            result.status = budget.status
+            if discord is not None:
+                result.discords.append(
+                    Discord(
+                        start=discord.start,
+                        end=discord.end,
+                        score=discord.score,
+                        rank=rank,
+                        nn_distance=discord.nn_distance,
+                        rule_id=discord.rule_id,
+                        source="rra",
+                    )
+                )
+                result.rank_complete.append(False)
+            if checkpoint_path is not None:
+                _write(state, last_outer, done=False)
+            break
         if discord is None:
+            if checkpoint_path is not None:
+                current_rank[0] = rank
+                _write(state, last_outer, done=True)
             break
         ranked = Discord(
             start=discord.start,
@@ -348,7 +625,15 @@ def find_discords(
             source="rra",
         )
         result.discords.append(ranked)
+        result.rank_complete.append(True)
         exclusions.append((discord.start, discord.end))
+        if checkpoint_path is not None:
+            current_rank[0] = rank + 1
+            _write(
+                _RankState(calls=counter.calls, rng_state=rng_state_to_json(rng)),
+                [],
+                done=(rank + 1 >= num_discords),
+            )
     result.distance_calls = counter.calls
     return result
 

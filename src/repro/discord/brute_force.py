@@ -13,13 +13,15 @@ also provides the closed-form call count that the paper tabulates.
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
 
 import numpy as np
 
 from repro.core.anomaly import Discord
 from repro.discord.search import validate_backend
 from repro.exceptions import DiscordSearchError
+from repro.resilience.budget import SearchBudget, SearchStatus
 from repro.timeseries import kernels
 from repro.timeseries.distance import DistanceCounter
 from repro.timeseries.windows import num_windows, sliding_windows
@@ -51,6 +53,7 @@ def brute_force_discord(
     early_abandon: bool = False,
     exclude: tuple[tuple[int, int], ...] = (),
     backend: str = "kernel",
+    budget: Optional[SearchBudget] = None,
 ) -> tuple[Optional[Discord], DistanceCounter]:
     """Exact fixed-length discord by exhaustive search.
 
@@ -74,6 +77,10 @@ def brute_force_discord(
         ``"kernel"`` (default) computes each candidate's distance row
         with one matrix-vector product; ``"scalar"`` keeps the per-pair
         reference loop.  Results and call counts are identical.
+    budget:
+        Optional anytime budget, checked once per outer candidate.  On
+        exhaustion (or ``KeyboardInterrupt`` while one was supplied) the
+        best-so-far discord is returned and ``budget.status`` says why.
     """
     validate_backend(backend)
     series = np.asarray(series, dtype=float)
@@ -84,6 +91,9 @@ def brute_force_discord(
         )
     if counter is None:
         counter = DistanceCounter()
+    has_channel = budget is not None
+    if budget is None:
+        budget = SearchBudget.unlimited()
 
     windows = sliding_windows(series, window)
     normalized = znorm_rows(windows)
@@ -91,9 +101,50 @@ def brute_force_discord(
 
     best_dist = -1.0
     best_pos = None
+    try:
+        best_dist, best_pos = _brute_force_scan(
+            normalized, sqnorms, k, window, counter, budget,
+            early_abandon=early_abandon, exclude=exclude, backend=backend,
+        )
+    except KeyboardInterrupt:
+        if not has_channel:
+            raise
+        budget.note_cancelled()
+
+    if best_pos is None:
+        return None, counter
+    discord = Discord(
+        start=best_pos,
+        end=best_pos + window,
+        score=best_dist,
+        rank=0,
+        nn_distance=best_dist,
+        rule_id=None,
+        source="brute_force",
+    )
+    return discord, counter
+
+
+def _brute_force_scan(
+    normalized: np.ndarray,
+    sqnorms: Optional[np.ndarray],
+    k: int,
+    window: int,
+    counter: DistanceCounter,
+    budget: SearchBudget,
+    *,
+    early_abandon: bool,
+    exclude: tuple[tuple[int, int], ...],
+    backend: str,
+) -> tuple[float, Optional[int]]:
+    """The exhaustive outer/inner loop; returns (best_dist, best_pos)."""
+    best_dist = -1.0
+    best_pos = None
     for p in range(k):
         if any(ex_start <= p < ex_end for ex_start, ex_end in exclude):
             continue
+        if budget.interrupted(counter.calls) is not None:
+            break
         nearest = float("inf")
         pruned = False
         if backend == "kernel":
@@ -133,19 +184,41 @@ def brute_force_discord(
         if not pruned and np.isfinite(nearest) and nearest > best_dist:
             best_dist = nearest
             best_pos = p
+    return best_dist, best_pos
 
-    if best_pos is None:
-        return None, counter
-    discord = Discord(
-        start=best_pos,
-        end=best_pos + window,
-        score=best_dist,
-        rank=0,
-        nn_distance=best_dist,
-        rule_id=None,
-        source="brute_force",
-    )
-    return discord, counter
+
+@dataclass
+class BruteForceResult:
+    """Outcome of a multi-discord brute-force search.
+
+    Sequence-compatible with the plain ``list[Discord]`` the function
+    used to return (``len`` / indexing / iteration all delegate to
+    :attr:`discords`), plus the anytime ``status`` / ``rank_complete``
+    flags shared with the other engines.
+    """
+
+    discords: list[Discord] = field(default_factory=list)
+    distance_calls: int = 0
+    window: int = 0
+    status: SearchStatus = SearchStatus.COMPLETE
+    rank_complete: list[bool] = field(default_factory=list)
+
+    @property
+    def best(self) -> Optional[Discord]:
+        return self.discords[0] if self.discords else None
+
+    @property
+    def complete(self) -> bool:
+        return self.status is SearchStatus.COMPLETE
+
+    def __len__(self) -> int:
+        return len(self.discords)
+
+    def __getitem__(self, index):
+        return self.discords[index]
+
+    def __iter__(self) -> Iterator[Discord]:
+        return iter(self.discords)
 
 
 def brute_force_discords(
@@ -156,13 +229,17 @@ def brute_force_discords(
     counter: Optional[DistanceCounter] = None,
     early_abandon: bool = True,
     backend: str = "kernel",
-) -> list[Discord]:
-    """Ranked top-k fixed-length discords by exhaustive search."""
+    budget: Optional[SearchBudget] = None,
+) -> BruteForceResult:
+    """Ranked top-k fixed-length discords by exhaustive search (anytime)."""
     validate_backend(backend)
     series = np.asarray(series, dtype=float)
     if counter is None:
         counter = DistanceCounter()
+    if budget is None:
+        budget = SearchBudget.unlimited()
     discords: list[Discord] = []
+    rank_complete: list[bool] = []
     exclusions: list[tuple[int, int]] = []
     for rank in range(num_discords):
         found, counter = brute_force_discord(
@@ -172,22 +249,32 @@ def brute_force_discords(
             early_abandon=early_abandon,
             exclude=tuple(exclusions),
             backend=backend,
+            budget=budget,
         )
-        if found is None:
-            break
-        discords.append(
-            Discord(
-                start=found.start,
-                end=found.end,
-                score=found.score,
-                rank=rank,
-                nn_distance=found.nn_distance,
-                rule_id=None,
-                source="brute_force",
+        truncated = budget.status is not SearchStatus.COMPLETE
+        if found is not None:
+            discords.append(
+                Discord(
+                    start=found.start,
+                    end=found.end,
+                    score=found.score,
+                    rank=rank,
+                    nn_distance=found.nn_distance,
+                    rule_id=None,
+                    source="brute_force",
+                )
             )
-        )
+            rank_complete.append(not truncated)
+        if truncated or found is None:
+            break
         # Exclude a window-sized neighbourhood around the found discord so
         # the next iteration reports a genuinely different anomaly.
         exclusions.append((found.start - window + 1, found.start + window))
-    return discords
+    return BruteForceResult(
+        discords=discords,
+        distance_calls=counter.calls,
+        window=window,
+        status=budget.status,
+        rank_complete=rank_complete,
+    )
 

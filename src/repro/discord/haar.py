@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.anomaly import Discord
 from repro.discord.search import iterated_search, ordered_discord_search
 from repro.exceptions import ParameterError
+from repro.resilience.budget import SearchBudget, SearchStatus
 from repro.timeseries.distance import DistanceCounter
 from repro.timeseries.windows import sliding_windows
 from repro.timeseries.znorm import znorm_rows
@@ -28,15 +29,25 @@ from repro.timeseries.znorm import znorm_rows
 
 @dataclass
 class HaarResult:
-    """Outcome of a Haar-ordered discord search."""
+    """Outcome of a Haar-ordered discord search.
+
+    ``status`` and ``rank_complete`` carry the anytime-truncation
+    flags, exactly as on :class:`repro.discord.hotsax.HOTSAXResult`.
+    """
 
     discords: list[Discord] = field(default_factory=list)
     distance_calls: int = 0
     window: int = 0
+    status: SearchStatus = SearchStatus.COMPLETE
+    rank_complete: list[bool] = field(default_factory=list)
 
     @property
     def best(self) -> Optional[Discord]:
         return self.discords[0] if self.discords else None
+
+    @property
+    def complete(self) -> bool:
+        return self.status is SearchStatus.COMPLETE
 
 
 def haar_transform(values: np.ndarray) -> np.ndarray:
@@ -109,6 +120,7 @@ def haar_discord(
     rng: Optional[np.random.Generator] = None,
     exclude: tuple[tuple[int, int], ...] = (),
     backend: str = "kernel",
+    budget: Optional[SearchBudget] = None,
 ) -> tuple[Optional[Discord], DistanceCounter]:
     """Best fixed-length discord with Haar-word loop ordering (exact)."""
     return ordered_discord_search(
@@ -120,6 +132,7 @@ def haar_discord(
         rng=rng,
         exclude=exclude,
         backend=backend,
+        budget=budget,
     )
 
 
@@ -132,9 +145,12 @@ def haar_discords(
     counter: Optional[DistanceCounter] = None,
     rng: Optional[np.random.Generator] = None,
     backend: str = "kernel",
+    budget: Optional[SearchBudget] = None,
 ) -> HaarResult:
-    """Ranked top-k discords with Haar-word loop ordering."""
-    discords, counter = iterated_search(
+    """Ranked top-k discords with Haar-word loop ordering (anytime)."""
+    if budget is None:
+        budget = SearchBudget.unlimited()
+    discords, counter, rank_complete = iterated_search(
         series,
         window,
         lambda s, w: haar_words(s, w, num_coefficients=num_coefficients),
@@ -143,7 +159,12 @@ def haar_discords(
         counter=counter,
         rng=rng,
         backend=backend,
+        budget=budget,
     )
     return HaarResult(
-        discords=discords, distance_calls=counter.calls, window=window
+        discords=discords,
+        distance_calls=counter.calls,
+        window=window,
+        status=budget.status,
+        rank_complete=rank_complete,
     )

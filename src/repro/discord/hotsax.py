@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.anomaly import Discord
 from repro.discord.search import iterated_search, ordered_discord_search
+from repro.resilience.budget import SearchBudget, SearchStatus
 from repro.sax.alphabet import alphabet_letters, breakpoints_array
 from repro.timeseries.distance import DistanceCounter
 from repro.timeseries.paa import paa_batch
@@ -33,15 +34,26 @@ from repro.timeseries.znorm import znorm_rows
 
 @dataclass
 class HOTSAXResult:
-    """Outcome of a HOTSAX search (discords + the Table 1 call count)."""
+    """Outcome of a HOTSAX search (discords + the Table 1 call count).
+
+    ``status`` and the per-rank ``rank_complete`` flags report anytime
+    truncation: with a tripped budget the discords are the best found
+    so far rather than the exact answer.
+    """
 
     discords: list[Discord] = field(default_factory=list)
     distance_calls: int = 0
     window: int = 0
+    status: SearchStatus = SearchStatus.COMPLETE
+    rank_complete: list[bool] = field(default_factory=list)
 
     @property
     def best(self) -> Optional[Discord]:
         return self.discords[0] if self.discords else None
+
+    @property
+    def complete(self) -> bool:
+        return self.status is SearchStatus.COMPLETE
 
 
 def _sax_words_per_window(
@@ -67,6 +79,7 @@ def hotsax_discord(
     rng: Optional[np.random.Generator] = None,
     exclude: tuple[tuple[int, int], ...] = (),
     backend: str = "kernel",
+    budget: Optional[SearchBudget] = None,
 ) -> tuple[Optional[Discord], DistanceCounter]:
     """Find the best fixed-length discord with the HOTSAX heuristics.
 
@@ -89,6 +102,9 @@ def hotsax_discord(
     backend:
         ``"kernel"`` (default) or ``"scalar"`` — see
         :func:`repro.discord.search.ordered_discord_search`.
+    budget:
+        Optional anytime budget; on exhaustion or cancellation the
+        best-so-far discord is returned (``budget.status`` says why).
     """
     return ordered_discord_search(
         series,
@@ -99,6 +115,7 @@ def hotsax_discord(
         rng=rng,
         exclude=exclude,
         backend=backend,
+        budget=budget,
     )
 
 
@@ -112,9 +129,16 @@ def hotsax_discords(
     counter: Optional[DistanceCounter] = None,
     rng: Optional[np.random.Generator] = None,
     backend: str = "kernel",
+    budget: Optional[SearchBudget] = None,
 ) -> HOTSAXResult:
-    """Ranked top-k fixed-length discords with the HOTSAX heuristics."""
-    discords, counter = iterated_search(
+    """Ranked top-k fixed-length discords with the HOTSAX heuristics.
+
+    Anytime: with a *budget* the result may be truncated — check
+    ``result.status`` and ``result.rank_complete``.
+    """
+    if budget is None:
+        budget = SearchBudget.unlimited()
+    discords, counter, rank_complete = iterated_search(
         series,
         window,
         lambda s, w: _sax_words_per_window(s, w, paa_size, alphabet_size),
@@ -123,7 +147,12 @@ def hotsax_discords(
         counter=counter,
         rng=rng,
         backend=backend,
+        budget=budget,
     )
     return HOTSAXResult(
-        discords=discords, distance_calls=counter.calls, window=window
+        discords=discords,
+        distance_calls=counter.calls,
+        window=window,
+        status=budget.status,
+        rank_complete=rank_complete,
     )

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.core.anomaly import Discord
 from repro.exceptions import DiscordSearchError
+from repro.resilience.budget import SearchBudget, SearchStatus
 from repro.timeseries import kernels
 from repro.timeseries.distance import DistanceCounter
 from repro.timeseries.kernels import BACKENDS, validate_backend  # noqa: F401
@@ -38,6 +39,7 @@ def ordered_discord_search(
     rng: Optional[np.random.Generator] = None,
     exclude: tuple[tuple[int, int], ...] = (),
     backend: str = "kernel",
+    budget: Optional[SearchBudget] = None,
 ) -> tuple[Optional[Discord], DistanceCounter]:
     """Exact fixed-length discord via bucket-driven loop orderings.
 
@@ -58,6 +60,12 @@ def ordered_discord_search(
         blocks via :mod:`repro.timeseries.kernels`; ``"scalar"`` keeps
         the per-pair reference path.  Both visit the same pairs in the
         same order, so results and call counts are identical.
+    budget:
+        Optional :class:`~repro.resilience.budget.SearchBudget` checked
+        once per outer candidate; when it trips (or a
+        ``KeyboardInterrupt`` arrives while one was supplied) the
+        best-so-far discord is returned and ``budget.status`` reports
+        why the scan stopped early.
     """
     validate_backend(backend)
     series = np.asarray(series, dtype=float)
@@ -70,6 +78,9 @@ def ordered_discord_search(
         counter = DistanceCounter()
     if rng is None:
         rng = np.random.default_rng(0)
+    has_channel = budget is not None
+    if budget is None:
+        budget = SearchBudget.unlimited()
 
     keys = list(bucket_fn(series, window))
     if len(keys) != k:
@@ -87,40 +98,47 @@ def ordered_discord_search(
 
     best_dist = -1.0
     best_pos = None
-    for p in outer:
-        if any(ex_start <= p < ex_end for ex_start, ex_end in exclude):
-            continue
-        nearest = float("inf")
-        pruned = False
-        same_bucket = [q for q in buckets[keys[p]] if q != p]
-        tail = rng.permutation(k)
-        if backend == "kernel":
-            order = (
-                q
-                for q in _inner_sequence(same_bucket, tail, p)
-                if abs(p - q) > window
-            )
-            nearest, consumed, pruned = _kernel_inner_scan(
-                normalized, sqnorms, p, order, best_dist
-            )
-            counter.batch(consumed)
-        else:
-            for q in _inner_sequence(same_bucket, tail, p):
-                if abs(p - q) <= window:
-                    continue
-                # Abandoning beyond `nearest` is lossless: while the
-                # candidate is alive, nearest >= best_dist (see hotsax.py).
-                dist = counter.euclidean(
-                    normalized[p], normalized[q], cutoff=nearest
+    try:
+        for p in outer:
+            if any(ex_start <= p < ex_end for ex_start, ex_end in exclude):
+                continue
+            if budget.interrupted(counter.calls) is not None:
+                break
+            nearest = float("inf")
+            pruned = False
+            same_bucket = [q for q in buckets[keys[p]] if q != p]
+            tail = rng.permutation(k)
+            if backend == "kernel":
+                order = (
+                    q
+                    for q in _inner_sequence(same_bucket, tail, p)
+                    if abs(p - q) > window
                 )
-                if dist < best_dist:
-                    pruned = True
-                    break
-                if dist < nearest:
-                    nearest = dist
-        if not pruned and np.isfinite(nearest) and nearest > best_dist:
-            best_dist = nearest
-            best_pos = p
+                nearest, consumed, pruned = _kernel_inner_scan(
+                    normalized, sqnorms, p, order, best_dist
+                )
+                counter.batch(consumed)
+            else:
+                for q in _inner_sequence(same_bucket, tail, p):
+                    if abs(p - q) <= window:
+                        continue
+                    # Abandoning beyond `nearest` is lossless: while the
+                    # candidate is alive, nearest >= best_dist (see hotsax.py).
+                    dist = counter.euclidean(
+                        normalized[p], normalized[q], cutoff=nearest
+                    )
+                    if dist < best_dist:
+                        pruned = True
+                        break
+                    if dist < nearest:
+                        nearest = dist
+            if not pruned and np.isfinite(nearest) and nearest > best_dist:
+                best_dist = nearest
+                best_pos = p
+    except KeyboardInterrupt:
+        if not has_channel:
+            raise
+        budget.note_cancelled()
 
     if best_pos is None:
         return None, counter
@@ -203,8 +221,15 @@ def iterated_search(
     counter: Optional[DistanceCounter] = None,
     rng: Optional[np.random.Generator] = None,
     backend: str = "kernel",
-) -> tuple[list[Discord], DistanceCounter]:
-    """Top-k discords by repeated search with window-sized exclusion."""
+    budget: Optional[SearchBudget] = None,
+) -> tuple[list[Discord], DistanceCounter, list[bool]]:
+    """Top-k discords by repeated search with window-sized exclusion.
+
+    Returns ``(discords, counter, rank_complete)`` — the third element
+    flags, per returned discord, whether its rank scanned every
+    candidate (True) or was truncated by the *budget* and is only the
+    best seen so far (False).
+    """
     validate_backend(backend)
     series = np.asarray(series, dtype=float)
     if counter is None:
@@ -213,22 +238,28 @@ def iterated_search(
         rng = np.random.default_rng(0)
     if num_discords < 1:
         raise DiscordSearchError(f"num_discords must be >= 1, got {num_discords}")
+    if budget is None:
+        budget = SearchBudget.unlimited()
     discords: list[Discord] = []
+    rank_complete: list[bool] = []
     exclusions: list[tuple[int, int]] = []
     for rank in range(num_discords):
         found, counter = ordered_discord_search(
             series, window, bucket_fn,
             source=source, counter=counter, rng=rng, exclude=tuple(exclusions),
-            backend=backend,
+            backend=backend, budget=budget,
         )
-        if found is None:
-            break
-        discords.append(
-            Discord(
-                start=found.start, end=found.end, score=found.score,
-                rank=rank, nn_distance=found.nn_distance, rule_id=None,
-                source=source,
+        truncated = budget.status is not SearchStatus.COMPLETE
+        if found is not None:
+            discords.append(
+                Discord(
+                    start=found.start, end=found.end, score=found.score,
+                    rank=rank, nn_distance=found.nn_distance, rule_id=None,
+                    source=source,
+                )
             )
-        )
+            rank_complete.append(not truncated)
+        if truncated or found is None:
+            break
         exclusions.append((found.start - window + 1, found.start + window))
-    return discords, counter
+    return discords, counter, rank_complete

@@ -31,5 +31,13 @@ class DatasetError(ReproError):
     """A dataset generator or loader received inconsistent arguments."""
 
 
+class DataQualityError(ReproError):
+    """The input series failed the data-quality gate (NaN/Inf/gaps)."""
+
+
+class CheckpointError(ReproError):
+    """A search checkpoint is missing, corrupt, or inconsistent."""
+
+
 class TrajectoryError(ReproError):
     """A trajectory conversion error (bad coordinates, empty trail, ...)."""

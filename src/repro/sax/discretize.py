@@ -24,6 +24,7 @@ from repro.exceptions import DiscretizationError, ParameterError
 from repro.sax.alphabet import breakpoints_array
 from repro.sax.sax import mindist
 from repro.timeseries.paa import paa_batch
+from repro.timeseries.preprocess import nonfinite_spans
 from repro.timeseries.windows import sliding_windows
 from repro.timeseries.znorm import DEFAULT_FLATNESS_THRESHOLD, znorm_rows
 
@@ -155,11 +156,22 @@ def discretize(
     Raises
     ------
     DiscretizationError
-        If the series is shorter than the window.
+        If the series is shorter than the window, or contains NaN/Inf
+        values (which would otherwise silently corrupt every SAX word
+        whose window touches them — route dirty data through
+        :func:`repro.timeseries.preprocess.quality_gate` first).
     """
     series = np.asarray(series, dtype=float)
     if series.ndim != 1:
         raise ParameterError(f"series must be 1-d, got shape {series.shape}")
+    if not np.isfinite(series).all():
+        spans = nonfinite_spans(series)
+        shown = ", ".join(f"[{s}, {e})" for s, e in spans[:5])
+        more = f" (+{len(spans) - 5} more)" if len(spans) > 5 else ""
+        raise DiscretizationError(
+            f"series contains non-finite values in spans {shown}{more}; "
+            f"clean it first (see repro.timeseries.preprocess.quality_gate)"
+        )
     if window < 2:
         raise ParameterError(f"window must be at least 2, got {window}")
     if series.size < window:

@@ -18,13 +18,23 @@ detection-delay benchmark (bench_streaming.py) quantifies this.
 
 from __future__ import annotations
 
+import logging
+import math
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
-from repro.exceptions import ParameterError
+from repro.exceptions import CheckpointError, DataQualityError, ParameterError
 from repro.sax.discretize import NumerosityReduction, SAXWord
 from repro.streaming.online_sax import OnlineDiscretizer
 from repro.streaming.online_sequitur import IncrementalSequitur
+
+logger = logging.getLogger(__name__)
+
+#: Format tag of :meth:`StreamingAnomalyDetector.snapshot` documents.
+SNAPSHOT_FORMAT = "repro-streaming-snapshot/1"
+
+#: Valid values for the *nonfinite_policy* argument.
+NONFINITE_POLICIES = ("raise", "skip")
 
 
 @dataclass(frozen=True)
@@ -75,6 +85,12 @@ class StreamingAnomalyDetector:
         many tokens.
     numerosity_reduction:
         Token-stream compaction strategy.
+    nonfinite_policy:
+        What :meth:`push` does with a NaN/Inf value: ``"raise"``
+        (default) raises :class:`~repro.exceptions.DataQualityError`;
+        ``"skip"`` drops the point, logs a warning, and counts it in
+        :attr:`dropped_points` — the stream continues as if the point
+        never arrived.
 
     Examples
     --------
@@ -102,6 +118,7 @@ class StreamingAnomalyDetector:
         check_every: int = 10,
         min_run_tokens: int = 2,
         numerosity_reduction: NumerosityReduction = NumerosityReduction.EXACT,
+        nonfinite_policy: str = "raise",
     ) -> None:
         if confirmation_tokens < 1:
             raise ParameterError(
@@ -111,6 +128,13 @@ class StreamingAnomalyDetector:
             raise ParameterError(f"check_every must be >= 1, got {check_every}")
         if min_run_tokens < 1:
             raise ParameterError(f"min_run_tokens must be >= 1, got {min_run_tokens}")
+        if nonfinite_policy not in NONFINITE_POLICIES:
+            raise ParameterError(
+                f"nonfinite_policy must be one of {NONFINITE_POLICIES}, "
+                f"got {nonfinite_policy!r}"
+            )
+        self.nonfinite_policy = nonfinite_policy
+        self.dropped_points = 0
         self.window = window
         self.confirmation_tokens = confirmation_tokens
         self.check_every = check_every
@@ -126,7 +150,29 @@ class StreamingAnomalyDetector:
     # -- feeding ---------------------------------------------------------
 
     def push(self, value: float) -> list[StreamAlarm]:
-        """Consume one point; return any alarms that matured."""
+        """Consume one point; return any alarms that matured.
+
+        Non-finite values follow the *nonfinite_policy*: raised as
+        :class:`~repro.exceptions.DataQualityError`, or skipped (logged
+        and counted, the stream position does not advance).
+        """
+        value = float(value)
+        if not math.isfinite(value):
+            if self.nonfinite_policy == "raise":
+                raise DataQualityError(
+                    f"non-finite value {value!r} pushed at stream position "
+                    f"{self.points_consumed}; construct the detector with "
+                    f"nonfinite_policy='skip' to drop such points"
+                )
+            self.dropped_points += 1
+            logger.warning(
+                "dropping non-finite value %r at stream position %d "
+                "(%d dropped so far)",
+                value,
+                self.points_consumed,
+                self.dropped_points,
+            )
+            return []
         word = self._discretizer.push(value)
         if word is None:
             return []
@@ -163,6 +209,78 @@ class StreamingAnomalyDetector:
     def grammar_snapshot(self):
         """Full offline-style grammar of everything consumed so far."""
         return self._sequitur.snapshot()
+
+    # -- snapshot / restore ----------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-serializable state for :meth:`restore`.
+
+        Captures the discretizer (buffer, rolling sums, numerosity
+        state), the emitted words, the reported-alarm set, and the check
+        cadence.  The live grammar is *not* serialized — it is rebuilt
+        deterministically by replaying the token stream, which Sequitur
+        guarantees reproduces the identical grammar.
+        """
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "params": {
+                "window": self.window,
+                "paa_size": self._discretizer.paa_size,
+                "alphabet_size": self._discretizer.alphabet_size,
+                "confirmation_tokens": self.confirmation_tokens,
+                "check_every": self.check_every,
+                "min_run_tokens": self.min_run_tokens,
+                "numerosity_reduction": self._discretizer.strategy.value,
+                "nonfinite_policy": self.nonfinite_policy,
+            },
+            "discretizer": self._discretizer.state_dict(),
+            "words": [[w.word, w.offset] for w in self._words],
+            "reported": sorted([f, l] for f, l in self._reported),
+            "since_check": self._since_check,
+            "dropped_points": self.dropped_points,
+        }
+
+    @classmethod
+    def restore(cls, state: dict) -> "StreamingAnomalyDetector":
+        """Rebuild a detector from a :meth:`snapshot` document.
+
+        The restored detector continues the stream exactly where the
+        snapshot left off: same pending window buffer, same grammar,
+        same already-reported alarms.
+        """
+        if not isinstance(state, dict) or state.get("format") != SNAPSHOT_FORMAT:
+            raise CheckpointError(
+                f"not a {SNAPSHOT_FORMAT} snapshot (format="
+                f"{state.get('format') if isinstance(state, dict) else None!r})"
+            )
+        try:
+            params = state["params"]
+            detector = cls(
+                int(params["window"]),
+                int(params["paa_size"]),
+                int(params["alphabet_size"]),
+                confirmation_tokens=int(params["confirmation_tokens"]),
+                check_every=int(params["check_every"]),
+                min_run_tokens=int(params["min_run_tokens"]),
+                numerosity_reduction=NumerosityReduction(
+                    params["numerosity_reduction"]
+                ),
+                nonfinite_policy=str(params["nonfinite_policy"]),
+            )
+            detector._discretizer.load_state(state["discretizer"])
+            detector._words = [
+                SAXWord(str(word), int(offset)) for word, offset in state["words"]
+            ]
+            detector._reported = {
+                (int(first), int(last)) for first, last in state["reported"]
+            }
+            detector._since_check = int(state["since_check"])
+            detector.dropped_points = int(state.get("dropped_points", 0))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed streaming snapshot: {exc}") from exc
+        for word in detector._words:
+            detector._sequitur.push(word.word)
+        return detector
 
     # -- the detection rule -----------------------------------------------
 

@@ -13,7 +13,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.exceptions import ParameterError
+from repro.exceptions import CheckpointError, ParameterError
 from repro.sax.alphabet import alphabet_letters, breakpoints_array
 from repro.sax.discretize import NumerosityReduction, SAXWord
 from repro.sax.sax import mindist
@@ -101,6 +101,47 @@ class OnlineDiscretizer:
         means = paa(normalized, self.paa_size)
         idx = np.searchsorted(self._cuts, means, side="right")
         return "".join(self._alphabet[i] for i in idx)
+
+    # -- state (de)serialization ----------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serializable state for :meth:`load_state` (exact)."""
+        return {
+            "window": self.window,
+            "paa_size": self.paa_size,
+            "alphabet_size": self.alphabet_size,
+            "strategy": self.strategy.value,
+            "flatness_threshold": self.flatness_threshold,
+            "stats": self._stats.state_dict(),
+            "position": self._position,
+            "last_word": self._last_word,
+            "raw_word_count": self.raw_word_count,
+            "emitted_count": self.emitted_count,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore the state captured by :meth:`state_dict`.
+
+        The discretization parameters must match this instance's —
+        a snapshot is a continuation, not a reconfiguration.
+        """
+        expected = {
+            "window": self.window,
+            "paa_size": self.paa_size,
+            "alphabet_size": self.alphabet_size,
+            "strategy": self.strategy.value,
+        }
+        for key, mine in expected.items():
+            if state.get(key) != mine:
+                raise CheckpointError(
+                    f"discretizer state mismatch on {key!r}: snapshot has "
+                    f"{state.get(key)!r}, this instance has {mine!r}"
+                )
+        self._stats.load_state(state["stats"])
+        self._position = int(state["position"])
+        self._last_word = state["last_word"]
+        self.raw_word_count = int(state["raw_word_count"])
+        self.emitted_count = int(state["emitted_count"])
 
     def _keep(self, word: str) -> bool:
         """Inline numerosity reduction against the last emitted word."""

@@ -98,3 +98,37 @@ class RollingStats:
     def values(self) -> np.ndarray:
         """The current window contents, oldest first (a copy)."""
         return np.asarray(self._buffer, dtype=float)
+
+    # -- exact state (de)serialization ----------------------------------
+
+    def state_dict(self) -> dict:
+        """The full internal state, JSON-serializable and exact.
+
+        Captures the anchor and running sums verbatim (not just the
+        buffer), so a restored instance produces bit-identical
+        mean/std — replaying the buffer through :meth:`push` would
+        re-anchor and could drift in the last ulp.
+        """
+        return {
+            "window": self.window,
+            "buffer": [float(v) for v in self._buffer],
+            "anchor": self._anchor,
+            "sum": self._sum,
+            "sum_sq": self._sum_sq,
+            "updates": self._updates,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore the exact state captured by :meth:`state_dict`."""
+        if int(state["window"]) != self.window:
+            raise ParameterError(
+                f"state was captured for window {state['window']}, "
+                f"this instance has window {self.window}"
+            )
+        self._buffer = deque(
+            (float(v) for v in state["buffer"]), maxlen=self.window
+        )
+        self._anchor = float(state["anchor"])
+        self._sum = float(state["sum"])
+        self._sum_sq = float(state["sum_sq"])
+        self._updates = int(state["updates"])

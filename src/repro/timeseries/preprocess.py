@@ -9,9 +9,11 @@ new array).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-from repro.exceptions import ParameterError
+from repro.exceptions import DataQualityError, ParameterError
 
 
 def fill_missing(series: np.ndarray, *, method: str = "linear") -> np.ndarray:
@@ -133,6 +135,104 @@ def clip_outliers(
     lo = center - z_limit * scale
     hi = center + z_limit * scale
     return np.clip(series, lo, hi)
+
+
+#: Valid values for the quality-gate *policy* argument.
+QUALITY_POLICIES = ("raise", "interpolate", "mask")
+
+
+def nonfinite_spans(series: np.ndarray) -> tuple[tuple[int, int], ...]:
+    """Half-open ``(start, end)`` spans of consecutive non-finite values."""
+    series = np.asarray(series, dtype=float)
+    bad = ~np.isfinite(series)
+    if not bad.any():
+        return ()
+    edges = np.flatnonzero(np.diff(bad.astype(np.int8)))
+    starts = [0] if bad[0] else []
+    starts += [int(e) + 1 for e in edges if not bad[e]]
+    ends = [int(e) + 1 for e in edges if bad[e]]
+    if bad[-1]:
+        ends.append(series.size)
+    return tuple(zip(starts, ends))
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Outcome of :func:`quality_gate`.
+
+    Attributes
+    ----------
+    series:
+        The series to hand to the pipeline (repaired under
+        ``interpolate``/``mask``; a copy of the input when it was clean).
+    mask:
+        Boolean array, True where the *original* data was non-finite.
+        All-False under the ``interpolate`` policy (the repair is
+        trusted); under ``mask`` the flagged regions must be excluded
+        from candidate windows by the caller.
+    bad_spans:
+        The non-finite runs of the original input, half-open.
+    policy:
+        The policy that was applied.
+    """
+
+    series: np.ndarray
+    mask: np.ndarray
+    bad_spans: tuple[tuple[int, int], ...]
+    policy: str
+
+    @property
+    def clean(self) -> bool:
+        """True when the original input had no non-finite values."""
+        return not self.bad_spans
+
+
+def quality_gate(
+    series: np.ndarray, *, policy: str = "raise"
+) -> QualityReport:
+    """Screen a series for NaN/Inf gaps before the pipeline touches it.
+
+    Policies
+    --------
+    ``"raise"``
+        Any non-finite value raises
+        :class:`~repro.exceptions.DataQualityError` naming the offending
+        spans (the default: corrupt data never silently becomes SAX
+        words).
+    ``"interpolate"``
+        Non-finite runs are linearly interpolated from their finite
+        neighbours and the repaired series is treated as trustworthy
+        (all-False mask).
+    ``"mask"``
+        Non-finite runs are interpolated so distances stay computable,
+        but the returned mask flags them; callers must exclude candidate
+        windows overlapping flagged regions so no anomaly is ever
+        reported from invented data.
+    """
+    if policy not in QUALITY_POLICIES:
+        raise ParameterError(
+            f"quality policy must be one of {QUALITY_POLICIES}, got {policy!r}"
+        )
+    series = np.asarray(series, dtype=float)
+    if series.ndim != 1:
+        raise ParameterError(f"series must be 1-d, got shape {series.shape}")
+    spans = nonfinite_spans(series)
+    mask = np.zeros(series.size, dtype=bool)
+    if not spans:
+        return QualityReport(series.copy(), mask, (), policy)
+    if policy == "raise":
+        shown = ", ".join(f"[{s}, {e})" for s, e in spans[:5])
+        more = f" (+{len(spans) - 5} more)" if len(spans) > 5 else ""
+        raise DataQualityError(
+            f"series contains {int((~np.isfinite(series)).sum())} non-finite "
+            f"values in spans {shown}{more}; pass policy='interpolate' or "
+            f"'mask' to proceed"
+        )
+    repaired = fill_missing(series, method="linear")
+    if policy == "mask":
+        for start, end in spans:
+            mask[start:end] = True
+    return QualityReport(repaired, mask, spans, policy)
 
 
 def prepare(

@@ -13,8 +13,17 @@ import pytest
 from repro.core.pipeline import GrammarAnomalyDetector
 from repro.core.rra import find_discords
 from repro.datasets import sine_with_anomaly
-from repro.exceptions import ReproError
+from repro.discord.brute_force import brute_force_discords
+from repro.discord.haar import haar_discords
+from repro.discord.hotsax import hotsax_discords
+from repro.exceptions import (
+    CheckpointError,
+    DataQualityError,
+    DiscretizationError,
+    ReproError,
+)
 from repro.grammar.sequitur import induce_grammar
+from repro.resilience import CancellationToken, SearchBudget, SearchStatus
 from repro.sax.discretize import discretize
 from repro.streaming import StreamingAnomalyDetector
 
@@ -65,15 +74,22 @@ class TestHostileValues:
         with pytest.raises(ReproError):
             detector.push(float("nan"))
 
-    def test_nan_tolerance_documented_offline(self):
-        """Offline discretization propagates NaN into symbols rather
-        than crashing — but prepare() is the supported route; this test
-        pins the current (non-crashing) behaviour."""
+    def test_nan_rejected_offline_by_default(self):
+        """NaN no longer silently propagates into SAX words: the default
+        quality policy refuses dirty data and names the offending span."""
         series = np.sin(np.arange(500.0) / 10)
         series[100] = np.nan
         detector = GrammarAnomalyDetector(50, 4, 4)
-        result = detector.fit(series)  # must not raise
-        assert len(result.discretization) >= 1
+        with pytest.raises(DataQualityError, match=r"\[100, 101\)"):
+            detector.fit(series)
+
+    def test_nan_rejected_by_discretize_directly(self):
+        """The discretizer itself refuses non-finite input, so the gate
+        cannot be bypassed by calling the lower layer."""
+        series = np.sin(np.arange(500.0) / 10)
+        series[42] = np.inf
+        with pytest.raises(DiscretizationError, match=r"\[42, 43\)"):
+            discretize(series, 50, 4, 4)
 
     def test_extreme_magnitudes(self):
         """Values around 1e12 must not break the numerics."""
@@ -139,6 +155,279 @@ class TestCandidateEdgeCases:
         result = find_discords(series, candidates, num_discords=1)
         assert result.best is not None
         assert result.best.end <= 200
+
+
+def _fitted(series, window=40, paa=4, alphabet=4, backend="kernel"):
+    detector = GrammarAnomalyDetector(window, paa, alphabet, backend=backend)
+    fitted = detector.fit(series)
+    return fitted.series, fitted.candidates
+
+
+class _TripwireToken(CancellationToken):
+    """Token that reports cancelled after it has been polled N times."""
+
+    def __init__(self, after_polls: int) -> None:
+        super().__init__()
+        self._polls = 0
+        self._after = after_polls
+
+    @property
+    def cancelled(self) -> bool:
+        self._polls += 1
+        return self._polls > self._after
+
+
+class _InterruptingBudget(SearchBudget):
+    """Budget that raises KeyboardInterrupt at its Nth boundary check.
+
+    Emulates the user hitting Ctrl-C mid-search, at a reproducible
+    point, without involving real signal delivery.
+    """
+
+    def __init__(self, at_check: int) -> None:
+        super().__init__()
+        self._checks = 0
+        self._at = at_check
+
+    def interrupted(self, calls):
+        self._checks += 1
+        if self._checks == self._at:
+            raise KeyboardInterrupt
+        return super().interrupted(calls)
+
+
+class TestSearchBudgets:
+    @pytest.mark.parametrize("backend", ["kernel", "scalar"])
+    def test_rra_budget_exhaustion_returns_best_so_far(self, sine_bump, backend):
+        series, candidates = _fitted(sine_bump.series, backend=backend)
+        reference = find_discords(
+            series, candidates, num_discords=2, backend=backend
+        )
+        assert reference.complete
+        budget = SearchBudget(max_calls=max(1, reference.distance_calls // 3))
+        starved = find_discords(
+            series, candidates, num_discords=2, backend=backend, budget=budget
+        )
+        assert starved.status is SearchStatus.BUDGET_EXHAUSTED
+        assert not starved.complete
+        # best-so-far contents are still valid intervals
+        for discord in starved.discords:
+            assert 0 <= discord.start < discord.end <= series.size
+        # truncated ranks are flagged
+        assert len(starved.rank_complete) == len(starved.discords)
+        assert not all(starved.rank_complete) or len(starved.discords) < 2
+
+    @pytest.mark.parametrize("backend", ["kernel", "scalar"])
+    def test_unlimited_budget_is_bit_identical(self, sine_bump, backend):
+        """An unlimited budget must not perturb results or call counts."""
+        series, candidates = _fitted(sine_bump.series, backend=backend)
+        plain = find_discords(series, candidates, num_discords=2, backend=backend)
+        budgeted = find_discords(
+            series, candidates, num_discords=2, backend=backend,
+            budget=SearchBudget.unlimited(),
+        )
+        assert budgeted.complete
+        assert budgeted.discords == plain.discords
+        assert budgeted.distance_calls == plain.distance_calls
+        assert budgeted.rank_complete == plain.rank_complete
+
+    def test_pre_cancelled_token_stops_immediately(self, sine_bump):
+        series, candidates = _fitted(sine_bump.series)
+        token = CancellationToken()
+        token.cancel()
+        result = find_discords(
+            series, candidates, num_discords=2,
+            budget=SearchBudget(token=token),
+        )
+        assert result.status is SearchStatus.CANCELLED
+        assert result.discords == []
+        assert result.distance_calls == 0
+
+    def test_mid_search_cancellation(self, sine_bump):
+        series, candidates = _fitted(sine_bump.series)
+        result = find_discords(
+            series, candidates, num_discords=2,
+            budget=SearchBudget(token=_TripwireToken(after_polls=5)),
+        )
+        assert result.status is SearchStatus.CANCELLED
+        for discord in result.discords:
+            assert 0 <= discord.start < discord.end <= series.size
+
+    def test_keyboard_interrupt_returns_best_so_far(self, sine_bump):
+        """A Ctrl-C mid-scan yields a valid CANCELLED result, not a raise."""
+        series, candidates = _fitted(sine_bump.series)
+        result = find_discords(
+            series, candidates, num_discords=2,
+            budget=_InterruptingBudget(at_check=8),
+        )
+        assert result.status is SearchStatus.CANCELLED
+        assert not result.complete
+        for discord in result.discords:
+            assert 0 <= discord.start < discord.end <= series.size
+
+    def test_hotsax_budget(self, short_series):
+        reference = hotsax_discords(short_series, 40, num_discords=2)
+        assert reference.complete
+        starved = hotsax_discords(
+            short_series, 40, num_discords=2,
+            budget=SearchBudget(max_calls=reference.distance_calls // 4),
+        )
+        assert starved.status is SearchStatus.BUDGET_EXHAUSTED
+        assert starved.distance_calls < reference.distance_calls
+
+    def test_haar_budget(self, short_series):
+        starved = haar_discords(
+            short_series, 40, num_discords=2, budget=SearchBudget(max_calls=50)
+        )
+        assert starved.status is SearchStatus.BUDGET_EXHAUSTED
+        assert not starved.complete
+
+    def test_brute_force_budget(self, short_series):
+        reference = brute_force_discords(short_series, 40, num_discords=2)
+        assert reference.complete
+        assert reference.rank_complete == [True] * len(reference.discords)
+        starved = brute_force_discords(
+            short_series, 40, num_discords=2,
+            budget=SearchBudget(max_calls=reference.distance_calls // 4),
+        )
+        assert starved.status is SearchStatus.BUDGET_EXHAUSTED
+        # sequence compatibility of the result wrapper
+        assert len(starved) == len(starved.discords)
+        assert list(starved) == starved.discords
+
+    def test_zero_deadline_trips_after_first_boundary(self, sine_bump):
+        series, candidates = _fitted(sine_bump.series)
+        result = find_discords(
+            series, candidates, num_discords=1,
+            budget=SearchBudget(deadline=0.0),
+        )
+        assert result.status is SearchStatus.BUDGET_EXHAUSTED
+
+
+class TestCheckpointResume:
+    @pytest.mark.parametrize("backend", ["kernel", "scalar"])
+    def test_resume_is_bit_identical(self, tmp_path, sine_bump, backend):
+        """Interrupt + resume must equal the uninterrupted run exactly —
+        discords AND total distance-call count."""
+        series, candidates = _fitted(sine_bump.series, backend=backend)
+        reference = find_discords(
+            series, candidates, num_discords=3, backend=backend
+        )
+        path = str(tmp_path / "ckpt.json")
+        starved = find_discords(
+            series, candidates, num_discords=3, backend=backend,
+            budget=SearchBudget(max_calls=max(1, reference.distance_calls // 3)),
+            checkpoint_path=path, checkpoint_every=4,
+        )
+        assert not starved.complete
+        resumed = find_discords(
+            series, candidates, num_discords=3, backend=backend,
+            checkpoint_path=path, resume_from=path,
+        )
+        assert resumed.complete
+        assert resumed.discords == reference.discords
+        assert resumed.distance_calls == reference.distance_calls
+        assert resumed.rank_complete == reference.rank_complete
+
+    def test_resume_rejects_different_inputs(self, tmp_path, sine_bump):
+        series, candidates = _fitted(sine_bump.series)
+        path = str(tmp_path / "ckpt.json")
+        find_discords(
+            series, candidates, num_discords=2,
+            budget=SearchBudget(max_calls=100), checkpoint_path=path,
+        )
+        other = series + 1.0
+        with pytest.raises(CheckpointError):
+            find_discords(other, candidates, num_discords=2, resume_from=path)
+
+    def test_resume_from_completed_checkpoint(self, tmp_path, sine_bump):
+        series, candidates = _fitted(sine_bump.series)
+        path = str(tmp_path / "ckpt.json")
+        reference = find_discords(
+            series, candidates, num_discords=2, checkpoint_path=path
+        )
+        resumed = find_discords(
+            series, candidates, num_discords=2, resume_from=path
+        )
+        assert resumed.discords == reference.discords
+        assert resumed.distance_calls == reference.distance_calls
+
+    def test_corrupt_checkpoint_rejected(self, tmp_path, sine_bump):
+        series, candidates = _fitted(sine_bump.series)
+        path = tmp_path / "ckpt.json"
+        path.write_text("{ not json")
+        with pytest.raises(CheckpointError):
+            find_discords(series, candidates, resume_from=str(path))
+
+    def test_missing_checkpoint_rejected(self, tmp_path, sine_bump):
+        series, candidates = _fitted(sine_bump.series)
+        with pytest.raises(CheckpointError):
+            find_discords(
+                series, candidates, resume_from=str(tmp_path / "absent.json")
+            )
+
+
+class TestQualityPolicyMatrix:
+    @staticmethod
+    def _dirty_series():
+        series = sine_with_anomaly(length=1200, period=60, seed=3).series.copy()
+        series[200:210] = np.nan  # gap far away from the planted anomaly
+        return series
+
+    @pytest.mark.parametrize("backend", ["kernel", "scalar"])
+    def test_raise_policy(self, backend):
+        detector = GrammarAnomalyDetector(30, 4, 4, backend=backend)
+        with pytest.raises(DataQualityError, match=r"\[200, 210\)"):
+            detector.fit(self._dirty_series())
+
+    @pytest.mark.parametrize("backend", ["kernel", "scalar"])
+    def test_interpolate_policy(self, backend):
+        detector = GrammarAnomalyDetector(
+            30, 4, 4, backend=backend, quality_policy="interpolate"
+        )
+        fitted = detector.fit(self._dirty_series())
+        assert np.isfinite(fitted.series).all()
+        assert fitted.masked_spans == ()
+        assert detector.discords(num_discords=1).complete
+
+    @pytest.mark.parametrize("backend", ["kernel", "scalar"])
+    def test_mask_policy_excludes_repaired_candidates(self, backend):
+        detector = GrammarAnomalyDetector(
+            30, 4, 4, backend=backend, quality_policy="mask"
+        )
+        fitted = detector.fit(self._dirty_series())
+        assert fitted.masked_spans == ((200, 210),)
+        for iv in fitted.candidates:
+            assert iv.end <= 200 or iv.start >= 210
+        result = detector.discords(num_discords=1)
+        if result.best is not None:
+            assert result.best.end <= 200 or result.best.start >= 210
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ReproError):
+            GrammarAnomalyDetector(30, 4, 4, quality_policy="ignore")
+
+
+class TestGracefulDegradation:
+    def test_starved_pipeline_falls_back_to_density(self, sine_bump):
+        detector = GrammarAnomalyDetector(40, 4, 4)
+        detector.fit(sine_bump.series)
+        result = detector.discords(
+            num_discords=2, budget=SearchBudget(max_calls=1)
+        )
+        assert not result.complete
+        assert result.degraded
+        assert result.fallback, "degraded result must carry density fallback"
+        for anomaly in result.fallback:
+            assert 0 <= anomaly.start < anomaly.end <= sine_bump.series.size
+
+    def test_complete_search_is_not_degraded(self, sine_bump):
+        detector = GrammarAnomalyDetector(40, 4, 4)
+        detector.fit(sine_bump.series)
+        result = detector.discords(num_discords=1)
+        assert result.complete
+        assert not result.degraded
+        assert result.fallback == []
 
 
 class TestDeterminismUnderRepetition:

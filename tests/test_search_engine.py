@@ -88,11 +88,12 @@ class TestOrderedDiscordSearch:
 class TestIteratedSearch:
     def test_ranked_output(self):
         series = _series()
-        discords, counter = iterated_search(
+        discords, counter, rank_complete = iterated_search(
             series, 30, _single_bucket, source="t", num_discords=3
         )
         assert [d.rank for d in discords] == list(range(len(discords)))
         assert counter.calls > 0
+        assert rank_complete == [True] * len(discords)
 
     def test_invalid_count(self):
         with pytest.raises(DiscordSearchError):
@@ -102,7 +103,7 @@ class TestIteratedSearch:
     def test_stops_when_exhausted(self):
         # a tiny series supports only a couple of non-overlapping discords
         series = _series(length=100, period=20, blip_at=50)
-        discords, _ = iterated_search(
+        discords, _, _ = iterated_search(
             series, 25, _single_bucket, source="t", num_discords=10
         )
         assert 1 <= len(discords) < 10

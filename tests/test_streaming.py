@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.exceptions import ParameterError
+from repro.exceptions import CheckpointError, DataQualityError, ParameterError
 from repro.grammar.sequitur import induce_grammar
 from repro.sax.discretize import NumerosityReduction, discretize
 from repro.streaming import (
@@ -282,3 +284,104 @@ class TestStreamingAnomalyDetector:
         detector.push_many(series)
         assert detector.points_consumed == 600
         assert detector.tokens_emitted > 0
+
+
+class TestSnapshotRestore:
+    def test_snapshot_restore_continues_identically(self):
+        """Snapshot mid-stream, restore, and finish: same alarms, same
+        counters as an uninterrupted run."""
+        series = _bump_series()
+        reference = StreamingAnomalyDetector(50, 4, 4, confirmation_tokens=20)
+        ref_alarms = reference.push_many(series)
+
+        first = StreamingAnomalyDetector(50, 4, 4, confirmation_tokens=20)
+        head = first.push_many(series[:1100])
+        snapshot = json.loads(json.dumps(first.snapshot()))  # JSON round-trip
+        second = StreamingAnomalyDetector.restore(snapshot)
+        tail = second.push_many(series[1100:])
+
+        assert [
+            (a.start, a.end, a.first_token, a.last_token, a.detected_at)
+            for a in head + tail
+        ] == [
+            (a.start, a.end, a.first_token, a.last_token, a.detected_at)
+            for a in ref_alarms
+        ]
+        assert second.points_consumed == reference.points_consumed
+        assert second.tokens_emitted == reference.tokens_emitted
+        assert [
+            (a.first_token, a.last_token) for a in second.flush()
+        ] == [(a.first_token, a.last_token) for a in reference.flush()]
+
+    def test_snapshot_preserves_reported_set(self):
+        """Alarms already reported before the snapshot are not re-raised
+        by the restored detector."""
+        series = _bump_series()
+        detector = StreamingAnomalyDetector(50, 4, 4, confirmation_tokens=20)
+        alarms = detector.push_many(series)
+        assert alarms  # the bump fired before end of stream
+        restored = StreamingAnomalyDetector.restore(detector.snapshot())
+        # replaying a quiet continuation produces no duplicate alarm
+        quiet = np.sin(2 * np.pi * np.arange(2000, 2500) / 100)
+        assert restored.push_many(quiet) == []
+
+    def test_restore_rejects_wrong_format(self):
+        with pytest.raises(CheckpointError):
+            StreamingAnomalyDetector.restore({"format": "something-else"})
+
+    def test_restore_rejects_malformed_document(self):
+        detector = StreamingAnomalyDetector(50, 4, 4)
+        snapshot = detector.snapshot()
+        del snapshot["discretizer"]
+        with pytest.raises(CheckpointError):
+            StreamingAnomalyDetector.restore(snapshot)
+
+    def test_discretizer_state_roundtrip_is_exact(self):
+        source = OnlineDiscretizer(window=8, paa_size=4, alphabet_size=4)
+        values = _bump_series(length=500)
+        for value in values[:300]:
+            source.push(value)
+        clone = OnlineDiscretizer(window=8, paa_size=4, alphabet_size=4)
+        clone.load_state(json.loads(json.dumps(source.state_dict())))
+        for value in values[300:]:
+            assert source.push(value) == clone.push(value)
+
+    def test_discretizer_state_param_mismatch(self):
+        source = OnlineDiscretizer(window=8, paa_size=4, alphabet_size=4)
+        other = OnlineDiscretizer(window=16, paa_size=4, alphabet_size=4)
+        with pytest.raises(CheckpointError):
+            other.load_state(source.state_dict())
+
+
+class TestNonfinitePolicy:
+    def test_default_raises(self):
+        detector = StreamingAnomalyDetector(20, 4, 4)
+        with pytest.raises(DataQualityError, match="nonfinite_policy"):
+            detector.push(float("inf"))
+
+    def test_skip_policy_drops_and_counts(self):
+        series = _bump_series(length=800)
+        dirty = series.copy()
+        dirty[100] = np.nan
+        dirty[300] = np.inf
+        dirty[301] = -np.inf
+        clean_detector = StreamingAnomalyDetector(
+            50, 4, 4, confirmation_tokens=20
+        )
+        skip_detector = StreamingAnomalyDetector(
+            50, 4, 4, confirmation_tokens=20, nonfinite_policy="skip"
+        )
+        clean_reference = np.delete(series, [100, 300, 301])
+        clean_alarms = clean_detector.push_many(clean_reference)
+        dirty_alarms = skip_detector.push_many(dirty)
+        assert skip_detector.dropped_points == 3
+        # a skipped point is as if it never arrived: identical to feeding
+        # the compacted series
+        assert [(a.first_token, a.last_token) for a in dirty_alarms] == [
+            (a.first_token, a.last_token) for a in clean_alarms
+        ]
+        assert skip_detector.points_consumed == clean_detector.points_consumed
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ParameterError):
+            StreamingAnomalyDetector(20, 4, 4, nonfinite_policy="quietly")
