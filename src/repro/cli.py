@@ -67,6 +67,7 @@ def _cmd_find(args: argparse.Namespace) -> int:
         args.paa,
         args.alphabet,
         quality_policy=args.quality or "raise",
+        n_workers=args.workers,
     )
     result = detector.fit(series)
     anomalies = list(detector.density_anomalies(max_anomalies=args.discords))
@@ -240,6 +241,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", default=None, metavar="PATH",
         help="resume from a checkpoint written by a previous run over "
              "the same inputs (bit-identical final result)",
+    )
+    find.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for the discord search (results are "
+             "bit-identical for any value; default 1 = in-process)",
     )
     find.add_argument(
         "--quality", choices=["raise", "interpolate", "mask"], default=None,

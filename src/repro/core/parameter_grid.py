@@ -26,7 +26,8 @@ import numpy as np
 
 from repro.core.pipeline import GrammarAnomalyDetector
 from repro.exceptions import ParameterError
-from repro.sax.discretize import Discretization
+from repro.parallel.pool import effective_workers
+from repro.sax.discretize import Discretization, windowed_paa
 from repro.timeseries.paa import paa
 from repro.timeseries.windows import sliding_windows
 from repro.timeseries.znorm import znorm
@@ -134,16 +135,27 @@ class ParameterGridStudy:
         self.min_overlap = min_overlap
 
     def evaluate_point(
-        self, window: int, paa_size: int, alphabet_size: int
+        self,
+        window: int,
+        paa_size: int,
+        alphabet_size: int,
+        *,
+        approx_distance: Optional[float] = None,
+        paa_values: Optional[np.ndarray] = None,
     ) -> Optional[GridPoint]:
         """Evaluate one parameter combination; None when it is invalid
         (window too long for the series, PAA larger than the window, ...).
+
+        ``approx_distance`` and ``paa_values`` accept the per-
+        ``(window, paa_size)`` quantities precomputed by
+        :meth:`_evaluate_pair`, which are identical for every alphabet
+        size and dominate the per-point cost when recomputed.
         """
         if paa_size > window or window >= self.series.size:
             return None
         detector = GrammarAnomalyDetector(window, paa_size, alphabet_size)
         try:
-            fitted = detector.fit(self.series)
+            fitted = detector.fit(self.series, paa_values=paa_values)
         except Exception:
             return None
 
@@ -169,8 +181,12 @@ class ParameterGridStudy:
             window=window,
             paa_size=paa_size,
             alphabet_size=alphabet_size,
-            approximation_distance=approximation_distance(
-                self.series, window, paa_size, sample_stride=max(1, window // 4)
+            approximation_distance=(
+                approx_distance
+                if approx_distance is not None
+                else approximation_distance(
+                    self.series, window, paa_size, sample_stride=max(1, window // 4)
+                )
             ),
             grammar_size=fitted.grammar.grammar_size(),
             density_hit=_hit(density_paper, true_start, true_end, self.min_overlap),
@@ -180,20 +196,65 @@ class ParameterGridStudy:
             ),
         )
 
+    def _evaluate_pair(
+        self,
+        window: int,
+        paa_size: int,
+        alphabet_sizes: Sequence[int],
+    ) -> list[GridPoint]:
+        """Evaluate every alphabet size of one ``(window, paa_size)`` pair.
+
+        The approximation distance and the per-window PAA coefficients
+        depend only on the pair, so they are computed once here and
+        shared across the alphabet loop — both serially and as the unit
+        of work one parallel sweep task executes.
+        """
+        if paa_size > window or window >= self.series.size:
+            return []
+        approx = approximation_distance(
+            self.series, window, paa_size, sample_stride=max(1, window // 4)
+        )
+        paa_values = windowed_paa(self.series, window, paa_size)
+        points: list[GridPoint] = []
+        for alphabet_size in alphabet_sizes:
+            point = self.evaluate_point(
+                window,
+                paa_size,
+                alphabet_size,
+                approx_distance=approx,
+                paa_values=paa_values,
+            )
+            if point is not None:
+                points.append(point)
+        return points
+
     def sweep(
         self,
         windows: Sequence[int],
         paa_sizes: Sequence[int],
         alphabet_sizes: Sequence[int],
+        *,
+        n_workers: Optional[int] = 1,
     ) -> list[GridPoint]:
-        """Evaluate the full cartesian grid (invalid points skipped)."""
+        """Evaluate the full cartesian grid (invalid points skipped).
+
+        ``n_workers > 1`` evaluates one ``(window, paa_size)`` pair per
+        pool task (see :mod:`repro.parallel`); the returned points are in
+        the same order as the serial sweep.
+        """
+        workers = effective_workers(n_workers)
+        if workers > 1:
+            from repro.parallel.engine import parallel_grid_sweep
+
+            return parallel_grid_sweep(
+                self, windows, paa_sizes, alphabet_sizes, n_workers=workers
+            )
         points: list[GridPoint] = []
         for window in windows:
             for paa_size in paa_sizes:
-                for alphabet_size in alphabet_sizes:
-                    point = self.evaluate_point(window, paa_size, alphabet_size)
-                    if point is not None:
-                        points.append(point)
+                points.extend(
+                    self._evaluate_pair(window, paa_size, alphabet_sizes)
+                )
         return points
 
     @staticmethod

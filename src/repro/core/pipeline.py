@@ -26,6 +26,7 @@ from repro.grammar.intervals import (
 )
 from repro.grammar.repair import repair_grammar
 from repro.grammar.sequitur import induce_grammar
+from repro.parallel.pool import effective_workers
 from repro.resilience.budget import SearchBudget
 from repro.sax.discretize import Discretization, NumerosityReduction, discretize
 from repro.timeseries.kernels import validate_backend
@@ -99,6 +100,11 @@ class GrammarAnomalyDetector:
         repairs gaps linearly; ``"mask"`` repairs them but excludes any
         candidate interval overlapping a repaired span, so anomalies are
         never reported from invented data.
+    n_workers:
+        Default worker-process count for the discord search (see
+        :mod:`repro.parallel`); 1 keeps everything in-process.  Any
+        value yields bit-identical results — same discords, same
+        distance-call counts.
 
     Examples
     --------
@@ -126,6 +132,7 @@ class GrammarAnomalyDetector:
         seed: int = 0,
         backend: str = "kernel",
         quality_policy: str = "raise",
+        n_workers: int = 1,
     ) -> None:
         if grammar_algorithm not in ("sequitur", "repair"):
             raise ParameterError(
@@ -139,6 +146,7 @@ class GrammarAnomalyDetector:
             )
         validate_backend(backend)
         self.backend = backend
+        self.n_workers = effective_workers(n_workers)
         self.quality_policy = quality_policy
         self.window = window
         self.paa_size = paa_size
@@ -150,22 +158,34 @@ class GrammarAnomalyDetector:
 
     # -- fitting --------------------------------------------------------
 
-    def fit(self, series: np.ndarray) -> PipelineResult:
+    def fit(
+        self, series: np.ndarray, *, paa_values: Optional[np.ndarray] = None
+    ) -> PipelineResult:
         """Run discretization + grammar induction + interval projection.
 
         The input passes through the data-quality gate first; see the
-        *quality_policy* constructor argument.
+        *quality_policy* constructor argument.  *paa_values* optionally
+        carries precomputed :func:`repro.sax.discretize.windowed_paa`
+        output for this series and (window, paa_size) — parameter sweeps
+        use it to amortize the discretization front half across alphabet
+        sizes.  Only pass it for series the quality gate leaves
+        untouched (the default ``"raise"`` policy guarantees that).
         """
         report = quality_gate(
             np.asarray(series, dtype=float), policy=self.quality_policy
         )
         series = report.series
+        if report.bad_spans:
+            # The gate repaired the series, so any precomputed PAA matrix
+            # describes the wrong data — fall back to recomputing it.
+            paa_values = None
         disc = discretize(
             series,
             self.window,
             self.paa_size,
             self.alphabet_size,
             strategy=self.numerosity_reduction,
+            paa_values=paa_values,
         )
         if self.grammar_algorithm == "repair":
             grammar = repair_grammar(disc.tokens())
@@ -229,6 +249,7 @@ class GrammarAnomalyDetector:
         checkpoint_path: Optional[str] = None,
         checkpoint_every: int = 32,
         resume_from: Optional[str] = None,
+        n_workers: Optional[int] = None,
     ) -> RRAResult:
         """RRA variable-length discords (paper Section 4.2).
 
@@ -243,6 +264,10 @@ class GrammarAnomalyDetector:
         ``fallback`` field holds ranked rule-density anomalies — the
         paper's cheap O(m) signal — so callers always get a usable
         ranked answer even from a starved search.
+
+        *n_workers* overrides the constructor's worker count for this
+        query only (``None`` keeps the detector default); any value
+        returns bit-identical discords and distance-call counts.
         """
         result = self.result
         rra = find_discords(
@@ -255,6 +280,7 @@ class GrammarAnomalyDetector:
             checkpoint_path=checkpoint_path,
             checkpoint_every=checkpoint_every,
             resume_from=resume_from,
+            n_workers=self.n_workers if n_workers is None else n_workers,
         )
         if not rra.complete:
             rra.degraded = True

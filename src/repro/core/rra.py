@@ -43,6 +43,7 @@ from repro.resilience.checkpoint import (
     save_checkpoint,
     search_fingerprint,
 )
+from repro.parallel.pool import MIN_PARALLEL_CANDIDATES, effective_workers
 from repro.timeseries import kernels
 from repro.timeseries.distance import DistanceCounter
 from repro.timeseries.kernels import validate_backend
@@ -126,13 +127,26 @@ class _CandidateSet:
     iterative :func:`find_discords` extraction.
     """
 
-    def __init__(self, series: np.ndarray, intervals: Sequence[RuleInterval]):
+    def __init__(
+        self,
+        series: np.ndarray,
+        intervals: Sequence[RuleInterval],
+        *,
+        stats: Optional[kernels.SeriesStats] = None,
+    ):
         self.series = np.ascontiguousarray(series, dtype=float)
         self.intervals = list(intervals)
-        self._stats = kernels.SeriesStats(self.series)
+        # A prebuilt SeriesStats lets pool workers rebuild the cache from
+        # shared-memory cumulative sums instead of re-deriving them.
+        self._stats = stats if stats is not None else kernels.SeriesStats(self.series)
         self._values: dict[tuple[int, int], np.ndarray] = {}
         self._sqnorms: dict[tuple[int, int], float] = {}
         self._sq_cumsums: dict[tuple[int, int], np.ndarray] = {}
+
+    @property
+    def stats(self) -> kernels.SeriesStats:
+        """The cumulative-sum window statistics behind this cache."""
+        return self._stats
 
     def values(self, interval: RuleInterval) -> np.ndarray:
         """Z-normalized subsequence of *interval* (cached)."""
@@ -219,10 +233,7 @@ class _InnerOrdering:
                 self._same_rule[iv.rule_id].append(iv)
         self._rest: dict[int, list[RuleInterval]] = {}
 
-    def order(
-        self, candidate: RuleInterval, rng: np.random.Generator
-    ) -> list[RuleInterval]:
-        """Same-rule intervals first, then the rest shuffled."""
+    def _rest_for(self, candidate: RuleInterval) -> list[RuleInterval]:
         key = candidate.rule_id if candidate.rule_id >= 0 else self._GAP
         rest = self._rest.get(key)
         if rest is None:
@@ -231,10 +242,30 @@ class _InnerOrdering:
             else:
                 rest = [iv for iv in self._candidates if iv.rule_id != key]
             self._rest[key] = rest
+        return rest
+
+    def rest_size(self, candidate: RuleInterval) -> int:
+        """Length of the shuffled tail — the size of the one permutation
+        ``order`` draws, which is all a parallel parent needs to advance
+        its generator past a candidate without ordering it."""
+        return len(self._rest_for(candidate))
+
+    def order(
+        self, candidate: RuleInterval, rng: np.random.Generator
+    ) -> list[RuleInterval]:
+        """Same-rule intervals first, then the rest shuffled.
+
+        The shuffle is one ``Generator.permutation(len(rest))`` draw
+        (vectorized index permutation rather than an in-place Python-list
+        Fisher–Yates): faster, and its RNG consumption depends only on
+        the tail *length*, so the parallel layer can replay generator
+        states to any outer boundary without touching the intervals.
+        """
+        key = candidate.rule_id if candidate.rule_id >= 0 else self._GAP
+        rest = self._rest_for(candidate)
         same_rule = self._same_rule[key] if key != self._GAP else []
-        shuffled = list(rest)
-        rng.shuffle(shuffled)
-        return same_rule + shuffled
+        perm = rng.permutation(len(rest))
+        return same_rule + [rest[j] for j in perm]
 
 
 def find_discord(
@@ -247,6 +278,7 @@ def find_discord(
     backend: str = "kernel",
     cache: Optional[_CandidateSet] = None,
     budget: Optional[SearchBudget] = None,
+    n_workers: int = 1,
     _state: Optional[_RankState] = None,
     _on_boundary: Optional[Callable[[_RankState, list[RuleInterval]], None]] = None,
 ) -> tuple[Optional[Discord], DistanceCounter]:
@@ -283,6 +315,11 @@ def find_discord(
         budget the search behaves exactly as before (and a
         ``KeyboardInterrupt`` propagates, since there would be no way to
         report the truncation).
+    n_workers:
+        Shard the outer loop across this many worker processes (see
+        :mod:`repro.parallel`).  Results — discord, rank, distance-call
+        count, checkpoint contents — are bit-identical to the serial
+        run for any value; 1 (the default) keeps everything in-process.
 
     Returns
     -------
@@ -331,6 +368,47 @@ def find_discord(
     best_candidate: Optional[RuleInterval] = (
         by_key.get(state.best_key) if state.best_key is not None else None
     )
+
+    workers = effective_workers(n_workers)
+    if (
+        workers > 1
+        and len(outer) - state.outer_index >= MIN_PARALLEL_CANDIDATES
+    ):
+        from repro.parallel.engine import parallel_rra_rank
+
+        parallel_rra_rank(
+            cache=cache,
+            ordering=ordering,
+            candidates=candidates,
+            outer=outer,
+            state=state,
+            counter=counter,
+            rng=rng,
+            budget=budget,
+            backend=backend,
+            n_workers=workers,
+            has_channel=has_channel,
+            capture_rng=capture_rng,
+            on_boundary=_on_boundary,
+        )
+        best_dist = state.best_dist
+        best_candidate = (
+            by_key.get(state.best_key) if state.best_key is not None else None
+        )
+        if best_candidate is None:
+            return None, counter
+        return (
+            Discord(
+                start=best_candidate.start,
+                end=best_candidate.end,
+                score=best_dist,
+                rank=0,
+                nn_distance=best_dist,
+                rule_id=best_candidate.rule_id,
+                source="rra",
+            ),
+            counter,
+        )
 
     try:
         for i in range(state.outer_index, len(outer)):
@@ -432,6 +510,7 @@ def find_discords(
     checkpoint_path: Optional[str] = None,
     checkpoint_every: int = 32,
     resume_from: Optional[str] = None,
+    n_workers: int = 1,
 ) -> RRAResult:
     """Iteratively extract up to *num_discords* ranked discords.
 
@@ -465,6 +544,12 @@ def find_discords(
         uninterrupted run.  Raises
         :class:`~repro.exceptions.CheckpointError` on a fingerprint
         mismatch.
+    n_workers:
+        Shard every rank's outer loop across this many worker processes
+        (see :mod:`repro.parallel`).  Discords, ranks, distance-call
+        counts, and checkpoints are bit-identical to the serial run for
+        any value; checkpoints written by a serial run can be resumed by
+        a parallel one and vice versa.
     """
     validate_backend(backend)
     series = np.asarray(series, dtype=float)
@@ -576,6 +661,7 @@ def find_discords(
             backend=backend,
             cache=cache,
             budget=budget,
+            n_workers=n_workers,
             _state=state,
             _on_boundary=on_boundary,
         )

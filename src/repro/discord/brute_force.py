@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.anomaly import Discord
 from repro.discord.search import validate_backend
 from repro.exceptions import DiscordSearchError
+from repro.parallel.pool import MIN_PARALLEL_CANDIDATES, effective_workers
 from repro.resilience.budget import SearchBudget, SearchStatus
 from repro.timeseries import kernels
 from repro.timeseries.distance import DistanceCounter
@@ -54,6 +55,7 @@ def brute_force_discord(
     exclude: tuple[tuple[int, int], ...] = (),
     backend: str = "kernel",
     budget: Optional[SearchBudget] = None,
+    n_workers: int = 1,
 ) -> tuple[Optional[Discord], DistanceCounter]:
     """Exact fixed-length discord by exhaustive search.
 
@@ -81,6 +83,10 @@ def brute_force_discord(
         Optional anytime budget, checked once per outer candidate.  On
         exhaustion (or ``KeyboardInterrupt`` while one was supplied) the
         best-so-far discord is returned and ``budget.status`` says why.
+    n_workers:
+        Shard the outer loop across this many worker processes (see
+        :mod:`repro.parallel`); results and call counts are
+        bit-identical to the serial scan for any value.
     """
     validate_backend(backend)
     series = np.asarray(series, dtype=float)
@@ -101,15 +107,35 @@ def brute_force_discord(
 
     best_dist = -1.0
     best_pos = None
-    try:
-        best_dist, best_pos = _brute_force_scan(
-            normalized, sqnorms, k, window, counter, budget,
-            early_abandon=early_abandon, exclude=exclude, backend=backend,
+    workers = effective_workers(n_workers)
+    if workers > 1 and k >= MIN_PARALLEL_CANDIDATES:
+        from repro.parallel.engine import parallel_fixed_search
+
+        best_pos, best_dist = parallel_fixed_search(
+            normalized=normalized,
+            sqnorms=sqnorms,
+            bucket_ids=None,
+            outer=None,
+            window=window,
+            exclude=exclude,
+            backend=backend,
+            prune=early_abandon,
+            counter=counter,
+            rng=None,
+            budget=budget,
+            n_workers=workers,
+            has_channel=has_channel,
         )
-    except KeyboardInterrupt:
-        if not has_channel:
-            raise
-        budget.note_cancelled()
+    else:
+        try:
+            best_dist, best_pos = _brute_force_scan(
+                normalized, sqnorms, k, window, counter, budget,
+                early_abandon=early_abandon, exclude=exclude, backend=backend,
+            )
+        except KeyboardInterrupt:
+            if not has_channel:
+                raise
+            budget.note_cancelled()
 
     if best_pos is None:
         return None, counter
@@ -230,6 +256,7 @@ def brute_force_discords(
     early_abandon: bool = True,
     backend: str = "kernel",
     budget: Optional[SearchBudget] = None,
+    n_workers: int = 1,
 ) -> BruteForceResult:
     """Ranked top-k fixed-length discords by exhaustive search (anytime)."""
     validate_backend(backend)
@@ -250,6 +277,7 @@ def brute_force_discords(
             exclude=tuple(exclusions),
             backend=backend,
             budget=budget,
+            n_workers=n_workers,
         )
         truncated = budget.status is not SearchStatus.COMPLETE
         if found is not None:

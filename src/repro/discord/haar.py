@@ -121,6 +121,7 @@ def haar_discord(
     exclude: tuple[tuple[int, int], ...] = (),
     backend: str = "kernel",
     budget: Optional[SearchBudget] = None,
+    n_workers: int = 1,
 ) -> tuple[Optional[Discord], DistanceCounter]:
     """Best fixed-length discord with Haar-word loop ordering (exact)."""
     return ordered_discord_search(
@@ -133,6 +134,7 @@ def haar_discord(
         exclude=exclude,
         backend=backend,
         budget=budget,
+        n_workers=n_workers,
     )
 
 
@@ -146,6 +148,7 @@ def haar_discords(
     rng: Optional[np.random.Generator] = None,
     backend: str = "kernel",
     budget: Optional[SearchBudget] = None,
+    n_workers: int = 1,
 ) -> HaarResult:
     """Ranked top-k discords with Haar-word loop ordering (anytime)."""
     if budget is None:
@@ -160,6 +163,7 @@ def haar_discords(
         rng=rng,
         backend=backend,
         budget=budget,
+        n_workers=n_workers,
     )
     return HaarResult(
         discords=discords,

@@ -80,6 +80,7 @@ def hotsax_discord(
     exclude: tuple[tuple[int, int], ...] = (),
     backend: str = "kernel",
     budget: Optional[SearchBudget] = None,
+    n_workers: int = 1,
 ) -> tuple[Optional[Discord], DistanceCounter]:
     """Find the best fixed-length discord with the HOTSAX heuristics.
 
@@ -116,6 +117,7 @@ def hotsax_discord(
         exclude=exclude,
         backend=backend,
         budget=budget,
+        n_workers=n_workers,
     )
 
 
@@ -130,6 +132,7 @@ def hotsax_discords(
     rng: Optional[np.random.Generator] = None,
     backend: str = "kernel",
     budget: Optional[SearchBudget] = None,
+    n_workers: int = 1,
 ) -> HOTSAXResult:
     """Ranked top-k fixed-length discords with the HOTSAX heuristics.
 
@@ -148,6 +151,7 @@ def hotsax_discords(
         rng=rng,
         backend=backend,
         budget=budget,
+        n_workers=n_workers,
     )
     return HOTSAXResult(
         discords=discords,

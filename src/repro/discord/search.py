@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.core.anomaly import Discord
 from repro.exceptions import DiscordSearchError
+from repro.parallel.pool import MIN_PARALLEL_CANDIDATES, effective_workers
 from repro.resilience.budget import SearchBudget, SearchStatus
 from repro.timeseries import kernels
 from repro.timeseries.distance import DistanceCounter
@@ -40,6 +41,7 @@ def ordered_discord_search(
     exclude: tuple[tuple[int, int], ...] = (),
     backend: str = "kernel",
     budget: Optional[SearchBudget] = None,
+    n_workers: int = 1,
 ) -> tuple[Optional[Discord], DistanceCounter]:
     """Exact fixed-length discord via bucket-driven loop orderings.
 
@@ -66,6 +68,10 @@ def ordered_discord_search(
         ``KeyboardInterrupt`` arrives while one was supplied) the
         best-so-far discord is returned and ``budget.status`` reports
         why the scan stopped early.
+    n_workers:
+        Shard the outer loop across this many worker processes (see
+        :mod:`repro.parallel`).  The discord and the distance-call
+        count are bit-identical to the serial scan for any value.
     """
     validate_backend(backend)
     series = np.asarray(series, dtype=float)
@@ -98,6 +104,47 @@ def ordered_discord_search(
 
     best_dist = -1.0
     best_pos = None
+    workers = effective_workers(n_workers)
+    if workers > 1 and len(outer) >= MIN_PARALLEL_CANDIDATES:
+        from repro.parallel.engine import parallel_fixed_search
+
+        # Bucket keys travel to workers as small integer ids (strings
+        # would bloat shared memory; the search only compares keys).
+        key_ids: dict = {}
+        bucket_ids = np.fromiter(
+            (key_ids.setdefault(key, len(key_ids)) for key in keys),
+            dtype=np.int64,
+            count=k,
+        )
+        best_pos, best_dist = parallel_fixed_search(
+            normalized=normalized,
+            sqnorms=sqnorms,
+            bucket_ids=bucket_ids,
+            outer=np.asarray(outer, dtype=np.intp),
+            window=window,
+            exclude=exclude,
+            backend=backend,
+            prune=True,
+            counter=counter,
+            rng=rng,
+            budget=budget,
+            n_workers=workers,
+            has_channel=has_channel,
+        )
+        if best_pos is None:
+            return None, counter
+        return (
+            Discord(
+                start=best_pos,
+                end=best_pos + window,
+                score=best_dist,
+                rank=0,
+                nn_distance=best_dist,
+                rule_id=None,
+                source=source,
+            ),
+            counter,
+        )
     try:
         for p in outer:
             if any(ex_start <= p < ex_end for ex_start, ex_end in exclude):
@@ -222,6 +269,7 @@ def iterated_search(
     rng: Optional[np.random.Generator] = None,
     backend: str = "kernel",
     budget: Optional[SearchBudget] = None,
+    n_workers: int = 1,
 ) -> tuple[list[Discord], DistanceCounter, list[bool]]:
     """Top-k discords by repeated search with window-sized exclusion.
 
@@ -247,7 +295,7 @@ def iterated_search(
         found, counter = ordered_discord_search(
             series, window, bucket_fn,
             source=source, counter=counter, rng=rng, exclude=tuple(exclusions),
-            backend=backend, budget=budget,
+            backend=backend, budget=budget, n_workers=n_workers,
         )
         truncated = budget.status is not SearchStatus.COMPLETE
         if found is not None:

@@ -1,0 +1,46 @@
+"""Multi-core execution layer for discord searches and grid sweeps.
+
+Shards the outer loop of every discord search (RRA, HOTSAX, Haar, brute
+force) and the parameter-grid sweep across a process pool while keeping
+results bit-identical to the serial run — same discords, same ranks,
+same aggregated distance-call counts, for any worker count.  See
+:mod:`repro.parallel.scan` for the determinism scheme and
+:mod:`repro.parallel.engine` for the orchestration.
+
+Entry points are the ordinary search functions: pass ``n_workers=...``
+to :func:`repro.core.rra.find_discords`,
+:func:`repro.discord.hotsax.hotsax_discords`,
+:func:`repro.discord.haar.haar_discords`,
+:func:`repro.discord.brute_force.brute_force_discords`,
+:meth:`repro.core.parameter_grid.ParameterGridStudy.sweep`, or
+``GrammarAnomalyDetector(..., n_workers=...)`` — or ``--workers`` on the
+CLI.
+"""
+
+from repro.parallel.pool import (
+    CHUNKS_PER_WORKER,
+    MIN_PARALLEL_CANDIDATES,
+    RAMP_BASE_CHUNK,
+    RRA_WARMUP_WAVES,
+    SWEEP_CHUNKS_PER_WORKER,
+    effective_workers,
+    ramped_slices,
+    shard_slices,
+    strided_wave_plan,
+)
+from repro.parallel.shared import SharedArrays, SharedArraySpec, attach
+
+__all__ = [
+    "CHUNKS_PER_WORKER",
+    "MIN_PARALLEL_CANDIDATES",
+    "RAMP_BASE_CHUNK",
+    "RRA_WARMUP_WAVES",
+    "SWEEP_CHUNKS_PER_WORKER",
+    "effective_workers",
+    "ramped_slices",
+    "shard_slices",
+    "strided_wave_plan",
+    "SharedArrays",
+    "SharedArraySpec",
+    "attach",
+]

@@ -1,0 +1,473 @@
+"""Shard scanning and serial-order replay — the determinism core.
+
+Sharding an exact discord search is subtle because the searches are
+*sequential* algorithms: each outer candidate's inner loop prunes
+against the best-so-far discord distance, which evolves as the outer
+loop advances.  A worker that owns outer candidates ``[lo, hi)`` cannot
+know the serial best-so-far at ``lo`` without running everything before
+it.
+
+The layer solves this with a *scan/replay* split:
+
+* **Workers over-scan.**  Each worker runs the ordinary inner loop over
+  its shard, pruning against a *local* threshold — the maximum of a
+  seed value ``τ0`` (the nearest-neighbour distance of the first outer
+  candidate, computed by the parent) and the shard's own best-so-far.
+  Both are provably ≤ the serial best-so-far at every point, so the
+  local scan always covers at least the pairs the serial scan visits.
+* **Workers record prefix minima.**  For each candidate the worker
+  records how many pairs it scanned, whether it finished, and the
+  positions/values where the running minimum strictly decreased.  The
+  serial scan's behaviour over any prefix is a pure function of those
+  minima: the serial inner loop breaks at the first distance below the
+  serial best, and the first such distance is necessarily a strict
+  prefix minimum.
+* **The parent replays in serial order.**  Walking the records in the
+  serial outer order while carrying the true serial best-so-far yields,
+  for every candidate, the exact pair count the serial loop would have
+  spent and the exact best/position updates — so discords, ranks, and
+  distance-call counts are bit-identical to the serial run for any
+  worker count.
+
+Early-abandoned (``inf``) distances in the scalar path never disturb
+this: while a candidate is alive its abandon cutoff stays ≥ the serial
+best, so any distance that could end the serial scan is fully computed
+and therefore recorded.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.core.rra import (
+    _CandidateSet,
+    _InnerOrdering,
+    _is_non_self_match,
+    _kernel_pair_distance,
+)
+from repro.discord.search import _inner_sequence
+from repro.exceptions import DiscordSearchError
+from repro.grammar.intervals import RuleInterval
+from repro.parallel.pool import budget_from_spec
+from repro.parallel.shared import attach
+from repro.resilience.budget import SearchBudget, SearchStatus
+from repro.resilience.checkpoint import restore_rng
+from repro.timeseries import kernels
+from repro.timeseries.distance import variable_length_distance
+from repro.timeseries.distance import euclidean_early_abandon
+
+__all__ = [
+    "CandidateScan",
+    "Replay",
+    "scan_fixed_positions",
+    "scan_fixed_shard",
+    "scan_rra_positions",
+    "scan_rra_shard",
+]
+
+
+@dataclass
+class CandidateScan:
+    """One candidate's recorded inner-loop scan.
+
+    Attributes
+    ----------
+    position:
+        The candidate's identity for the merge: the window start for
+        fixed-length searches, the outer-order rank for RRA.
+    scanned:
+        Number of pairs the local scan visited.
+    minima:
+        ``(count, value)`` pairs — after *count* visited pairs the
+        running minimum strictly dropped to *value*.  Counts are
+        1-based and ascending; values strictly descending.
+    complete:
+        True when every non-self-match pair was visited (the local
+        threshold never fired).
+    """
+
+    position: int
+    scanned: int
+    minima: list
+    complete: bool
+
+    @property
+    def nearest(self) -> float:
+        """The local scan's final nearest-neighbour distance."""
+        return self.minima[-1][1] if self.minima else float("inf")
+
+
+@dataclass
+class ShardResult:
+    """What one shard task returns to the parent."""
+
+    records: list = field(default_factory=list)
+    processed: int = 0
+    status: str = SearchStatus.COMPLETE.value
+    calls: int = 0
+    elapsed: float = 0.0
+
+
+class Replay:
+    """Serial-order merge of shard records.
+
+    Feeds shards in serial outer order, carrying the true best-so-far.
+    For each record it derives the pair count the serial scan would have
+    spent (the first prefix minimum below the serial best, else the full
+    scan) and applies the serial update rule.  ``feed`` returns False
+    when a shard was truncated (budget/cancellation): replay must stop
+    there, because later candidates' serial behaviour depends on state
+    the truncated shard never produced — the merged result is then a
+    best-so-far answer equal to some serial prefix of the search.
+    """
+
+    def __init__(self, *, prune: bool = True, init_best: float = -1.0):
+        self.prune = prune
+        self.best = init_best
+        self.best_pos: Optional[int] = None
+        self.calls = 0
+        self.complete = True
+        self.status = SearchStatus.COMPLETE.value
+
+    def feed(self, shard: ShardResult, expected: int) -> bool:
+        """Merge one shard (covering *expected* outer positions).
+
+        A truncated shard (budget/cancellation fired mid-chunk) is
+        discarded whole — merging its partial prefix would leave the
+        replay at a mid-chunk point whose RNG state the parent never
+        captured, breaking checkpoint/resume.  Dropping it keeps the
+        merged result on the previous chunk boundary.
+        """
+        if shard.processed < expected or shard.status != SearchStatus.COMPLETE.value:
+            self.complete = False
+            if shard.status != SearchStatus.COMPLETE.value:
+                self.status = shard.status
+            else:  # pragma: no cover - defensive: truncation implies status
+                self.status = SearchStatus.BUDGET_EXHAUSTED.value
+            return False
+        for record in shard.records:
+            self._one(record)
+        return True
+
+    def _one(self, record: CandidateScan) -> None:
+        if self.prune:
+            for count, value in record.minima:
+                if value < self.best:
+                    # The serial scan would have pruned this candidate
+                    # after exactly `count` pairs.
+                    self.calls += count
+                    return
+        if not record.complete:
+            raise DiscordSearchError(
+                "parallel scan inconsistency: a locally-pruned candidate "
+                "survived the serial replay (local threshold exceeded the "
+                "serial best-so-far)"
+            )
+        self.calls += record.scanned
+        nearest = record.nearest
+        if math.isfinite(nearest) and nearest > self.best:
+            self.best = nearest
+            self.best_pos = record.position
+
+
+# ---------------------------------------------------------------------------
+# Fixed-length engines (HOTSAX / Haar buckets, brute force)
+# ---------------------------------------------------------------------------
+
+
+def _record_kernel_blocks(
+    normalized: np.ndarray,
+    sqnorms: np.ndarray,
+    p: int,
+    order: Iterator[int],
+    threshold: float,
+) -> CandidateScan:
+    """Block-vectorized recording scan (mirror of ``_kernel_inner_scan``)."""
+    minima: list = []
+    nearest = float("inf")
+    scanned = 0
+    block = 8
+    p_row = normalized[p]
+    p_sq = sqnorms[p]
+    while True:
+        idx = np.fromiter(islice(order, block), dtype=np.intp)
+        if idx.size == 0:
+            return CandidateScan(p, scanned, minima, True)
+        sq = kernels.one_vs_all_sq_euclidean(
+            p_row, normalized[idx], query_sqnorm=p_sq, sqnorms=sqnorms[idx]
+        )
+        dists = np.sqrt(sq)
+        hit = kernels.first_below(dists, threshold)
+        limit = hit + 1 if hit >= 0 else idx.size
+        points, values = kernels.running_min_points(dists[:limit])
+        for j, value in zip(points, values):
+            value = float(value)
+            if value < nearest:
+                nearest = value
+                minima.append((scanned + int(j) + 1, value))
+        scanned += limit
+        if hit >= 0:
+            return CandidateScan(p, scanned, minima, False)
+        block = min(block * 4, 2048)
+
+
+def _record_kernel_row(
+    normalized: np.ndarray,
+    sqnorms: np.ndarray,
+    p: int,
+    window: int,
+    threshold: float,
+    prune: bool,
+) -> CandidateScan:
+    """Full-row recording scan for brute force (one matvec per candidate)."""
+    k = normalized.shape[0]
+    sq_row = kernels.one_vs_all_sq_euclidean(
+        normalized[p], normalized, query_sqnorm=sqnorms[p], sqnorms=sqnorms
+    )
+    valid = np.ones(k, dtype=bool)
+    valid[max(0, p - window) : p + window + 1] = False
+    dists = np.sqrt(sq_row[valid])
+    hit = kernels.first_below(dists, threshold) if prune else -1
+    limit = hit + 1 if hit >= 0 else dists.size
+    points, values = kernels.running_min_points(dists[:limit])
+    minima = [(int(j) + 1, float(v)) for j, v in zip(points, values)]
+    return CandidateScan(p, int(limit), minima, hit < 0)
+
+
+def _record_scalar_pairs(
+    normalized: np.ndarray,
+    p: int,
+    order: Iterable[int],
+    threshold: float,
+    prune: bool,
+) -> CandidateScan:
+    """Per-pair recording scan on the scalar reference path."""
+    minima: list = []
+    nearest = float("inf")
+    scanned = 0
+    p_row = normalized[p]
+    for q in order:
+        cutoff = nearest if prune else float("inf")
+        dist = euclidean_early_abandon(p_row, normalized[q], cutoff)
+        scanned += 1
+        if dist < nearest:
+            nearest = dist
+            minima.append((scanned, float(dist)))
+        if prune and dist < threshold:
+            return CandidateScan(p, scanned, minima, False)
+    return CandidateScan(p, scanned, minima, True)
+
+
+def scan_fixed_positions(
+    normalized: np.ndarray,
+    sqnorms: Optional[np.ndarray],
+    bucket_ids: Optional[np.ndarray],
+    positions: Iterable[int],
+    *,
+    window: int,
+    exclude: tuple,
+    backend: str,
+    prune: bool,
+    floor: float,
+    rng: Optional[np.random.Generator],
+    budget: Optional[SearchBudget] = None,
+) -> ShardResult:
+    """Scan one shard of a fixed-length search's outer candidates.
+
+    *bucket_ids* present → HOTSAX/Haar semantics (same-bucket pairs
+    first, shuffled tail, always pruning); absent → brute-force
+    semantics (ascending pair order, pruning only with *prune*).
+    *floor* is the shard's starting threshold (τ0); the shard tightens
+    it with its own completed candidates.  Runs in a worker process or
+    inline in the parent (the τ0 seed scan) — identical behaviour.
+    """
+    if budget is None:
+        budget = SearchBudget.unlimited()
+    k = normalized.shape[0]
+    buckets: Optional[dict] = None
+    if bucket_ids is not None:
+        buckets = defaultdict(list)
+        for pos, bucket in enumerate(bucket_ids):
+            buckets[int(bucket)].append(pos)
+    result = ShardResult()
+    local_best = floor
+    started = time.perf_counter()
+    for p in positions:
+        p = int(p)
+        if any(ex_start <= p < ex_end for ex_start, ex_end in exclude):
+            result.processed += 1
+            continue
+        if budget.interrupted(result.calls) is not None:
+            result.status = budget.status.value
+            break
+        if buckets is not None:
+            same_bucket = [q for q in buckets[int(bucket_ids[p])] if q != p]
+            tail = rng.permutation(k)
+            order = (
+                q for q in _inner_sequence(same_bucket, tail, p)
+                if abs(p - q) > window
+            )
+            if backend == "kernel":
+                record = _record_kernel_blocks(
+                    normalized, sqnorms, p, order, local_best
+                )
+            else:
+                record = _record_scalar_pairs(
+                    normalized, p, order, local_best, True
+                )
+        elif backend == "kernel":
+            record = _record_kernel_row(
+                normalized, sqnorms, p, window, local_best, prune
+            )
+        else:
+            order = (q for q in range(k) if abs(p - q) > window)
+            record = _record_scalar_pairs(
+                normalized, p, order, local_best, prune
+            )
+        result.calls += record.scanned
+        result.records.append(record)
+        result.processed += 1
+        if record.complete:
+            nearest = record.nearest
+            if math.isfinite(nearest) and nearest > local_best:
+                local_best = nearest
+    result.elapsed = time.perf_counter() - started
+    return result
+
+
+def scan_fixed_shard(payload: dict) -> ShardResult:
+    """Worker entry point: attach shared arrays, scan the shard."""
+    normalized = attach(payload["normalized"])
+    sqnorms = attach(payload.get("sqnorms"))
+    bucket_ids = attach(payload.get("bucket_ids"))
+    outer = attach(payload.get("outer"))
+    lo, hi = payload["slice"]
+    positions = outer[lo:hi] if outer is not None else range(lo, hi)
+    rng = (
+        restore_rng(payload["rng_state"])
+        if payload.get("rng_state") is not None
+        else None
+    )
+    return scan_fixed_positions(
+        normalized,
+        sqnorms,
+        bucket_ids,
+        positions,
+        window=payload["window"],
+        exclude=tuple(tuple(pair) for pair in payload["exclude"]),
+        backend=payload["backend"],
+        prune=payload["prune"],
+        floor=payload["floor"],
+        rng=rng,
+        budget=budget_from_spec(payload.get("budget")),
+    )
+
+
+# ---------------------------------------------------------------------------
+# RRA (variable-length grammar-rule candidates)
+# ---------------------------------------------------------------------------
+
+
+def scan_rra_positions(
+    cache: _CandidateSet,
+    ordering: _InnerOrdering,
+    candidates: list,
+    outer_indices: list,
+    base: int,
+    *,
+    backend: str,
+    floor: float,
+    rng: np.random.Generator,
+    budget: Optional[SearchBudget] = None,
+    stride: int = 1,
+    offset: int = 0,
+) -> ShardResult:
+    """Scan one shard of RRA outer candidates (records, not results).
+
+    *outer_indices* are indices into *candidates* covering one wave of
+    the serial outer order; *base* is the outer rank of the first, so
+    records carry global outer ranks for the replay.  The shard *owns*
+    the positions ``j`` with ``j % stride == offset`` (the round-robin
+    deal that spreads the expensive front-of-order candidates across a
+    wave's workers); for the others it only consumes the serial RNG's
+    inner-ordering permutation, so the generator is in the exact serial
+    state when each owned candidate shuffles its tail.  The default
+    ``stride=1`` owns everything — a plain contiguous shard.
+    """
+    if budget is None:
+        budget = SearchBudget.unlimited()
+    use_kernel = backend == "kernel"
+    result = ShardResult()
+    local_best = floor
+    started = time.perf_counter()
+    for j, ci in enumerate(outer_indices):
+        p = candidates[ci]
+        if j % stride != offset:
+            rng.permutation(ordering.rest_size(p))
+            continue
+        if budget.interrupted(result.calls) is not None:
+            result.status = budget.status.value
+            break
+        p_values = cache.values(p)
+        minima: list = []
+        nearest = float("inf")
+        scanned = 0
+        complete = True
+        for q in ordering.order(p, rng):
+            if q is p or not _is_non_self_match(p, q):
+                continue
+            if use_kernel:
+                dist = _kernel_pair_distance(cache, p, q)
+            else:
+                dist = variable_length_distance(
+                    p_values, cache.values(q), normalize_inputs=False
+                )
+            scanned += 1
+            if dist < nearest:
+                nearest = dist
+                minima.append((scanned, float(dist)))
+            if dist < local_best:
+                complete = False
+                break
+        record = CandidateScan(base + j, scanned, minima, complete)
+        result.calls += record.scanned
+        result.records.append(record)
+        result.processed += 1
+        if complete and math.isfinite(nearest) and nearest > local_best:
+            local_best = nearest
+    result.elapsed = time.perf_counter() - started
+    return result
+
+
+def scan_rra_shard(payload: dict) -> ShardResult:
+    """Worker entry point for one RRA shard."""
+    series = attach(payload["series"])
+    cumsum = attach(payload["cumsum"])
+    sq_cumsum = attach(payload["sq_cumsum"])
+    candidates = [
+        RuleInterval(rule_id, start, end, usage)
+        for rule_id, start, end, usage in payload["candidates"]
+    ]
+    stats = kernels.SeriesStats.from_cumsums(series, cumsum, sq_cumsum)
+    cache = _CandidateSet(series, candidates, stats=stats)
+    ordering = _InnerOrdering(candidates)
+    return scan_rra_positions(
+        cache,
+        ordering,
+        candidates,
+        payload["outer_indices"],
+        payload["base"],
+        backend=payload["backend"],
+        floor=payload["floor"],
+        rng=restore_rng(payload["rng_state"]),
+        budget=budget_from_spec(payload.get("budget")),
+        stride=payload.get("stride", 1),
+        offset=payload.get("offset", 0),
+    )

@@ -148,9 +148,65 @@ class SearchBudget:
                 return self._tripped
         return None
 
+    def remaining_deadline(self) -> Optional[float]:
+        """Seconds left on the wall-clock budget, or None when unlimited.
+
+        Starts the deadline clock if it has not started yet (mirroring
+        :meth:`interrupted`), so a budget split before its first check
+        hands the full allowance to the shards.
+        """
+        if self.deadline is None:
+            return None
+        now = time.monotonic()
+        if self._deadline_at is None:
+            self._deadline_at = now + self.deadline
+        return max(0.0, self._deadline_at - now)
+
+    def split(self, shards: int, *, calls_spent: int = 0) -> list["SearchBudget"]:
+        """Fair-share sub-budgets for *shards* parallel slices of a search.
+
+        The remaining call allowance (``max_calls - calls_spent``) is
+        divided into equal ceilings (rounded up, so the shard totals may
+        overshoot the parent ceiling by at most ``shards - 1`` calls plus
+        the usual one-candidate overshoot per shard); the remaining
+        wall-clock deadline is handed to every shard whole, since shards
+        run concurrently against the same clock.  Each sub-budget keeps a
+        reference to the parent's cancellation token; the process-pool
+        layer substitutes a shared event before shipping sub-budgets to
+        workers (tokens do not cross process boundaries).
+        """
+        if shards < 1:
+            raise ParameterError(f"shards must be >= 1, got {shards}")
+        share: Optional[int] = None
+        if self.max_calls is not None:
+            remaining = max(0, self.max_calls - calls_spent)
+            share = -(-remaining // shards)
+        deadline = self.remaining_deadline()
+        return [
+            SearchBudget(deadline=deadline, max_calls=share, token=self.token)
+            for _ in range(shards)
+        ]
+
     def note_cancelled(self) -> None:
         """Record an out-of-band cancellation (KeyboardInterrupt)."""
         self._tripped = SearchStatus.CANCELLED
+
+    def note_exhausted(self) -> None:
+        """Record an out-of-band exhaustion (a worker shard's budget tripped)."""
+        if self._tripped is None:
+            self._tripped = SearchStatus.BUDGET_EXHAUSTED
+
+    def adopt(self, status: SearchStatus) -> None:
+        """Fold a worker shard's terminal status into this budget.
+
+        CANCELLED wins over BUDGET_EXHAUSTED (a cancellation anywhere
+        means the user asked the whole search to stop); COMPLETE is a
+        no-op.
+        """
+        if status is SearchStatus.CANCELLED:
+            self._tripped = SearchStatus.CANCELLED
+        elif status is SearchStatus.BUDGET_EXHAUSTED:
+            self.note_exhausted()
 
     @property
     def status(self) -> SearchStatus:

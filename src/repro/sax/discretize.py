@@ -126,6 +126,32 @@ class Discretization:
         return 1.0 - len(self.words) / self.raw_word_count
 
 
+def windowed_paa(
+    series: np.ndarray,
+    window: int,
+    paa_size: int,
+    *,
+    flatness_threshold: float = DEFAULT_FLATNESS_THRESHOLD,
+) -> np.ndarray:
+    """Per-window PAA coefficients of the z-normalized sliding windows.
+
+    The expensive front half of :func:`discretize` — everything that
+    depends only on ``(window, paa_size)`` and not on the alphabet:
+    slide, z-normalize, zero out flat windows, reduce to segment means.
+    Parameter sweeps compute this once per ``(window, paa_size)`` pair
+    and hand it to :func:`discretize` for each alphabet size.
+    """
+    windows = sliding_windows(series, window)
+    normalized = znorm_rows(windows, flatness_threshold)
+    # Flat windows carry no shape: discretize them as exact zeros so
+    # they all map to the same middle-letter word instead of flickering
+    # across the central breakpoint on sub-threshold noise.
+    flat_rows = windows.std(axis=1) < flatness_threshold
+    if flat_rows.any():
+        normalized = np.where(flat_rows[:, None], 0.0, normalized)
+    return paa_batch(normalized, paa_size)
+
+
 def discretize(
     series: np.ndarray,
     window: int,
@@ -134,6 +160,7 @@ def discretize(
     *,
     strategy: NumerosityReduction = NumerosityReduction.EXACT,
     flatness_threshold: float = DEFAULT_FLATNESS_THRESHOLD,
+    paa_values: np.ndarray = None,
 ) -> Discretization:
     """Discretize *series* into a numerosity-reduced SAX word sequence.
 
@@ -152,6 +179,11 @@ def discretize(
     flatness_threshold:
         Windows whose standard deviation falls below this are treated as
         flat and discretized as the all-middle-symbol word.
+    paa_values:
+        Optional precomputed output of :func:`windowed_paa` for the same
+        ``(series, window, paa_size, flatness_threshold)``.  Parameter
+        sweeps pass it to amortize the sliding-window/PAA front half
+        across alphabet sizes; shape is validated, contents trusted.
 
     Raises
     ------
@@ -185,16 +217,17 @@ def discretize(
     # Validate alphabet early (breakpoints() raises ParameterError).
     cuts = breakpoints_array(alphabet_size)
 
-    windows = sliding_windows(series, window)
-    normalized = znorm_rows(windows, flatness_threshold)
-    # Flat windows carry no shape: discretize them as exact zeros so
-    # they all map to the same middle-letter word instead of flickering
-    # across the central breakpoint on sub-threshold noise.
-    flat_rows = windows.std(axis=1) < flatness_threshold
-    if flat_rows.any():
-        normalized = np.where(flat_rows[:, None], 0.0, normalized)
-
-    paa_values = paa_batch(normalized, paa_size)
+    if paa_values is None:
+        paa_values = windowed_paa(
+            series, window, paa_size, flatness_threshold=flatness_threshold
+        )
+    else:
+        expected = (series.size - window + 1, paa_size)
+        if tuple(paa_values.shape) != expected:
+            raise ParameterError(
+                f"precomputed paa_values has shape {tuple(paa_values.shape)}, "
+                f"expected {expected} for window={window}, paa_size={paa_size}"
+            )
     letter_idx = np.searchsorted(cuts, paa_values, side="right")
 
     alphabet = [chr(ord("a") + i) for i in range(alphabet_size)]
