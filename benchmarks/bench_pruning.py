@@ -1,0 +1,280 @@
+"""Pruning-power benchmark for the admissible lower-bound layer.
+
+Runs every discord engine with ``prune=False`` and ``prune=True`` on
+the paper's synthetic stand-in datasets, verifies the results are
+bit-identical (same discords, same logical distance-call counts), and
+records the counter's split ledger in ``BENCH_pruning.json``:
+
+``pruning_rate``
+    ``pruned / calls`` — the fraction of candidate pairs whose true
+    distance kernel was skipped because a SAX/PAA lower bound certified
+    they could not matter.  This equals the *true-call reduction*,
+    since ``calls`` is invariant under pruning.
+``lb_calls``
+    Physical lower-bound evaluations — the price paid for the skips
+    (each costs a table lookup plus an O(paa_size) reduction, versus an
+    O(window) kernel).
+``wall_seconds``
+    Honest wall times for both modes.  On the kernel backend the
+    unpruned path evaluates whole blocks with one matrix product, so a
+    high pruning rate does not always translate into wall-clock wins at
+    these (small, CI-sized) scales; the paper's cost metric — and this
+    benchmark's acceptance target — is the number of true distance
+    calls, which dominates at paper scale and for any expensive
+    distance.
+
+Acceptance targets: >= 40 % true-call reduction for HOTSAX and >= 25 %
+for RRA on at least one recorded configuration, with every ledger
+reconciling exactly (``calls == true_calls + pruned``).
+
+Invocations::
+
+    PYTHONPATH=src python benchmarks/bench_pruning.py           # full
+    PYTHONPATH=src python benchmarks/bench_pruning.py --quick   # CI smoke
+
+Running under pytest (``pytest benchmarks/bench_pruning.py``) executes
+the quick configuration and asserts the invariants.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.core.pipeline import GrammarAnomalyDetector
+from repro.core.rra import find_discords
+from repro.datasets.ecg import synthetic_ecg
+from repro.datasets.power import dutch_power_demand_like
+from repro.discord.brute_force import brute_force_discords
+from repro.discord.haar import haar_discords
+from repro.discord.hotsax import hotsax_discords
+from repro.timeseries.distance import DistanceCounter
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pruning.json"
+
+HOTSAX_TARGET = 0.40
+RRA_TARGET = 0.25
+
+
+def _fingerprint(discords) -> list:
+    return [(d.start, d.end, d.rank, round(d.score, 12)) for d in discords]
+
+
+def _measure(label: str, runner) -> dict:
+    """Run *runner(prune, counter)* both ways; verify and package.
+
+    ``runner`` must return a discord list and thread the supplied
+    counter through the search.
+    """
+    base_counter = DistanceCounter()
+    start = time.perf_counter()
+    base = _fingerprint(runner(False, base_counter))
+    wall_unpruned = time.perf_counter() - start
+
+    counter = DistanceCounter()
+    start = time.perf_counter()
+    pruned = _fingerprint(runner(True, counter))
+    wall_pruned = time.perf_counter() - start
+
+    if base != pruned:
+        raise AssertionError(f"{label}: pruned results diverged")
+    if counter.calls != base_counter.calls:
+        raise AssertionError(
+            f"{label}: logical call count changed under pruning "
+            f"({counter.calls} vs {base_counter.calls})"
+        )
+    if counter.true_calls + counter.pruned != counter.calls:
+        raise AssertionError(f"{label}: ledger does not reconcile")
+
+    rate = counter.pruned / counter.calls if counter.calls else 0.0
+    entry = {
+        "calls": counter.calls,
+        "true_calls": counter.true_calls,
+        "pruned": counter.pruned,
+        "lb_calls": counter.lb_calls,
+        "pruning_rate": round(rate, 4),
+        "wall_seconds_unpruned": round(wall_unpruned, 4),
+        "wall_seconds_pruned": round(wall_pruned, 4),
+        "results_identical": True,
+    }
+    print(
+        f"{label:34s} calls {counter.calls:>9d}  "
+        f"true {counter.true_calls:>9d}  pruned {rate:6.1%}  "
+        f"wall {wall_unpruned:6.2f}s -> {wall_pruned:6.2f}s"
+    )
+    return entry
+
+
+def run(quick: bool = False) -> dict:
+    """Execute the benchmark matrix; returns the report dict."""
+    if quick:
+        ecg = synthetic_ecg(num_beats=20, anomaly_beats=(12,))
+        power = dutch_power_demand_like(
+            weeks=3, holiday_weeks=((1, 2),), window=150
+        )
+        num_discords = 2
+        brute_series = power.series[:900]
+    else:
+        ecg = synthetic_ecg(num_beats=60, anomaly_beats=(12, 25, 40))
+        power = dutch_power_demand_like(
+            weeks=6, holiday_weeks=((3, 2),), window=300
+        )
+        num_discords = 3
+        brute_series = power.series[:2400]
+
+    engines: dict = {}
+
+    def run_hotsax(prune, counter, **overrides):
+        return hotsax_discords(
+            power.series, power.window, num_discords=num_discords,
+            counter=counter, rng=np.random.default_rng(0), prune=prune,
+            **overrides,
+        ).discords
+
+    def run_hotsax_ecg(prune, counter, **overrides):
+        return hotsax_discords(
+            ecg.series, ecg.window, num_discords=num_discords,
+            counter=counter, rng=np.random.default_rng(0), prune=prune,
+            **overrides,
+        ).discords
+
+    engines["hotsax"] = {
+        # Reusing the bucketing discretization makes stage 1 free but
+        # coarse; finer pruning-only grids pay one extra PAA pass (and
+        # an O(paa_size) term per bound evaluation — still far below
+        # the O(window) kernel) and prune much harder.  All recorded.
+        "bucket_discretization": _measure(
+            "hotsax power (bucket words reused)", run_hotsax
+        ),
+        "fine_discretization": _measure(
+            "hotsax power (prune grid 8x8)",
+            lambda prune, counter: run_hotsax(
+                prune, counter, prune_paa_size=8, prune_alphabet_size=8
+            ),
+        ),
+        "ecg_fine_discretization": _measure(
+            "hotsax ecg (prune grid 16x8)",
+            lambda prune, counter: run_hotsax_ecg(
+                prune, counter, prune_paa_size=16, prune_alphabet_size=8
+            ),
+        ),
+    }
+
+    engines["haar"] = {
+        "default": _measure(
+            "haar",
+            lambda prune, counter: haar_discords(
+                power.series, power.window, num_discords=num_discords,
+                counter=counter, rng=np.random.default_rng(0), prune=prune,
+            ).discords,
+        )
+    }
+
+    engines["brute_force"] = {
+        "default": _measure(
+            "brute_force (early abandon)",
+            lambda prune, counter: brute_force_discords(
+                brute_series, power.window, num_discords=1,
+                counter=counter, prune=prune,
+            ).discords,
+        )
+    }
+
+    detector = GrammarAnomalyDetector(
+        ecg.window, ecg.paa_size, ecg.alphabet_size
+    )
+    fitted = detector.fit(ecg.series)
+
+    engines["rra"] = {
+        "default": _measure(
+            "rra",
+            lambda prune, counter: find_discords(
+                ecg.series, fitted.candidates, num_discords=num_discords,
+                counter=counter, rng=np.random.default_rng(0), prune=prune,
+            ).discords,
+        )
+    }
+
+    hotsax_best = max(
+        entry["pruning_rate"] for entry in engines["hotsax"].values()
+    )
+    rra_best = max(entry["pruning_rate"] for entry in engines["rra"].values())
+    report = {
+        "mode": "quick" if quick else "full",
+        "cpu_count": os.cpu_count(),
+        "note": (
+            "pruning_rate == pruned/calls == true-call reduction (the "
+            "logical call count is invariant under pruning); wall times "
+            "are machine-dependent and, at these CI-sized scales, the "
+            "kernel backend's unpruned block products can outrun the "
+            "pruned scan — the acceptance metric is true distance calls"
+        ),
+        "datasets": {
+            "power": {"length": int(power.length), "window": int(power.window)},
+            "ecg": {
+                "length": int(ecg.length),
+                "window": int(ecg.window),
+                "candidates": len(fitted.candidates),
+            },
+            "brute_force_series_length": int(brute_series.size),
+        },
+        "engines": engines,
+        "hotsax_best_reduction": hotsax_best,
+        "rra_best_reduction": rra_best,
+        "targets": {"hotsax": HOTSAX_TARGET, "rra": RRA_TARGET},
+        "meets_targets": (
+            hotsax_best >= HOTSAX_TARGET and rra_best >= RRA_TARGET
+        ),
+    }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small datasets, suitable as a CI smoke test",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON report (default {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    report = run(quick=args.quick)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[report saved to {args.output}]")
+    print(
+        f"best reductions: hotsax {report['hotsax_best_reduction']:.1%} "
+        f"(target {HOTSAX_TARGET:.0%}), rra "
+        f"{report['rra_best_reduction']:.1%} (target {RRA_TARGET:.0%})"
+    )
+    if not report["meets_targets"]:
+        print("PRUNING TARGETS NOT MET")
+        return 1
+    return 0
+
+
+def test_pruning_quick_smoke(tmp_path):
+    """Pytest entry: quick run, identical results, ledgers reconcile."""
+    report = run(quick=True)
+    path = tmp_path / "BENCH_pruning.json"
+    path.write_text(json.dumps(report, indent=2))
+    for engine in report["engines"].values():
+        for entry in engine.values():
+            assert entry["results_identical"]
+            assert entry["true_calls"] + entry["pruned"] == entry["calls"]
+            assert entry["pruned"] > 0
+    assert report["rra_best_reduction"] > 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

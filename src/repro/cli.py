@@ -79,6 +79,7 @@ def _cmd_find(args: argparse.Namespace) -> int:
         budget=budget,
         checkpoint_path=args.checkpoint,
         resume_from=args.resume,
+        prune=args.prune,
     )
     anomalies.extend(rra.discords)
     print(grammar_report(result, anomalies))
@@ -246,6 +247,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, metavar="N",
         help="worker processes for the discord search (results are "
              "bit-identical for any value; default 1 = in-process)",
+    )
+    find.add_argument(
+        "--prune", action="store_true",
+        help="skip true distance kernels via admissible SAX/PAA lower "
+             "bounds (results and logical call counts are bit-identical; "
+             "see the counter's pruning ledger)",
     )
     find.add_argument(
         "--quality", choices=["raise", "interpolate", "mask"], default=None,

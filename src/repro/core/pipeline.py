@@ -250,6 +250,7 @@ class GrammarAnomalyDetector:
         checkpoint_every: int = 32,
         resume_from: Optional[str] = None,
         n_workers: Optional[int] = None,
+        prune: bool = False,
     ) -> RRAResult:
         """RRA variable-length discords (paper Section 4.2).
 
@@ -268,6 +269,11 @@ class GrammarAnomalyDetector:
         *n_workers* overrides the constructor's worker count for this
         query only (``None`` keeps the detector default); any value
         returns bit-identical discords and distance-call counts.
+
+        *prune* opts into the admissible lower-bound cascade (see
+        :func:`repro.core.rra.find_discords`): most true distance
+        kernels are skipped while discords, distances, ranks, and the
+        logical call counts stay bit-identical.
         """
         result = self.result
         rra = find_discords(
@@ -281,6 +287,7 @@ class GrammarAnomalyDetector:
             checkpoint_every=checkpoint_every,
             resume_from=resume_from,
             n_workers=self.n_workers if n_workers is None else n_workers,
+            prune=prune,
         )
         if not rra.complete:
             rra.degraded = True

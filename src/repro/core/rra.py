@@ -47,6 +47,7 @@ from repro.parallel.pool import MIN_PARALLEL_CANDIDATES, effective_workers
 from repro.timeseries import kernels
 from repro.timeseries.distance import DistanceCounter
 from repro.timeseries.kernels import validate_backend
+from repro.timeseries.lowerbound import IntervalLowerBound
 
 
 @dataclass
@@ -113,6 +114,10 @@ class _RankState:
     calls: int = 0
     rng_state: Optional[dict] = None
     complete: bool = False
+    #: Snapshot of the counter's split ledger at this boundary (pruned
+    #: runs); checkpoints persist it so a resumed run's pruning stats
+    #: carry on from where the interrupted run stopped.
+    ledger: Optional[dict] = None
 
 
 class _CandidateSet:
@@ -279,8 +284,10 @@ def find_discord(
     cache: Optional[_CandidateSet] = None,
     budget: Optional[SearchBudget] = None,
     n_workers: int = 1,
+    prune: bool = False,
     _state: Optional[_RankState] = None,
     _on_boundary: Optional[Callable[[_RankState, list[RuleInterval]], None]] = None,
+    _lower_bound: Optional[IntervalLowerBound] = None,
 ) -> tuple[Optional[Discord], DistanceCounter]:
     """Find the single best variable-length discord (paper Algorithm 1).
 
@@ -320,6 +327,14 @@ def find_discord(
         :mod:`repro.parallel`).  Results — discord, rank, distance-call
         count, checkpoint contents — are bit-identical to the serial
         run for any value; 1 (the default) keeps everything in-process.
+    prune:
+        Opt into the admissible lower-bound cascade
+        (:class:`~repro.timeseries.lowerbound.IntervalLowerBound`,
+        honouring the paper's Eq. 1 length normalization): candidate
+        pairs whose bound certifies ``dist >= nearest`` skip the true
+        distance kernel.  Discords, distances, ranks, and the logical
+        ``counter.calls`` are bit-identical; the counter's split ledger
+        reports how many kernels were avoided.
 
     Returns
     -------
@@ -358,6 +373,9 @@ def find_discord(
         cache = _CandidateSet(series, candidates)
     ordering = _InnerOrdering(candidates)
     use_kernel = backend == "kernel"
+    lb = _lower_bound if prune else None
+    if prune and lb is None:
+        lb = IntervalLowerBound(cache)
 
     # Outer ordering: ascending rule usage (gaps first), deterministic
     # tie-break by position.
@@ -390,6 +408,11 @@ def find_discord(
             has_channel=has_channel,
             capture_rng=capture_rng,
             on_boundary=_on_boundary,
+            lb_config=(
+                {"segments": lb.segments, "alphabet_size": lb.alphabet_size}
+                if lb is not None
+                else None
+            ),
         )
         best_dist = state.best_dist
         best_candidate = (
@@ -417,6 +440,7 @@ def find_discord(
             # point a checkpoint resumes from.
             state.outer_index = i
             state.calls = counter.calls
+            state.ledger = counter.ledger()
             if capture_rng:
                 state.rng_state = rng_state_to_json(rng)
             if budget.interrupted(counter.calls) is not None:
@@ -430,6 +454,14 @@ def find_discord(
             for q in ordering.order(p, rng):
                 if q is p or not _is_non_self_match(p, q):
                     continue
+                if lb is not None and np.isfinite(nearest):
+                    counter.lb_batch(1)
+                    if lb.pair_exceeds(p, q, nearest):
+                        # dist >= LB >= nearest >= best_dist: the pair
+                        # can neither break nor lower nearest; skip the
+                        # kernel, keep the logical call.
+                        counter.pruned_batch(1)
+                        continue
                 if use_kernel:
                     counter.batch(1)
                     dist = _kernel_pair_distance(cache, p, q)
@@ -450,6 +482,7 @@ def find_discord(
         else:
             state.outer_index = len(outer)
             state.calls = counter.calls
+            state.ledger = counter.ledger()
             if capture_rng:
                 state.rng_state = rng_state_to_json(rng)
             state.complete = True
@@ -511,6 +544,7 @@ def find_discords(
     checkpoint_every: int = 32,
     resume_from: Optional[str] = None,
     n_workers: int = 1,
+    prune: bool = False,
 ) -> RRAResult:
     """Iteratively extract up to *num_discords* ranked discords.
 
@@ -550,6 +584,13 @@ def find_discords(
         counts, and checkpoints are bit-identical to the serial run for
         any value; checkpoints written by a serial run can be resumed by
         a parallel one and vice versa.
+    prune:
+        Opt into the admissible lower-bound cascade for every rank (see
+        :func:`find_discord`).  Results and logical call counts are
+        bit-identical; the pruning ledger is carried through
+        checkpoints, so interrupted pruned runs resume with their stats
+        intact.  Pruned and unpruned checkpoints are deliberately not
+        interchangeable (the fingerprint covers *prune*).
     """
     validate_backend(backend)
     series = np.asarray(series, dtype=float)
@@ -571,11 +612,14 @@ def find_discords(
         iv for iv in intervals if iv.end <= series.size and iv.length >= 2
     ]
     cache = _CandidateSet(series, valid)
+    lower_bound = IntervalLowerBound(cache) if prune else None
 
     fingerprint: Optional[str] = None
     if checkpoint_path is not None or resume_from is not None:
         fingerprint = search_fingerprint(
-            series, valid, {"num_discords": num_discords, "backend": backend}
+            series,
+            valid,
+            {"num_discords": num_discords, "backend": backend, "prune": prune},
         )
 
     exclusions: list[tuple[int, int]] = []
@@ -592,7 +636,11 @@ def find_discords(
             result.discords.append(_discord_from_json(entry))
             result.rank_complete.append(True)
         exclusions = [tuple(pair) for pair in data.get("exclusions", [])]
-        counter.calls = int(data["distance_calls"])
+        if data.get("ledger") is not None:
+            counter.restore_ledger(data["ledger"])
+        else:
+            counter.calls = int(data["distance_calls"])
+            counter.true_calls = counter.calls
         start_rank = int(data["rank"])
         if data.get("rng_state") is not None:
             rng = restore_rng(data["rng_state"])
@@ -605,6 +653,7 @@ def find_discords(
             best_dist=float(data["best_dist"]),
             best_key=tuple(best_key) if best_key is not None else None,
             calls=counter.calls,
+            ledger=counter.ledger(),
         )
 
     # -- checkpoint plumbing -------------------------------------------
@@ -632,6 +681,7 @@ def find_discords(
                 "best_dist": state.best_dist,
                 "best_key": list(state.best_key) if state.best_key else None,
                 "distance_calls": state.calls,
+                "ledger": state.ledger,
                 "rng_state": state.rng_state,
                 "candidate_count": len(valid),
                 "done": done,
@@ -662,8 +712,10 @@ def find_discords(
             cache=cache,
             budget=budget,
             n_workers=n_workers,
+            prune=prune,
             _state=state,
             _on_boundary=on_boundary,
+            _lower_bound=lower_bound,
         )
         if checkpoint_path is not None:
             # Only needed for the final interruption write below.
@@ -716,7 +768,11 @@ def find_discords(
         if checkpoint_path is not None:
             current_rank[0] = rank + 1
             _write(
-                _RankState(calls=counter.calls, rng_state=rng_state_to_json(rng)),
+                _RankState(
+                    calls=counter.calls,
+                    rng_state=rng_state_to_json(rng),
+                    ledger=counter.ledger(),
+                ),
                 [],
                 done=(rank + 1 >= num_discords),
             )

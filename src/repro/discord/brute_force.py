@@ -19,12 +19,13 @@ from typing import Iterator, Optional
 import numpy as np
 
 from repro.core.anomaly import Discord
-from repro.discord.search import validate_backend
+from repro.discord.search import _kernel_inner_scan_lb, validate_backend
 from repro.exceptions import DiscordSearchError
 from repro.parallel.pool import MIN_PARALLEL_CANDIDATES, effective_workers
 from repro.resilience.budget import SearchBudget, SearchStatus
 from repro.timeseries import kernels
 from repro.timeseries.distance import DistanceCounter
+from repro.timeseries.lowerbound import WindowLowerBound
 from repro.timeseries.windows import num_windows, sliding_windows
 from repro.timeseries.znorm import znorm_rows
 
@@ -56,6 +57,8 @@ def brute_force_discord(
     backend: str = "kernel",
     budget: Optional[SearchBudget] = None,
     n_workers: int = 1,
+    prune: bool = False,
+    lower_bound: Optional[WindowLowerBound] = None,
 ) -> tuple[Optional[Discord], DistanceCounter]:
     """Exact fixed-length discord by exhaustive search.
 
@@ -87,6 +90,16 @@ def brute_force_discord(
         Shard the outer loop across this many worker processes (see
         :mod:`repro.parallel`); results and call counts are
         bit-identical to the serial scan for any value.
+    prune:
+        Opt into the admissible lower-bound cascade
+        (:mod:`repro.timeseries.lowerbound`): a SAX/PAA discretization
+        of the windows lets most kernel invocations be skipped while
+        every pair still counts as one logical call — the paper's
+        brute-force accounting (with or without *early_abandon*) is
+        unchanged, as are the results.
+    lower_bound:
+        Prebuilt pruner to reuse across ranks; built on the fly when
+        *prune* is set without one.
     """
     validate_backend(backend)
     series = np.asarray(series, dtype=float)
@@ -104,6 +117,10 @@ def brute_force_discord(
     windows = sliding_windows(series, window)
     normalized = znorm_rows(windows)
     sqnorms = kernels.row_sqnorms(normalized) if backend == "kernel" else None
+
+    lb = lower_bound if prune else None
+    if prune and lb is None:
+        lb = WindowLowerBound.from_normalized_windows(normalized, window)
 
     best_dist = -1.0
     best_pos = None
@@ -125,12 +142,14 @@ def brute_force_discord(
             budget=budget,
             n_workers=workers,
             has_channel=has_channel,
+            lb=lb,
         )
     else:
         try:
             best_dist, best_pos = _brute_force_scan(
                 normalized, sqnorms, k, window, counter, budget,
                 early_abandon=early_abandon, exclude=exclude, backend=backend,
+                lb=lb,
             )
         except KeyboardInterrupt:
             if not has_channel:
@@ -162,6 +181,7 @@ def _brute_force_scan(
     early_abandon: bool,
     exclude: tuple[tuple[int, int], ...],
     backend: str,
+    lb: Optional[WindowLowerBound] = None,
 ) -> tuple[float, Optional[int]]:
     """The exhaustive outer/inner loop; returns (best_dist, best_pos)."""
     best_dist = -1.0
@@ -173,7 +193,24 @@ def _brute_force_scan(
             break
         nearest = float("inf")
         pruned = False
-        if backend == "kernel":
+        if backend == "kernel" and lb is not None:
+            # With the lower-bound cascade the full-row matvec would
+            # waste the pruning (the whole row is computed up front), so
+            # the candidate is scanned in the same ascending pair order
+            # via growing blocks — results identical, kernels skipped.
+            # A -inf threshold disables early abandoning exactly (the
+            # break fires strictly below the threshold).
+            order = (q for q in range(k) if abs(p - q) > window)
+            threshold = best_dist if early_abandon else float("-inf")
+            nearest, consumed, true_count, lb_evals, pruned = (
+                _kernel_inner_scan_lb(
+                    normalized, sqnorms, p, order, threshold, lb
+                )
+            )
+            counter.batch(true_count)
+            counter.pruned_batch(consumed - true_count)
+            counter.lb_batch(lb_evals)
+        elif backend == "kernel":
             # One matrix-vector product yields the candidate's entire
             # distance row; the scalar prune logic is replayed on it so
             # the logical call count stays identical.
@@ -196,6 +233,14 @@ def _brute_force_scan(
             for q in range(k):
                 if abs(p - q) <= window:
                     continue
+                if lb is not None and np.isfinite(nearest):
+                    counter.lb_batch(1)
+                    if lb.pair_exceeds(p, q, nearest):
+                        # dist >= LB >= nearest: cannot lower the
+                        # minimum, cannot beat best_dist — skip the
+                        # kernel, keep the logical call.
+                        counter.pruned_batch(1)
+                        continue
                 # Abandoning beyond `nearest` never loses information:
                 # while the candidate is alive, nearest >= best_dist, so
                 # an abandoned (inf) result can trigger neither branch
@@ -257,6 +302,7 @@ def brute_force_discords(
     backend: str = "kernel",
     budget: Optional[SearchBudget] = None,
     n_workers: int = 1,
+    prune: bool = False,
 ) -> BruteForceResult:
     """Ranked top-k fixed-length discords by exhaustive search (anytime)."""
     validate_backend(backend)
@@ -265,6 +311,11 @@ def brute_force_discords(
         counter = DistanceCounter()
     if budget is None:
         budget = SearchBudget.unlimited()
+    lower_bound = None
+    if prune:
+        lower_bound = WindowLowerBound.from_normalized_windows(
+            znorm_rows(sliding_windows(series, window)), window
+        )
     discords: list[Discord] = []
     rank_complete: list[bool] = []
     exclusions: list[tuple[int, int]] = []
@@ -278,6 +329,8 @@ def brute_force_discords(
             backend=backend,
             budget=budget,
             n_workers=n_workers,
+            prune=prune,
+            lower_bound=lower_bound,
         )
         truncated = budget.status is not SearchStatus.COMPLETE
         if found is not None:

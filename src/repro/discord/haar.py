@@ -122,8 +122,14 @@ def haar_discord(
     backend: str = "kernel",
     budget: Optional[SearchBudget] = None,
     n_workers: int = 1,
+    prune: bool = False,
 ) -> tuple[Optional[Discord], DistanceCounter]:
-    """Best fixed-length discord with Haar-word loop ordering (exact)."""
+    """Best fixed-length discord with Haar-word loop ordering (exact).
+
+    *prune* opts into the admissible SAX/PAA lower-bound cascade (a
+    pruning-only discretization of the windows; the Haar bucketing is
+    untouched).  Results and logical call counts are bit-identical.
+    """
     return ordered_discord_search(
         series,
         window,
@@ -135,6 +141,7 @@ def haar_discord(
         backend=backend,
         budget=budget,
         n_workers=n_workers,
+        prune=prune,
     )
 
 
@@ -149,6 +156,7 @@ def haar_discords(
     backend: str = "kernel",
     budget: Optional[SearchBudget] = None,
     n_workers: int = 1,
+    prune: bool = False,
 ) -> HaarResult:
     """Ranked top-k discords with Haar-word loop ordering (anytime)."""
     if budget is None:
@@ -164,6 +172,7 @@ def haar_discords(
         backend=backend,
         budget=budget,
         n_workers=n_workers,
+        prune=prune,
     )
     return HaarResult(
         discords=discords,

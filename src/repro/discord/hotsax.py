@@ -25,8 +25,10 @@ import numpy as np
 from repro.core.anomaly import Discord
 from repro.discord.search import iterated_search, ordered_discord_search
 from repro.resilience.budget import SearchBudget, SearchStatus
-from repro.sax.alphabet import alphabet_letters, breakpoints_array
+from repro.sax.alphabet import alphabet_letters
+from repro.sax.mindist import letter_indices
 from repro.timeseries.distance import DistanceCounter
+from repro.timeseries.lowerbound import WindowLowerBound
 from repro.timeseries.paa import paa_batch
 from repro.timeseries.windows import sliding_windows
 from repro.timeseries.znorm import znorm_rows
@@ -56,17 +58,69 @@ class HOTSAXResult:
         return self.status is SearchStatus.COMPLETE
 
 
+class SAXWindowDiscretization:
+    """One-shot SAX discretization of every sliding window, kept around.
+
+    The per-window PAA values, SAX letter indices, and joined words are
+    all computed in a single pass and cached on the search, so HOTSAX's
+    bucket ordering and the MINDIST pruning stage share them instead of
+    re-discretizing — once per search rather than once per rank and once
+    per consumer.
+    """
+
+    __slots__ = ("window", "paa_size", "alphabet_size", "paa_values", "letters", "words")
+
+    def __init__(
+        self, series: np.ndarray, window: int, paa_size: int, alphabet_size: int
+    ):
+        normalized = znorm_rows(sliding_windows(series, window))
+        self.window = window
+        self.paa_size = paa_size
+        self.alphabet_size = alphabet_size
+        self.paa_values = paa_batch(normalized, paa_size)
+        self.letters = letter_indices(self.paa_values, alphabet_size)
+        alphabet = alphabet_letters(alphabet_size)
+        self.words = ["".join(alphabet[i] for i in row) for row in self.letters]
+
+    def lower_bound(self) -> WindowLowerBound:
+        """A MINDIST/PAA pruner over this discretization (zero recompute)."""
+        return WindowLowerBound(
+            self.paa_values, self.window, self.alphabet_size, letters=self.letters
+        )
+
+
 def _sax_words_per_window(
     series: np.ndarray, window: int, paa_size: int, alphabet_size: int
 ) -> list[str]:
     """SAX word of every sliding window (no numerosity reduction)."""
-    windows = sliding_windows(series, window)
-    normalized = znorm_rows(windows)
-    paa_values = paa_batch(normalized, paa_size)
-    cuts = breakpoints_array(alphabet_size)
-    letter_idx = np.searchsorted(cuts, paa_values, side="right")
-    alphabet = alphabet_letters(alphabet_size)
-    return ["".join(alphabet[i] for i in row) for row in letter_idx]
+    return SAXWindowDiscretization(series, window, paa_size, alphabet_size).words
+
+
+def _pruning_bound(
+    series: np.ndarray,
+    window: int,
+    disc: SAXWindowDiscretization,
+    prune_paa_size: Optional[int],
+    prune_alphabet_size: Optional[int],
+) -> WindowLowerBound:
+    """The pruner for a HOTSAX search: shared discretization by default.
+
+    With no explicit pruning parameters the bound reuses the search's
+    own SAX words (free); explicit *prune_paa_size* /
+    *prune_alphabet_size* build a finer discretization used only for
+    pruning — tighter bounds at one extra PAA pass, without disturbing
+    the bucket ordering (and hence the call count).
+    """
+    if prune_paa_size is None and prune_alphabet_size is None:
+        return disc.lower_bound()
+    from repro.timeseries.lowerbound import (
+        DEFAULT_PRUNE_ALPHABET_SIZE,
+        DEFAULT_PRUNE_PAA_SIZE,
+    )
+
+    paa = min(window, prune_paa_size or DEFAULT_PRUNE_PAA_SIZE)
+    alpha = prune_alphabet_size or DEFAULT_PRUNE_ALPHABET_SIZE
+    return SAXWindowDiscretization(series, window, paa, alpha).lower_bound()
 
 
 def hotsax_discord(
@@ -81,6 +135,9 @@ def hotsax_discord(
     backend: str = "kernel",
     budget: Optional[SearchBudget] = None,
     n_workers: int = 1,
+    prune: bool = False,
+    prune_paa_size: Optional[int] = None,
+    prune_alphabet_size: Optional[int] = None,
 ) -> tuple[Optional[Discord], DistanceCounter]:
     """Find the best fixed-length discord with the HOTSAX heuristics.
 
@@ -106,11 +163,25 @@ def hotsax_discord(
     budget:
         Optional anytime budget; on exhaustion or cancellation the
         best-so-far discord is returned (``budget.status`` says why).
+    prune:
+        Opt into the admissible MINDIST/PAA pruning cascade.  Discords,
+        distances, and ``counter.calls`` are bit-identical; only the
+        number of true kernel invocations drops (see the counter's
+        split ledger).  By default the cascade reuses this search's own
+        SAX discretization; *prune_paa_size* / *prune_alphabet_size*
+        request a finer pruning-only discretization.
     """
+    series = np.asarray(series, dtype=float)
+    disc = SAXWindowDiscretization(series, window, paa_size, alphabet_size)
+    lower_bound = (
+        _pruning_bound(series, window, disc, prune_paa_size, prune_alphabet_size)
+        if prune
+        else None
+    )
     return ordered_discord_search(
         series,
         window,
-        lambda s, w: _sax_words_per_window(s, w, paa_size, alphabet_size),
+        lambda s, w: disc.words,
         source="hotsax",
         counter=counter,
         rng=rng,
@@ -118,6 +189,8 @@ def hotsax_discord(
         backend=backend,
         budget=budget,
         n_workers=n_workers,
+        prune=prune,
+        lower_bound=lower_bound,
     )
 
 
@@ -133,18 +206,30 @@ def hotsax_discords(
     backend: str = "kernel",
     budget: Optional[SearchBudget] = None,
     n_workers: int = 1,
+    prune: bool = False,
+    prune_paa_size: Optional[int] = None,
+    prune_alphabet_size: Optional[int] = None,
 ) -> HOTSAXResult:
     """Ranked top-k fixed-length discords with the HOTSAX heuristics.
 
     Anytime: with a *budget* the result may be truncated — check
-    ``result.status`` and ``result.rank_complete``.
+    ``result.status`` and ``result.rank_complete``.  The SAX
+    discretization (and, with *prune*, the lower-bound tables derived
+    from it) is computed once and shared across all ranks.
     """
     if budget is None:
         budget = SearchBudget.unlimited()
+    series = np.asarray(series, dtype=float)
+    disc = SAXWindowDiscretization(series, window, paa_size, alphabet_size)
+    lower_bound = (
+        _pruning_bound(series, window, disc, prune_paa_size, prune_alphabet_size)
+        if prune
+        else None
+    )
     discords, counter, rank_complete = iterated_search(
         series,
         window,
-        lambda s, w: _sax_words_per_window(s, w, paa_size, alphabet_size),
+        lambda s, w: disc.words,
         source="hotsax",
         num_discords=num_discords,
         counter=counter,
@@ -152,6 +237,8 @@ def hotsax_discords(
         backend=backend,
         budget=budget,
         n_workers=n_workers,
+        prune=prune,
+        lower_bound=lower_bound,
     )
     return HOTSAXResult(
         discords=discords,

@@ -23,6 +23,7 @@ from repro.resilience.budget import SearchBudget, SearchStatus
 from repro.timeseries import kernels
 from repro.timeseries.distance import DistanceCounter
 from repro.timeseries.kernels import BACKENDS, validate_backend  # noqa: F401
+from repro.timeseries.lowerbound import WindowLowerBound
 from repro.timeseries.windows import num_windows, sliding_windows
 from repro.timeseries.znorm import znorm_rows
 
@@ -42,6 +43,8 @@ def ordered_discord_search(
     backend: str = "kernel",
     budget: Optional[SearchBudget] = None,
     n_workers: int = 1,
+    prune: bool = False,
+    lower_bound: Optional[WindowLowerBound] = None,
 ) -> tuple[Optional[Discord], DistanceCounter]:
     """Exact fixed-length discord via bucket-driven loop orderings.
 
@@ -72,6 +75,20 @@ def ordered_discord_search(
         Shard the outer loop across this many worker processes (see
         :mod:`repro.parallel`).  The discord and the distance-call
         count are bit-identical to the serial scan for any value.
+    prune:
+        Opt into the admissible lower-bound cascade
+        (:mod:`repro.timeseries.lowerbound`): candidate pairs whose
+        SAX/PAA lower bound already certifies ``dist >= nearest`` skip
+        the Euclidean kernel.  Results and the logical ``counter.calls``
+        are bit-identical either way; the counter's split ledger
+        (``true_calls`` / ``pruned``) records how many kernels were
+        avoided.  The default keeps paper-faithful accounting with zero
+        new work on the hot path.
+    lower_bound:
+        A prebuilt :class:`~repro.timeseries.lowerbound.WindowLowerBound`
+        over the same sliding windows (so a caller that already
+        discretized — HOTSAX — shares it).  Built on the fly from the
+        normalized windows when *prune* is set without one.
     """
     validate_backend(backend)
     series = np.asarray(series, dtype=float)
@@ -99,6 +116,10 @@ def ordered_discord_search(
 
     normalized = znorm_rows(sliding_windows(series, window))
     sqnorms = kernels.row_sqnorms(normalized) if backend == "kernel" else None
+
+    lb = lower_bound if prune else None
+    if prune and lb is None:
+        lb = WindowLowerBound.from_normalized_windows(normalized, window)
 
     outer = sorted(range(k), key=lambda p: (len(buckets[keys[p]]), p))
 
@@ -130,6 +151,7 @@ def ordered_discord_search(
             budget=budget,
             n_workers=workers,
             has_channel=has_channel,
+            lb=lb,
         )
         if best_pos is None:
             return None, counter
@@ -161,14 +183,31 @@ def ordered_discord_search(
                     for q in _inner_sequence(same_bucket, tail, p)
                     if abs(p - q) > window
                 )
-                nearest, consumed, pruned = _kernel_inner_scan(
-                    normalized, sqnorms, p, order, best_dist
-                )
-                counter.batch(consumed)
+                if lb is None:
+                    nearest, consumed, pruned = _kernel_inner_scan(
+                        normalized, sqnorms, p, order, best_dist
+                    )
+                    counter.batch(consumed)
+                else:
+                    nearest, consumed, true_count, lb_evals, pruned = (
+                        _kernel_inner_scan_lb(
+                            normalized, sqnorms, p, order, best_dist, lb
+                        )
+                    )
+                    counter.batch(true_count)
+                    counter.pruned_batch(consumed - true_count)
+                    counter.lb_batch(lb_evals)
             else:
                 for q in _inner_sequence(same_bucket, tail, p):
                     if abs(p - q) <= window:
                         continue
+                    if lb is not None and np.isfinite(nearest):
+                        counter.lb_batch(1)
+                        if lb.pair_exceeds(p, q, nearest):
+                            # dist >= LB >= nearest >= best_dist: this
+                            # pair can neither break nor lower nearest.
+                            counter.pruned_batch(1)
+                            continue
                     # Abandoning beyond `nearest` is lossless: while the
                     # candidate is alive, nearest >= best_dist (see hotsax.py).
                     dist = counter.euclidean(
@@ -246,6 +285,76 @@ def _kernel_inner_scan(
         block = min(block * 4, 2048)
 
 
+def _kernel_inner_scan_lb(
+    normalized: np.ndarray,
+    sqnorms: np.ndarray,
+    p: int,
+    order,
+    best_dist: float,
+    lb: WindowLowerBound,
+) -> tuple[float, int, int, int, bool]:
+    """``_kernel_inner_scan`` with the lower-bound cascade switched on.
+
+    Identical pair order and block schedule; within each block the
+    cascade (evaluated against ``nearest`` at block start) filters which
+    pairs reach the distance kernel.  Pruned pairs satisfy
+    ``dist >= nearest``, so they can neither be the break pair nor lower
+    the block minimum — the returned ``nearest``, logical *consumed*
+    count, and stop position are bit-identical to the unpruned scan.
+
+    Returns ``(nearest, consumed, true_count, lb_evals, stopped)`` where
+    *consumed* is the logical pair count (as before), *true_count* how
+    many of those actually hit the kernel, and *lb_evals* the physical
+    lower-bound evaluations.
+    """
+    nearest = float("inf")
+    consumed = 0
+    true_count = 0
+    lb_evals = 0
+    block = 8
+    p_row = normalized[p]
+    p_sq = sqnorms[p]
+    while True:
+        idx = np.fromiter(islice(order, block), dtype=np.intp)
+        if idx.size == 0:
+            return nearest, consumed, true_count, lb_evals, False
+        if np.isfinite(nearest):
+            lb_evals += idx.size
+            keep_positions = np.flatnonzero(lb.block_keep(p, idx, nearest))
+            survivors = idx[keep_positions]
+        else:
+            keep_positions = None
+            survivors = idx
+        if survivors.size:
+            sq = kernels.one_vs_all_sq_euclidean(
+                p_row,
+                normalized[survivors],
+                query_sqnorm=p_sq,
+                sqnorms=sqnorms[survivors],
+            )
+            dists = np.sqrt(sq)
+            hit = kernels.first_below(dists, best_dist)
+            if hit >= 0:
+                logical = (
+                    int(hit)
+                    if keep_positions is None
+                    else int(keep_positions[int(hit)])
+                )
+                return (
+                    nearest,
+                    consumed + logical + 1,
+                    true_count + int(hit) + 1,
+                    lb_evals,
+                    True,
+                )
+            block_min = float(dists.min())
+            if block_min < nearest:
+                nearest = block_min
+        consumed += idx.size
+        true_count += int(survivors.size)
+        block = min(block * 4, 2048)
+
+
 def _inner_sequence(same_bucket: list[int], tail: np.ndarray, p: int):
     """Same-bucket positions first, then the shuffled remainder."""
     seen = set(same_bucket)
@@ -270,13 +379,17 @@ def iterated_search(
     backend: str = "kernel",
     budget: Optional[SearchBudget] = None,
     n_workers: int = 1,
+    prune: bool = False,
+    lower_bound: Optional[WindowLowerBound] = None,
 ) -> tuple[list[Discord], DistanceCounter, list[bool]]:
     """Top-k discords by repeated search with window-sized exclusion.
 
     Returns ``(discords, counter, rank_complete)`` — the third element
     flags, per returned discord, whether its rank scanned every
     candidate (True) or was truncated by the *budget* and is only the
-    best seen so far (False).
+    best seen so far (False).  *prune* / *lower_bound* opt every rank
+    into the lower-bound cascade (the bound is built once and shared
+    across ranks, since the windows never change).
     """
     validate_backend(backend)
     series = np.asarray(series, dtype=float)
@@ -288,6 +401,10 @@ def iterated_search(
         raise DiscordSearchError(f"num_discords must be >= 1, got {num_discords}")
     if budget is None:
         budget = SearchBudget.unlimited()
+    if prune and lower_bound is None:
+        lower_bound = WindowLowerBound.from_normalized_windows(
+            znorm_rows(sliding_windows(series, window)), window
+        )
     discords: list[Discord] = []
     rank_complete: list[bool] = []
     exclusions: list[tuple[int, int]] = []
@@ -296,6 +413,7 @@ def iterated_search(
             series, window, bucket_fn,
             source=source, counter=counter, rng=rng, exclude=tuple(exclusions),
             backend=backend, budget=budget, n_workers=n_workers,
+            prune=prune, lower_bound=lower_bound,
         )
         truncated = budget.status is not SearchStatus.COMPLETE
         if found is not None:

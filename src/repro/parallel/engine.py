@@ -115,6 +115,7 @@ def parallel_fixed_search(
     budget: SearchBudget,
     n_workers: int,
     has_channel: bool,
+    lb=None,
 ) -> tuple[Optional[int], float]:
     """Sharded outer loop for the fixed-length engines.
 
@@ -125,6 +126,16 @@ def parallel_fixed_search(
     advanced by the serial call count and early termination is reported
     through *budget* (KeyboardInterrupt is swallowed into CANCELLED only
     when *has_channel*, mirroring the serial loops).
+
+    *lb* (a :class:`~repro.timeseries.lowerbound.WindowLowerBound`)
+    switches every shard to the lower-bound cascade.  The per-pair
+    prune/compute decision depends only on the candidate's running
+    nearest — a pure function of the pair order, not of any scan's stop
+    threshold — so workers make exactly the serial decisions over the
+    prefixes the replay keeps, and the merged ledger split
+    (``true_calls``/``pruned``) is identical to the serial pruned run.
+    Physical lower-bound evaluations (``lb_calls``) include worker
+    over-scan and are summed as a diagnostic.
     """
     k = normalized.shape[0]
     total = len(outer) if outer is not None else k
@@ -134,8 +145,12 @@ def parallel_fixed_search(
     def _position(i: int) -> int:
         return int(outer[i]) if outer is not None else i
 
+    def _account() -> None:
+        counter.batch(replay.calls - replay.pruned_calls)
+        counter.pruned_batch(replay.pruned_calls)
+
     def _finish() -> tuple[Optional[int], float]:
-        counter.batch(replay.calls)
+        _account()
         if replay.status != SearchStatus.COMPLETE.value:
             budget.adopt(SearchStatus(replay.status))
         return replay.best_pos, replay.best
@@ -161,7 +176,9 @@ def parallel_fixed_search(
                 prune=prune,
                 floor=replay.best,
                 rng=rng,
+                lb=lb,
             )
+            counter.lb_batch(shard.lb_calls)
             replay.feed(shard, 1)
             seed_end += 1
             if shard.records:
@@ -203,6 +220,7 @@ def parallel_fixed_search(
 
         def _merge(i: int, shard) -> None:
             shards[i] = shard
+            counter.lb_batch(shard.lb_calls)
             if feeding[0]:
                 feeding[0] = replay.feed(shard, sizes[i])
 
@@ -215,6 +233,14 @@ def parallel_fixed_search(
                 if outer is not None
                 else None
             )
+            lb_spec = None
+            if lb is not None:
+                lb_spec = {
+                    "paa_values": arena.share(lb.paa_values),
+                    "letters": arena.share(lb.letters),
+                    "window": window,
+                    "alphabet_size": lb.alphabet_size,
+                }
             def _payload(bounds, state, spec):
                 # Resolved at submission time (run_tasks waves), so the
                 # floor reflects every chunk merged so far — always <=
@@ -234,6 +260,7 @@ def parallel_fixed_search(
                         "floor": replay.best,
                         "rng_state": state,
                         "budget": spec,
+                        "lb": lb_spec,
                     }
 
                 return build
@@ -253,7 +280,7 @@ def parallel_fixed_search(
         _record_telemetry("fixed", shards, seed_calls, n_workers, replay.calls)
     except KeyboardInterrupt:
         if not has_channel:
-            counter.batch(replay.calls)
+            _account()
             raise
         budget.note_cancelled()
     return _finish()
@@ -274,8 +301,17 @@ def parallel_rra_rank(
     has_channel: bool,
     capture_rng: bool,
     on_boundary: Optional[Callable] = None,
+    lb_config: Optional[dict] = None,
 ) -> None:
     """One RRA rank sharded across the pool; mutates *state* and *counter*.
+
+    *lb_config* (``{"segments", "alphabet_size"}``) makes every worker
+    rebuild the serial run's :class:`IntervalLowerBound` and apply the
+    per-pair cascade.  As with the fixed engines, prune decisions are a
+    pure function of the pair order, so the replayed prefix carries the
+    exact serial true/pruned split; ``state.ledger`` is brought to every
+    merged wave boundary so mid-rank checkpoints of pruned runs resume
+    with their stats intact.
 
     Resumes from ``state.outer_index`` with ``state.best_dist`` /
     ``state.best_key`` (so checkpointed runs re-enter here exactly like
@@ -298,9 +334,26 @@ def parallel_rra_rank(
     """
     replay = Replay(prune=True, init_best=state.best_dist)
     base_calls = counter.calls
+    base_true = counter.true_calls
+    base_pruned = counter.pruned
     total = len(outer)
     index_of = {id(iv): i for i, iv in enumerate(candidates)}
     outer_indices = [index_of[id(iv)] for iv in outer]
+
+    def _ledger() -> dict:
+        # The counter itself is only advanced once the rank settles, so
+        # boundary ledgers are derived from the replay's logical split
+        # (lb_calls is physical and already accumulated per shard).
+        return {
+            "calls": base_calls + replay.calls,
+            "true_calls": base_true + replay.calls - replay.pruned_calls,
+            "lb_calls": counter.lb_calls,
+            "pruned": base_pruned + replay.pruned_calls,
+        }
+
+    def _account() -> None:
+        counter.batch(replay.calls - replay.pruned_calls)
+        counter.pruned_batch(replay.pruned_calls)
 
     def _sync_best() -> None:
         if replay.best_pos is not None:
@@ -315,6 +368,7 @@ def parallel_rra_rank(
         # boundary before its first candidate).
         start = state.outer_index
         state.calls = base_calls
+        state.ledger = _ledger()
         if capture_rng:
             state.rng_state = rng_state_to_json(rng)
         if budget.interrupted(state.calls) is not None:
@@ -360,6 +414,7 @@ def parallel_rra_rank(
 
             def _merge(i: int, shard) -> None:
                 shards[i] = shard
+                counter.lb_batch(shard.lb_calls)
                 if not feeding[0]:
                     return
                 w, _, _, expected = chunk_meta[i]
@@ -385,6 +440,7 @@ def parallel_rra_rank(
                 boundary = waves[w][1]
                 state.outer_index = boundary
                 state.calls = base_calls + replay.calls
+                state.ledger = _ledger()
                 if capture_rng:
                     state.rng_state = wave_states[w + 1]
                 _sync_best()
@@ -414,6 +470,7 @@ def parallel_rra_rank(
                             "floor": replay.best,
                             "rng_state": wave_states[w],
                             "budget": spec,
+                            "lb": lb_config,
                         }
 
                     return build
@@ -441,18 +498,19 @@ def parallel_rra_rank(
             truncated = not feeding[0]
     except KeyboardInterrupt:
         if not has_channel:
-            counter.batch(replay.calls)
+            _account()
             raise
         budget.note_cancelled()
-        counter.batch(replay.calls)
+        _account()
         return
 
-    counter.batch(replay.calls)
+    _account()
     if replay.status != SearchStatus.COMPLETE.value:
         budget.adopt(SearchStatus(replay.status))
     if not truncated and replay.complete:
         state.outer_index = total
         state.calls = base_calls + replay.calls
+        state.ledger = counter.ledger()
         if capture_rng:
             state.rng_state = rng_state_to_json(rng)
         _sync_best()

@@ -83,7 +83,8 @@ class CandidateScan:
         The candidate's identity for the merge: the window start for
         fixed-length searches, the outer-order rank for RRA.
     scanned:
-        Number of pairs the local scan visited.
+        Number of pairs the local scan visited (logical count: pairs
+        discharged by a lower bound are included).
     minima:
         ``(count, value)`` pairs — after *count* visited pairs the
         running minimum strictly dropped to *value*.  Counts are
@@ -91,12 +92,30 @@ class CandidateScan:
     complete:
         True when every non-self-match pair was visited (the local
         threshold never fired).
+    pruned_prefix:
+        Lower-bound bookkeeping (None when pruning was off): entry *i*
+        is the number of pairs an admissible bound discharged among the
+        first ``minima[i][0]`` pairs.  Because the per-pair prune
+        decision depends only on the candidate's running nearest — a
+        pure function of the pair order, independent of the scan's stop
+        threshold — these prefix counts let the serial replay recover
+        the exact true/pruned split at whatever stop point the serial
+        best implies.
+    pruned_total:
+        Pairs discharged over the whole local scan (the complete-record
+        counterpart of :attr:`pruned_prefix`).
+    lb_evals:
+        Physical lower-bound evaluations this scan performed
+        (diagnostic; includes over-scanned pairs the replay discards).
     """
 
     position: int
     scanned: int
     minima: list
     complete: bool
+    pruned_prefix: Optional[list] = None
+    pruned_total: int = 0
+    lb_evals: int = 0
 
     @property
     def nearest(self) -> float:
@@ -113,6 +132,8 @@ class ShardResult:
     status: str = SearchStatus.COMPLETE.value
     calls: int = 0
     elapsed: float = 0.0
+    #: Physical lower-bound evaluations across the shard (diagnostic).
+    lb_calls: int = 0
 
 
 class Replay:
@@ -133,6 +154,10 @@ class Replay:
         self.best = init_best
         self.best_pos: Optional[int] = None
         self.calls = 0
+        #: Of :attr:`calls`, how many were discharged by a lower bound
+        #: (derived from the records' pruned prefixes — the serial
+        #: logical split, not the workers' physical one).
+        self.pruned_calls = 0
         self.complete = True
         self.status = SearchStatus.COMPLETE.value
 
@@ -158,11 +183,13 @@ class Replay:
 
     def _one(self, record: CandidateScan) -> None:
         if self.prune:
-            for count, value in record.minima:
+            for i, (count, value) in enumerate(record.minima):
                 if value < self.best:
                     # The serial scan would have pruned this candidate
                     # after exactly `count` pairs.
                     self.calls += count
+                    if record.pruned_prefix is not None:
+                        self.pruned_calls += record.pruned_prefix[i]
                     return
         if not record.complete:
             raise DiscordSearchError(
@@ -171,6 +198,7 @@ class Replay:
                 "serial best-so-far)"
             )
         self.calls += record.scanned
+        self.pruned_calls += record.pruned_total
         nearest = record.nearest
         if math.isfinite(nearest) and nearest > self.best:
             self.best = nearest
@@ -188,33 +216,87 @@ def _record_kernel_blocks(
     p: int,
     order: Iterator[int],
     threshold: float,
+    lb=None,
 ) -> CandidateScan:
-    """Block-vectorized recording scan (mirror of ``_kernel_inner_scan``)."""
+    """Block-vectorized recording scan (mirror of ``_kernel_inner_scan``).
+
+    With *lb* the lower-bound cascade filters each block against the
+    running nearest at block start before the distance kernel runs.
+    The prune decisions are a pure function of the pair order (the
+    nearest trajectory does not depend on *threshold*, which only sets
+    the stop point), so the recorded minima — and the pruned prefix
+    counts alongside them — are exactly what any serial-threshold
+    replay needs.
+    """
     minima: list = []
+    pruned_prefix: Optional[list] = [] if lb is not None else None
     nearest = float("inf")
     scanned = 0
+    pruned_cum = 0
+    lb_evals = 0
     block = 8
     p_row = normalized[p]
     p_sq = sqnorms[p]
     while True:
         idx = np.fromiter(islice(order, block), dtype=np.intp)
         if idx.size == 0:
-            return CandidateScan(p, scanned, minima, True)
-        sq = kernels.one_vs_all_sq_euclidean(
-            p_row, normalized[idx], query_sqnorm=p_sq, sqnorms=sqnorms[idx]
-        )
-        dists = np.sqrt(sq)
-        hit = kernels.first_below(dists, threshold)
-        limit = hit + 1 if hit >= 0 else idx.size
-        points, values = kernels.running_min_points(dists[:limit])
-        for j, value in zip(points, values):
-            value = float(value)
-            if value < nearest:
-                nearest = value
-                minima.append((scanned + int(j) + 1, value))
-        scanned += limit
+            return CandidateScan(
+                p, scanned, minima, True,
+                pruned_prefix=pruned_prefix, pruned_total=pruned_cum,
+                lb_evals=lb_evals,
+            )
+        if lb is not None and math.isfinite(nearest):
+            lb_evals += idx.size
+            keep_positions = np.flatnonzero(lb.block_keep(p, idx, nearest))
+            survivors = idx[keep_positions]
+        else:
+            keep_positions = None
+            survivors = idx
+        if survivors.size:
+            sq = kernels.one_vs_all_sq_euclidean(
+                p_row,
+                normalized[survivors],
+                query_sqnorm=p_sq,
+                sqnorms=sqnorms[survivors],
+            )
+            dists = np.sqrt(sq)
+            hit = kernels.first_below(dists, threshold)
+        else:
+            dists = None
+            hit = -1
+        limit = hit + 1 if hit >= 0 else int(survivors.size)
+        if limit:
+            points, values = kernels.running_min_points(dists[:limit])
+            for j, value in zip(points, values):
+                value = float(value)
+                if value < nearest:
+                    nearest = value
+                    logical_j = (
+                        int(j) if keep_positions is None
+                        else int(keep_positions[int(j)])
+                    )
+                    minima.append((scanned + logical_j + 1, value))
+                    if pruned_prefix is not None:
+                        # Pruned pairs among the first `logical_j + 1`
+                        # of this block = logical index - survivor index.
+                        pruned_prefix.append(
+                            pruned_cum + (logical_j - int(j))
+                        )
         if hit >= 0:
-            return CandidateScan(p, scanned, minima, False)
+            logical_hit = (
+                int(hit) if keep_positions is None
+                else int(keep_positions[int(hit)])
+            )
+            scanned += logical_hit + 1
+            pruned_cum += logical_hit - int(hit)
+            return CandidateScan(
+                p, scanned, minima, False,
+                pruned_prefix=pruned_prefix, pruned_total=pruned_cum,
+                lb_evals=lb_evals,
+            )
+        scanned += idx.size
+        if keep_positions is not None:
+            pruned_cum += int(idx.size - survivors.size)
         block = min(block * 4, 2048)
 
 
@@ -225,9 +307,22 @@ def _record_kernel_row(
     window: int,
     threshold: float,
     prune: bool,
+    lb=None,
 ) -> CandidateScan:
-    """Full-row recording scan for brute force (one matvec per candidate)."""
+    """Full-row recording scan for brute force (one matvec per candidate).
+
+    With *lb* the full-row matvec would defeat the pruning, so the same
+    ascending pair order is scanned in growing blocks instead (records
+    are identical; a ``-inf`` threshold reproduces the non-abandoning
+    variant exactly, since the break is strictly below the threshold).
+    """
     k = normalized.shape[0]
+    if lb is not None:
+        order = (q for q in range(k) if abs(p - q) > window)
+        return _record_kernel_blocks(
+            normalized, sqnorms, p, order,
+            threshold if prune else float("-inf"), lb=lb,
+        )
     sq_row = kernels.one_vs_all_sq_euclidean(
         normalized[p], normalized, query_sqnorm=sqnorms[p], sqnorms=sqnorms
     )
@@ -247,22 +342,44 @@ def _record_scalar_pairs(
     order: Iterable[int],
     threshold: float,
     prune: bool,
+    lb=None,
 ) -> CandidateScan:
     """Per-pair recording scan on the scalar reference path."""
     minima: list = []
+    pruned_prefix: Optional[list] = [] if lb is not None else None
     nearest = float("inf")
     scanned = 0
+    pruned_cum = 0
+    lb_evals = 0
     p_row = normalized[p]
     for q in order:
+        if lb is not None and math.isfinite(nearest):
+            lb_evals += 1
+            if lb.pair_exceeds(p, q, nearest):
+                # dist >= LB >= nearest: cannot be a minimum, cannot
+                # stop the scan — one logical pair, no kernel.
+                scanned += 1
+                pruned_cum += 1
+                continue
         cutoff = nearest if prune else float("inf")
         dist = euclidean_early_abandon(p_row, normalized[q], cutoff)
         scanned += 1
         if dist < nearest:
             nearest = dist
             minima.append((scanned, float(dist)))
+            if pruned_prefix is not None:
+                pruned_prefix.append(pruned_cum)
         if prune and dist < threshold:
-            return CandidateScan(p, scanned, minima, False)
-    return CandidateScan(p, scanned, minima, True)
+            return CandidateScan(
+                p, scanned, minima, False,
+                pruned_prefix=pruned_prefix, pruned_total=pruned_cum,
+                lb_evals=lb_evals,
+            )
+    return CandidateScan(
+        p, scanned, minima, True,
+        pruned_prefix=pruned_prefix, pruned_total=pruned_cum,
+        lb_evals=lb_evals,
+    )
 
 
 def scan_fixed_positions(
@@ -278,6 +395,7 @@ def scan_fixed_positions(
     floor: float,
     rng: Optional[np.random.Generator],
     budget: Optional[SearchBudget] = None,
+    lb=None,
 ) -> ShardResult:
     """Scan one shard of a fixed-length search's outer candidates.
 
@@ -287,6 +405,9 @@ def scan_fixed_positions(
     *floor* is the shard's starting threshold (τ0); the shard tightens
     it with its own completed candidates.  Runs in a worker process or
     inline in the parent (the τ0 seed scan) — identical behaviour.
+    *lb* (a :class:`~repro.timeseries.lowerbound.WindowLowerBound`)
+    switches the recording scans to the lower-bound cascade; records
+    then carry the pruned prefixes the replay needs.
     """
     if budget is None:
         budget = SearchBudget.unlimited()
@@ -316,22 +437,23 @@ def scan_fixed_positions(
             )
             if backend == "kernel":
                 record = _record_kernel_blocks(
-                    normalized, sqnorms, p, order, local_best
+                    normalized, sqnorms, p, order, local_best, lb=lb
                 )
             else:
                 record = _record_scalar_pairs(
-                    normalized, p, order, local_best, True
+                    normalized, p, order, local_best, True, lb=lb
                 )
         elif backend == "kernel":
             record = _record_kernel_row(
-                normalized, sqnorms, p, window, local_best, prune
+                normalized, sqnorms, p, window, local_best, prune, lb=lb
             )
         else:
             order = (q for q in range(k) if abs(p - q) > window)
             record = _record_scalar_pairs(
-                normalized, p, order, local_best, prune
+                normalized, p, order, local_best, prune, lb=lb
             )
         result.calls += record.scanned
+        result.lb_calls += record.lb_evals
         result.records.append(record)
         result.processed += 1
         if record.complete:
@@ -355,6 +477,17 @@ def scan_fixed_shard(payload: dict) -> ShardResult:
         if payload.get("rng_state") is not None
         else None
     )
+    lb = None
+    lb_spec = payload.get("lb")
+    if lb_spec is not None:
+        from repro.timeseries.lowerbound import WindowLowerBound
+
+        lb = WindowLowerBound(
+            attach(lb_spec["paa_values"]),
+            lb_spec["window"],
+            lb_spec["alphabet_size"],
+            letters=attach(lb_spec["letters"]),
+        )
     return scan_fixed_positions(
         normalized,
         sqnorms,
@@ -367,6 +500,7 @@ def scan_fixed_shard(payload: dict) -> ShardResult:
         floor=payload["floor"],
         rng=rng,
         budget=budget_from_spec(payload.get("budget")),
+        lb=lb,
     )
 
 
@@ -388,6 +522,7 @@ def scan_rra_positions(
     budget: Optional[SearchBudget] = None,
     stride: int = 1,
     offset: int = 0,
+    lb=None,
 ) -> ShardResult:
     """Scan one shard of RRA outer candidates (records, not results).
 
@@ -417,12 +552,21 @@ def scan_rra_positions(
             break
         p_values = cache.values(p)
         minima: list = []
+        pruned_prefix: Optional[list] = [] if lb is not None else None
         nearest = float("inf")
         scanned = 0
+        pruned_cum = 0
+        lb_evals = 0
         complete = True
         for q in ordering.order(p, rng):
             if q is p or not _is_non_self_match(p, q):
                 continue
+            if lb is not None and math.isfinite(nearest):
+                lb_evals += 1
+                if lb.pair_exceeds(p, q, nearest):
+                    scanned += 1
+                    pruned_cum += 1
+                    continue
             if use_kernel:
                 dist = _kernel_pair_distance(cache, p, q)
             else:
@@ -433,11 +577,18 @@ def scan_rra_positions(
             if dist < nearest:
                 nearest = dist
                 minima.append((scanned, float(dist)))
+                if pruned_prefix is not None:
+                    pruned_prefix.append(pruned_cum)
             if dist < local_best:
                 complete = False
                 break
-        record = CandidateScan(base + j, scanned, minima, complete)
+        record = CandidateScan(
+            base + j, scanned, minima, complete,
+            pruned_prefix=pruned_prefix, pruned_total=pruned_cum,
+            lb_evals=lb_evals,
+        )
         result.calls += record.scanned
+        result.lb_calls += record.lb_evals
         result.records.append(record)
         result.processed += 1
         if complete and math.isfinite(nearest) and nearest > local_best:
@@ -458,6 +609,16 @@ def scan_rra_shard(payload: dict) -> ShardResult:
     stats = kernels.SeriesStats.from_cumsums(series, cumsum, sq_cumsum)
     cache = _CandidateSet(series, candidates, stats=stats)
     ordering = _InnerOrdering(candidates)
+    lb = None
+    lb_config = payload.get("lb")
+    if lb_config is not None:
+        from repro.timeseries.lowerbound import IntervalLowerBound
+
+        lb = IntervalLowerBound(
+            cache,
+            segments=lb_config["segments"],
+            alphabet_size=lb_config["alphabet_size"],
+        )
     return scan_rra_positions(
         cache,
         ordering,
@@ -470,4 +631,5 @@ def scan_rra_shard(payload: dict) -> ShardResult:
         budget=budget_from_spec(payload.get("budget")),
         stride=payload.get("stride", 1),
         offset=payload.get("offset", 0),
+        lb=lb,
     )

@@ -17,6 +17,11 @@ from repro.sax.alphabet import (
     symbols_for_values,
 )
 from repro.sax.sax import sax_word, mindist, symbol_distance_matrix
+from repro.sax.mindist import (
+    letter_indices,
+    mindist_sq_one_vs_block,
+    sq_cell_table,
+)
 from repro.sax.discretize import (
     NumerosityReduction,
     SAXWord,
@@ -35,6 +40,9 @@ __all__ = [
     "sax_word",
     "mindist",
     "symbol_distance_matrix",
+    "letter_indices",
+    "mindist_sq_one_vs_block",
+    "sq_cell_table",
     "NumerosityReduction",
     "SAXWord",
     "Discretization",

@@ -1,0 +1,86 @@
+"""Vectorized SAX MINDIST machinery for the lower-bound pruning layer.
+
+:func:`repro.sax.sax.mindist` is the scalar reference: the MINDIST
+between two SAX *words*.  The pruning layer
+(:mod:`repro.timeseries.lowerbound`) needs the same quantity for one
+candidate against a whole block of windows per inner-loop step, so this
+module provides the batch form operating on integer *letter-index*
+arrays instead of strings:
+
+* :func:`sq_cell_table` — the cached ``(alpha, alpha)`` table of
+  *squared* breakpoint gaps (``symbol_distance_matrix`` squared);
+* :func:`letter_indices` — PAA values → integer region indices, the
+  array form of the string lookup in ``symbols_for_values``;
+* :func:`mindist_sq_one_vs_block` — squared MINDIST of one letter row
+  against a block of letter rows in one fancy-indexing pass.
+
+Admissibility (why MINDIST never exceeds the true distance): for any
+two subsequences ``a, b`` of length ``n`` with PAA means ``ā, b̄`` over
+``w`` segments, per-segment Cauchy–Schwarz gives
+``‖a − b‖² ≥ (n/w)·Σᵢ (āᵢ − b̄ᵢ)²`` — this holds for the library's
+fractional PAA too, because every point's segment weights sum to one
+and every segment aggregates exactly ``n/w`` points' worth of mass.
+When two PAA values fall in SAX regions more than one apart, the gap
+between the regions' closest breakpoints is at most ``|āᵢ − b̄ᵢ|``
+(the values sit on opposite sides of both breakpoints), so replacing
+``|āᵢ − b̄ᵢ|`` by the cell distance only shrinks the sum:
+``‖a − b‖² ≥ (n/w)·Σᵢ cell(āᵢ, b̄ᵢ)² = MINDIST²``.
+``tests/test_lowerbound.py`` asserts the chain on random inputs.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.sax.alphabet import breakpoints_array
+from repro.sax.sax import symbol_distance_matrix
+
+
+@lru_cache(maxsize=None)
+def sq_cell_table(alpha: int) -> np.ndarray:
+    """Cached squared MINDIST cell-distance table (read-only)."""
+    table = symbol_distance_matrix(alpha) ** 2
+    table.flags.writeable = False
+    return table
+
+
+def letter_indices(paa_values: np.ndarray, alpha: int) -> np.ndarray:
+    """SAX region index of every PAA value (vectorized, any shape).
+
+    Matches ``symbols_for_values``: region ``r`` holds values in
+    ``[cut_{r-1}, cut_r)`` via ``searchsorted(..., side="right")``.
+    """
+    cuts = breakpoints_array(alpha)
+    return np.searchsorted(cuts, np.asarray(paa_values, dtype=float), side="right")
+
+
+def mindist_sq_one_vs_block(
+    letters_query: np.ndarray,
+    letters_block: np.ndarray,
+    alpha: int,
+    scale_sq: float,
+) -> np.ndarray:
+    """Squared MINDIST of one letter row against a block of letter rows.
+
+    Parameters
+    ----------
+    letters_query:
+        ``(w,)`` integer region indices of the query subsequence.
+    letters_block:
+        ``(b, w)`` region indices of the block.
+    alpha:
+        Alphabet size the indices were produced with.
+    scale_sq:
+        The squared length scale ``n / w`` (subsequence length over PAA
+        size) multiplying the cell sum, per the MINDIST formula.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(b,)`` squared lower bounds — compare against a squared
+        Euclidean threshold without taking square roots.
+    """
+    table = sq_cell_table(alpha)
+    return scale_sq * table[letters_query[np.newaxis, :], letters_block].sum(axis=1)

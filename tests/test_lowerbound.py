@@ -1,0 +1,432 @@
+"""Tests for the admissible lower-bound pruning layer.
+
+Three pillars:
+
+* **Admissibility** — property-based (Hypothesis) over a grid of
+  (window, PAA size, alphabet size): the SAX MINDIST bound never
+  exceeds the PAA bound, which never exceeds the true Euclidean
+  distance; the RRA variant respects the Eq. 1 length normalization,
+  including the sliding bound for unequal-length pairs.
+* **Invisibility** — every engine, both backends: pruning changes
+  neither the discords nor the logical distance-call counts.
+* **The ledger** — ``calls == true_calls + pruned`` always, merges and
+  checkpoints carry the split, and parallel pruned runs reconcile
+  exactly with the serial candidate-pair count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import GrammarAnomalyDetector
+from repro.core.rra import find_discords
+from repro.discord.brute_force import brute_force_discords
+from repro.discord.haar import haar_discords
+from repro.discord.hotsax import SAXWindowDiscretization, hotsax_discords
+from repro.exceptions import ParameterError
+from repro.resilience.budget import SearchBudget
+from repro.sax.mindist import letter_indices, mindist_sq_one_vs_block, sq_cell_table
+from repro.timeseries.distance import DistanceCounter, variable_length_distance
+from repro.timeseries.lowerbound import (
+    IntervalLowerBound,
+    WindowLowerBound,
+    descending_partial_exceeds,
+)
+from repro.timeseries.windows import sliding_windows
+from repro.timeseries.znorm import znorm, znorm_rows
+
+# Relative slack for comparing a bound against the exact distance: the
+# bound derivations are exact in real arithmetic, so only floating-point
+# noise separates them.
+RTOL = 1e-9
+
+
+def _series(seed: int, length: int = 160) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0.0, 6.0 * np.pi, length)
+    return np.sin(t) + 0.3 * rng.standard_normal(length)
+
+
+# -- admissibility: fixed-length windows --------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    window=st.sampled_from([16, 25, 40, 64]),
+    paa_size=st.sampled_from([3, 4, 8, 12]),
+    alphabet_size=st.sampled_from([3, 4, 8, 12]),
+)
+def test_window_cascade_is_admissible(seed, window, paa_size, alphabet_size):
+    """MINDIST² <= PAA bound² <= true squared distance, every pair."""
+    series = _series(seed)
+    normalized = znorm_rows(sliding_windows(series, window))
+    lb = WindowLowerBound.from_normalized_windows(
+        normalized, window, paa_size=min(paa_size, window),
+        alphabet_size=alphabet_size,
+    )
+    k = normalized.shape[0]
+    rng = np.random.default_rng(seed + 1)
+    p = int(rng.integers(k))
+    idx = rng.choice(k, size=min(24, k), replace=False)
+    stage1 = mindist_sq_one_vs_block(
+        lb.letters[p], lb.letters[idx], lb.alphabet_size, lb.scale_sq
+    )
+    deltas = lb.paa_values[idx] - lb.paa_values[p]
+    stage2 = lb.scale_sq * np.einsum("ij,ij->i", deltas, deltas)
+    true_sq = ((normalized[idx] - normalized[p]) ** 2).sum(axis=1)
+    slack = RTOL * (1.0 + true_sq)
+    assert np.all(stage1 <= stage2 + slack)
+    assert np.all(stage2 <= true_sq + slack)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_pair_exceeds_never_prunes_a_closer_pair(seed):
+    """``pair_exceeds`` certifying dist >= nearest is never wrong."""
+    series = _series(seed)
+    window = 32
+    normalized = znorm_rows(sliding_windows(series, window))
+    lb = WindowLowerBound.from_normalized_windows(normalized, window)
+    rng = np.random.default_rng(seed + 1)
+    k = normalized.shape[0]
+    for _ in range(16):
+        p, q = (int(v) for v in rng.integers(k, size=2))
+        dist = float(np.linalg.norm(normalized[p] - normalized[q]))
+        # A threshold strictly above the true distance must not prune.
+        assert not lb.pair_exceeds(p, q, dist * (1.0 + 1e-6) + 1e-9)
+
+
+def test_block_keep_agrees_with_scalar_cascade():
+    series = _series(3)
+    window = 32
+    normalized = znorm_rows(sliding_windows(series, window))
+    lb = WindowLowerBound.from_normalized_windows(normalized, window)
+    k = normalized.shape[0]
+    idx = np.arange(k)
+    nearest = 3.0
+    keep = lb.block_keep(5, idx, nearest)
+    for j, q in enumerate(idx):
+        assert keep[j] == (not lb.pair_exceeds(5, int(q), nearest))
+
+
+# -- admissibility: RRA variable-length intervals -----------------------
+
+
+class _Span:
+    """Duck-typed interval (only ``start``/``end`` are consumed)."""
+
+    def __init__(self, start: int, end: int):
+        self.start = start
+        self.end = end
+
+
+class _SpanCache:
+    """Minimal values-cache: z-normalized raw slices, like RRA's."""
+
+    def __init__(self, series: np.ndarray):
+        self.series = series
+
+    def values(self, interval) -> np.ndarray:
+        return znorm(self.series[interval.start : interval.end])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    start_p=st.integers(0, 80),
+    start_q=st.integers(0, 80),
+    len_p=st.integers(8, 60),
+    len_q=st.integers(8, 60),
+    segments=st.sampled_from([3, 4, 8]),
+    alphabet_size=st.sampled_from([4, 8]),
+)
+def test_interval_bound_is_admissible(
+    seed, start_p, start_q, len_p, len_q, segments, alphabet_size
+):
+    """Certified pairs really satisfy eq1_dist >= nearest (both shapes)."""
+    series = _series(seed)
+    cache = _SpanCache(series)
+    lb = IntervalLowerBound(
+        cache, segments=segments, alphabet_size=alphabet_size
+    )
+    p = _Span(start_p, start_p + len_p)
+    q = _Span(start_q, start_q + len_q)
+    dist = variable_length_distance(
+        cache.values(p), cache.values(q), normalize_inputs=False
+    )
+    # The bound must never certify a threshold the true distance misses.
+    assert not lb.pair_exceeds(p, q, dist * (1.0 + 1e-6) + 1e-9)
+    # And for thresholds it does certify, the certificate must hold.
+    for factor in (0.25, 0.5, 0.9):
+        nearest = dist * factor
+        if nearest > 0 and lb.pair_exceeds(p, q, nearest):
+            assert dist >= nearest * (1.0 - RTOL)
+
+
+# -- stage-2 partial-sum walk ------------------------------------------
+
+
+def test_descending_partial_exceeds_semantics():
+    contributions = np.array([1.0, 3.0, 2.0])
+    assert descending_partial_exceeds(contributions, 3.0)  # first term
+    assert descending_partial_exceeds(contributions, 6.0)  # total == 6
+    assert not descending_partial_exceeds(contributions, 6.0 + 1e-12)
+    assert not descending_partial_exceeds(np.array([]), 1.0)
+
+
+def test_mindist_cell_table_is_squared_symbol_matrix():
+    from repro.sax.sax import symbol_distance_matrix
+
+    for alpha in (3, 4, 8):
+        table = sq_cell_table(alpha)
+        assert np.allclose(table, symbol_distance_matrix(alpha) ** 2)
+        assert not table.flags.writeable
+
+
+def test_letter_indices_match_scalar_symbols():
+    from repro.sax.alphabet import symbol_for_value, alphabet_letters
+
+    values = np.array([[-2.0, -0.1, 0.0, 0.4, 2.5]])
+    for alpha in (3, 5, 8):
+        letters = alphabet_letters(alpha)
+        idx = letter_indices(values, alpha)
+        expected = [letters.index(symbol_for_value(v, alpha)) for v in values[0]]
+        assert idx.tolist() == [expected]
+
+
+# -- invisibility: every engine, both backends -------------------------
+
+
+def _fingerprint(discords):
+    return [(d.start, d.end, d.rank, round(d.score, 12)) for d in discords]
+
+
+@pytest.mark.parametrize("backend", ["kernel", "scalar"])
+@pytest.mark.parametrize(
+    "engine", ["hotsax", "haar", "brute_force"]
+)
+def test_fixed_engines_identical_under_pruning(short_series, backend, engine):
+    window = 40
+    runs = []
+    for prune in (False, True):
+        counter = DistanceCounter()
+        if engine == "hotsax":
+            result = hotsax_discords(
+                short_series, window, num_discords=2, counter=counter,
+                rng=np.random.default_rng(5), backend=backend, prune=prune,
+            )
+        elif engine == "haar":
+            result = haar_discords(
+                short_series, window, num_discords=2, counter=counter,
+                rng=np.random.default_rng(5), backend=backend, prune=prune,
+            )
+        else:
+            result = brute_force_discords(
+                short_series, window, num_discords=2, counter=counter,
+                backend=backend, prune=prune,
+            )
+        runs.append((_fingerprint(result.discords), counter))
+    (base, c0), (pruned, c1) = runs
+    assert base == pruned
+    assert c0.calls == c1.calls
+    # The unpruned run's ledger is trivial; the pruned one reconciles.
+    assert c0.pruned == 0 and c0.true_calls == c0.calls
+    assert c1.true_calls + c1.pruned == c1.calls
+    assert c1.pruned > 0  # the cascade must actually bite on this input
+
+
+@pytest.mark.parametrize("backend", ["kernel", "scalar"])
+def test_rra_identical_under_pruning(sine_bump, backend):
+    detector = GrammarAnomalyDetector(100, 4, 4, backend=backend)
+    fit = detector.fit(sine_bump.series)
+    runs = []
+    for prune in (False, True):
+        counter = DistanceCounter()
+        result = find_discords(
+            fit.series, fit.candidates, num_discords=2, counter=counter,
+            rng=np.random.default_rng(0), backend=backend, prune=prune,
+        )
+        runs.append((_fingerprint(result.discords), counter))
+    (base, c0), (pruned, c1) = runs
+    assert base == pruned
+    assert c0.calls == c1.calls
+    assert c1.true_calls + c1.pruned == c1.calls
+    assert c1.pruned > 0
+
+
+def test_hotsax_finer_pruning_discretization_is_invisible(short_series):
+    """Overriding the pruning grid changes stats, never results."""
+    base = hotsax_discords(
+        short_series, 40, num_discords=2, rng=np.random.default_rng(5)
+    )
+    counters = []
+    for paa, alpha in [(None, None), (8, 8), (12, 10)]:
+        counter = DistanceCounter()
+        result = hotsax_discords(
+            short_series, 40, num_discords=2, counter=counter,
+            rng=np.random.default_rng(5), prune=True,
+            prune_paa_size=paa, prune_alphabet_size=alpha,
+        )
+        assert _fingerprint(result.discords) == _fingerprint(base.discords)
+        assert counter.calls == base.distance_calls
+        counters.append(counter)
+    for counter in counters:
+        assert counter.true_calls + counter.pruned == counter.calls
+
+
+def test_hotsax_discretization_shared_between_buckets_and_bounds():
+    series = _series(11, length=300)
+    disc = SAXWindowDiscretization(series, 40, 4, 4)
+    assert len(disc.words) == series.size - 40 + 1
+    lb = disc.lower_bound()
+    # The bound reuses the bucketing arrays — no recomputation.
+    assert lb.paa_values is disc.paa_values
+    assert lb.letters is disc.letters
+    assert lb.alphabet_size == disc.alphabet_size
+
+
+# -- the ledger --------------------------------------------------------
+
+
+def test_counter_ledger_invariants():
+    counter = DistanceCounter()
+    counter.batch(5)
+    counter.pruned_batch(3)
+    counter.lb_batch(7)
+    assert counter.calls == 8
+    assert counter.true_calls == 5
+    assert counter.pruned == 3
+    assert counter.lb_calls == 7
+    assert counter.calls == counter.true_calls + counter.pruned
+    with pytest.raises(ParameterError):
+        counter.pruned_batch(-1)
+    with pytest.raises(ParameterError):
+        counter.lb_batch(-1)
+    assert "pruned" in repr(counter)
+
+
+def test_counter_merge_carries_ledger():
+    a = DistanceCounter()
+    a.batch(4)
+    a.pruned_batch(2)
+    a.lb_batch(3)
+    b = DistanceCounter()
+    b.batch(1)
+    b.pruned_batch(5)
+    b.lb_batch(6)
+    a += b
+    assert a.calls == 12
+    assert a.true_calls == 5
+    assert a.pruned == 7
+    assert a.lb_calls == 9
+    assert a.calls == a.true_calls + a.pruned
+
+
+def test_counter_ledger_roundtrip():
+    a = DistanceCounter()
+    a.batch(4)
+    a.pruned_batch(2)
+    a.lb_batch(3)
+    b = DistanceCounter()
+    b.restore_ledger(a.ledger())
+    assert b.ledger() == a.ledger()
+    # Legacy checkpoints (no split recorded) restore as all-true calls.
+    c = DistanceCounter()
+    c.restore_ledger({"calls": 9})
+    assert c.calls == 9 and c.true_calls == 9
+    assert c.pruned == 0 and c.lb_calls == 0
+
+
+def test_rra_checkpoint_carries_pruning_ledger(tmp_path, sine_bump):
+    detector = GrammarAnomalyDetector(100, 4, 4)
+    fit = detector.fit(sine_bump.series)
+    serial = DistanceCounter()
+    base = find_discords(
+        fit.series, fit.candidates, num_discords=2, counter=serial,
+        rng=np.random.default_rng(0), prune=True,
+    )
+    ckpt = str(tmp_path / "pruned.json")
+    first = DistanceCounter()
+    find_discords(
+        fit.series, fit.candidates, num_discords=2, counter=first,
+        rng=np.random.default_rng(0), prune=True,
+        budget=SearchBudget(max_calls=serial.calls // 3),
+        checkpoint_path=ckpt, checkpoint_every=1,
+    )
+    assert 0 < first.calls < serial.calls
+    assert first.true_calls + first.pruned == first.calls
+    resumed = DistanceCounter()
+    result = find_discords(
+        fit.series, fit.candidates, num_discords=2, counter=resumed,
+        rng=np.random.default_rng(0), prune=True,
+        checkpoint_path=ckpt, resume_from=ckpt,
+    )
+    assert _fingerprint(result.discords) == _fingerprint(base.discords)
+    assert resumed.ledger() == serial.ledger()
+
+
+def test_pruned_and_unpruned_checkpoints_incompatible(tmp_path, sine_bump):
+    from repro.exceptions import CheckpointError
+
+    detector = GrammarAnomalyDetector(100, 4, 4)
+    fit = detector.fit(sine_bump.series)
+    ckpt = str(tmp_path / "plain.json")
+    find_discords(
+        fit.series, fit.candidates, num_discords=1,
+        rng=np.random.default_rng(0),
+        budget=SearchBudget(max_calls=200),
+        checkpoint_path=ckpt, checkpoint_every=1,
+    )
+    with pytest.raises(CheckpointError):
+        find_discords(
+            fit.series, fit.candidates, num_discords=1,
+            rng=np.random.default_rng(0), prune=True, resume_from=ckpt,
+        )
+
+
+# -- parallel reconciliation -------------------------------------------
+
+
+@pytest.mark.parametrize("n_workers", [1, 2, 4])
+def test_parallel_pruned_hotsax_reconciles(short_series, n_workers):
+    serial = DistanceCounter()
+    base = hotsax_discords(
+        short_series, 40, num_discords=2, counter=serial,
+        rng=np.random.default_rng(5), prune=True,
+    )
+    counter = DistanceCounter()
+    result = hotsax_discords(
+        short_series, 40, num_discords=2, counter=counter,
+        rng=np.random.default_rng(5), prune=True, n_workers=n_workers,
+    )
+    assert _fingerprint(result.discords) == _fingerprint(base.discords)
+    # Logical split identical to serial; lb_calls is physical and may
+    # legitimately exceed it (worker over-scan).
+    assert counter.calls == serial.calls
+    assert counter.true_calls == serial.true_calls
+    assert counter.pruned == serial.pruned
+    assert counter.true_calls + counter.pruned == serial.calls
+
+
+@pytest.mark.parametrize("n_workers", [2, 4])
+def test_parallel_pruned_rra_reconciles(sine_bump, n_workers):
+    detector = GrammarAnomalyDetector(100, 4, 4)
+    fit = detector.fit(sine_bump.series)
+    serial = DistanceCounter()
+    base = find_discords(
+        fit.series, fit.candidates, num_discords=2, counter=serial,
+        rng=np.random.default_rng(0), prune=True,
+    )
+    counter = DistanceCounter()
+    result = find_discords(
+        fit.series, fit.candidates, num_discords=2, counter=counter,
+        rng=np.random.default_rng(0), prune=True, n_workers=n_workers,
+    )
+    assert _fingerprint(result.discords) == _fingerprint(base.discords)
+    assert counter.calls == serial.calls
+    assert counter.true_calls == serial.true_calls
+    assert counter.pruned == serial.pruned
