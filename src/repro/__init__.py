@@ -37,6 +37,13 @@ from repro.core import (
     rule_density_curve,
     suggest_parameters,
 )
+from repro.observability import (
+    MetricsRegistry,
+    NullMetrics,
+    deterministic_view,
+    read_run_report,
+    write_run_report,
+)
 from repro.streaming import StreamAlarm, StreamingAnomalyDetector
 from repro.exceptions import (
     CheckpointError,
@@ -73,6 +80,12 @@ __all__ = [
     "ParameterSuggestion",
     "dominant_period",
     "suggest_parameters",
+    # observability
+    "MetricsRegistry",
+    "NullMetrics",
+    "write_run_report",
+    "read_run_report",
+    "deterministic_view",
     # streaming
     "StreamAlarm",
     "StreamingAnomalyDetector",

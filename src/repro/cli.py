@@ -53,7 +53,21 @@ def _load_series(
     return series
 
 
+def _format_trace(metrics) -> str:
+    """Render a registry's trace-event stream for the terminal."""
+    lines = []
+    for event in metrics.events:
+        attrs = event.get("attrs") or {}
+        rendered = " ".join(f"{k}={v}" for k, v in attrs.items())
+        lines.append(f"[{event['seq']:>4d}] {event['name']} {rendered}".rstrip())
+    snapshot = metrics.snapshot() or {}
+    for name, value in snapshot.get("counters", {}).items():
+        lines.append(f"       {name} = {value}")
+    return "\n".join(lines)
+
+
 def _cmd_find(args: argparse.Namespace) -> int:
+    from repro.observability import MetricsRegistry
     from repro.resilience import SearchBudget
     from repro.visualization.report import grammar_report
 
@@ -62,12 +76,16 @@ def _cmd_find(args: argparse.Namespace) -> int:
     series = _load_series(
         args.path, args.column, keep_nonfinite=args.quality is not None
     )
+    metrics = (
+        MetricsRegistry() if (args.trace or args.metrics_out) else None
+    )
     detector = GrammarAnomalyDetector(
         args.window,
         args.paa,
         args.alphabet,
         quality_policy=args.quality or "raise",
         n_workers=args.workers,
+        metrics=metrics,
     )
     result = detector.fit(series)
     anomalies = list(detector.density_anomalies(max_anomalies=args.discords))
@@ -80,9 +98,14 @@ def _cmd_find(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         resume_from=args.resume,
         prune=args.prune,
+        report_path=args.metrics_out,
     )
     anomalies.extend(rra.discords)
     print(grammar_report(result, anomalies))
+    if args.trace and metrics is not None:
+        print(_format_trace(metrics), file=sys.stderr)
+    if args.metrics_out:
+        print(f"run report written to {args.metrics_out}", file=sys.stderr)
     if not rra.complete:
         exact = sum(rra.rank_complete)
         print(
@@ -253,6 +276,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip true distance kernels via admissible SAX/PAA lower "
              "bounds (results and logical call counts are bit-identical; "
              "see the counter's pruning ledger)",
+    )
+    find.add_argument(
+        "--trace", action="store_true",
+        help="print the search's trace events and counters to stderr "
+             "after the report",
+    )
+    find.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write a JSONL run report (meta line, trace events, final "
+             "metrics snapshot) of the discord search to PATH",
     )
     find.add_argument(
         "--quality", choices=["raise", "interpolate", "mask"], default=None,

@@ -26,6 +26,8 @@ from repro.grammar.intervals import (
 )
 from repro.grammar.repair import repair_grammar
 from repro.grammar.sequitur import induce_grammar
+from repro.observability.metrics import MetricsRegistry, ensure_metrics
+from repro.observability.report import write_run_report
 from repro.parallel.pool import effective_workers
 from repro.resilience.budget import SearchBudget
 from repro.sax.discretize import Discretization, NumerosityReduction, discretize
@@ -105,6 +107,14 @@ class GrammarAnomalyDetector:
         :mod:`repro.parallel`); 1 keeps everything in-process.  Any
         value yields bit-identical results — same discords, same
         distance-call counts.
+    metrics:
+        Optional :class:`~repro.observability.MetricsRegistry`.  When
+        given, every fit and query on this detector records structured
+        telemetry (phase spans, grammar-size gauges, search counters,
+        trace events) into the shared registry;
+        :meth:`discords` can serialize it as a JSONL run report via
+        ``report_path=``.  Disabled by default — results are
+        byte-identical with or without it.
 
     Examples
     --------
@@ -133,6 +143,7 @@ class GrammarAnomalyDetector:
         backend: str = "kernel",
         quality_policy: str = "raise",
         n_workers: int = 1,
+        metrics=None,
     ) -> None:
         if grammar_algorithm not in ("sequitur", "repair"):
             raise ParameterError(
@@ -154,6 +165,7 @@ class GrammarAnomalyDetector:
         self.numerosity_reduction = numerosity_reduction
         self.grammar_algorithm = grammar_algorithm
         self.seed = seed
+        self.metrics = ensure_metrics(metrics)
         self._result: Optional[PipelineResult] = None
 
     # -- fitting --------------------------------------------------------
@@ -171,29 +183,44 @@ class GrammarAnomalyDetector:
         sizes.  Only pass it for series the quality gate leaves
         untouched (the default ``"raise"`` policy guarantees that).
         """
+        metrics = self.metrics
         report = quality_gate(
             np.asarray(series, dtype=float), policy=self.quality_policy
         )
         series = report.series
+        if metrics.enabled and report.bad_spans:
+            metrics.event(
+                "pipeline.quality_repair",
+                policy=self.quality_policy,
+                bad_spans=[list(span) for span in report.bad_spans],
+            )
         if report.bad_spans:
             # The gate repaired the series, so any precomputed PAA matrix
             # describes the wrong data — fall back to recomputing it.
             paa_values = None
-        disc = discretize(
-            series,
-            self.window,
-            self.paa_size,
-            self.alphabet_size,
-            strategy=self.numerosity_reduction,
-            paa_values=paa_values,
-        )
-        if self.grammar_algorithm == "repair":
-            grammar = repair_grammar(disc.tokens())
-        else:
-            grammar = induce_grammar(disc.tokens())
+        with metrics.span("pipeline.discretize"):
+            disc = discretize(
+                series,
+                self.window,
+                self.paa_size,
+                self.alphabet_size,
+                strategy=self.numerosity_reduction,
+                paa_values=paa_values,
+            )
+        with metrics.span("pipeline.grammar", algorithm=self.grammar_algorithm):
+            if self.grammar_algorithm == "repair":
+                grammar = repair_grammar(disc.tokens())
+            else:
+                grammar = induce_grammar(disc.tokens())
         intervals = rule_intervals(grammar, disc)
         gaps = uncovered_intervals(grammar, disc)
-        density = rule_density_curve(intervals, series.size)
+        density = rule_density_curve(intervals, series.size, metrics=metrics)
+        if metrics.enabled:
+            metrics.gauge("pipeline.words_reduced").set(len(disc))
+            metrics.gauge("pipeline.grammar_rules").set(len(grammar))
+            metrics.gauge("pipeline.grammar_size").set(grammar.grammar_size())
+            metrics.gauge("pipeline.rule_intervals").set(len(intervals))
+            metrics.gauge("pipeline.gaps").set(len(gaps))
         self._result = PipelineResult(
             series=series,
             discretization=disc,
@@ -239,6 +266,7 @@ class GrammarAnomalyDetector:
             min_length=min_length,
             max_anomalies=max_anomalies,
             edge_exclusion=edge_exclusion,
+            metrics=self.metrics,
         )
 
     def discords(
@@ -251,6 +279,7 @@ class GrammarAnomalyDetector:
         resume_from: Optional[str] = None,
         n_workers: Optional[int] = None,
         prune: bool = False,
+        report_path: Optional[str] = None,
     ) -> RRAResult:
         """RRA variable-length discords (paper Section 4.2).
 
@@ -274,8 +303,18 @@ class GrammarAnomalyDetector:
         :func:`repro.core.rra.find_discords`): most true distance
         kernels are skipped while discords, distances, ranks, and the
         logical call counts stay bit-identical.
+
+        *report_path* writes a JSONL run report of this query
+        (:func:`repro.observability.report.write_run_report`) — search
+        telemetry, trace events, and the final ledger.  It uses the
+        detector's registry when one was supplied, otherwise a
+        query-local registry, so requesting a report never perturbs an
+        uninstrumented detector's results.
         """
         result = self.result
+        metrics = self.metrics
+        if report_path is not None and not metrics.enabled:
+            metrics = MetricsRegistry()
         rra = find_discords(
             result.series,
             result.candidates,
@@ -288,11 +327,39 @@ class GrammarAnomalyDetector:
             resume_from=resume_from,
             n_workers=self.n_workers if n_workers is None else n_workers,
             prune=prune,
+            metrics=metrics,
         )
         if not rra.complete:
             rra.degraded = True
-            rra.fallback = self.density_anomalies(
-                max_anomalies=max(num_discords, 1)
+            if metrics.enabled:
+                metrics.event(
+                    "pipeline.degraded",
+                    status=rra.status.value,
+                    ranks_found=len(rra.discords),
+                    requested=num_discords,
+                )
+            rra.fallback = find_density_anomalies(
+                result.density,
+                max_anomalies=max(num_discords, 1),
+                edge_exclusion=self.window,
+                metrics=metrics,
+            )
+        if report_path is not None:
+            write_run_report(
+                report_path,
+                metrics,
+                meta={
+                    "engine": "rra",
+                    "window": self.window,
+                    "paa_size": self.paa_size,
+                    "alphabet_size": self.alphabet_size,
+                    "num_discords": num_discords,
+                    "prune": prune,
+                    "seed": self.seed,
+                    "backend": self.backend,
+                    "distance_calls": rra.distance_calls,
+                    "status": rra.status.value,
+                },
             )
         return rra
 

@@ -33,8 +33,10 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.core.anomaly import Anomaly, Discord
+from repro.discord.search import emit_rank_event
 from repro.exceptions import CheckpointError, DiscordSearchError
 from repro.grammar.intervals import RuleInterval
+from repro.observability.metrics import ensure_metrics
 from repro.resilience.budget import SearchBudget, SearchStatus
 from repro.resilience.checkpoint import (
     load_checkpoint,
@@ -285,6 +287,7 @@ def find_discord(
     budget: Optional[SearchBudget] = None,
     n_workers: int = 1,
     prune: bool = False,
+    metrics=None,
     _state: Optional[_RankState] = None,
     _on_boundary: Optional[Callable[[_RankState, list[RuleInterval]], None]] = None,
     _lower_bound: Optional[IntervalLowerBound] = None,
@@ -335,6 +338,13 @@ def find_discord(
         distance kernel.  Discords, distances, ranks, and the logical
         ``counter.calls`` are bit-identical; the counter's split ledger
         reports how many kernels were avoided.
+    metrics:
+        Optional :class:`~repro.observability.metrics.MetricsRegistry`.
+        When enabled, the search counts candidates visited / abandoned /
+        survived, histograms early-abandon depths, and routes budget
+        trips into the trace-event stream.  The default (disabled) sink
+        adds no work to the hot loop: results and logical call counts
+        are byte-identical with or without it.
 
     Returns
     -------
@@ -355,6 +365,8 @@ def find_discord(
     has_channel = budget is not None or _state is not None
     if budget is None:
         budget = SearchBudget.unlimited()
+    metrics = ensure_metrics(metrics)
+    budget.bind_metrics(metrics)
     state = _state if _state is not None else _RankState()
     capture_rng = _on_boundary is not None
 
@@ -387,6 +399,15 @@ def find_discord(
         by_key.get(state.best_key) if state.best_key is not None else None
     )
 
+    instrumented = metrics.enabled
+    if instrumented:
+        metrics.gauge("search.candidate_count").set(len(outer))
+        m_visited = metrics.counter("search.candidates_visited")
+        m_abandoned = metrics.counter("search.candidates_abandoned")
+        m_survived = metrics.counter("search.candidates_survived")
+        m_best = metrics.counter("search.best_updates")
+        m_depth = metrics.histogram("search.abandon_depth")
+
     workers = effective_workers(n_workers)
     if (
         workers > 1
@@ -413,6 +434,7 @@ def find_discord(
                 if lb is not None
                 else None
             ),
+            metrics=metrics,
         )
         best_dist = state.best_dist
         best_candidate = (
@@ -474,11 +496,22 @@ def find_discord(
                     break
                 if dist < nearest:
                     nearest = dist
+            if instrumented:
+                m_visited.inc()
+                if pruned:
+                    m_abandoned.inc()
+                    # state.calls still holds the boundary value, so the
+                    # delta is this candidate's inner-loop cost.
+                    m_depth.observe(counter.calls - state.calls)
+                else:
+                    m_survived.inc()
             if not pruned and np.isfinite(nearest) and nearest > best_dist:
                 best_dist = nearest
                 best_candidate = p
                 state.best_dist = nearest
                 state.best_key = (p.start, p.end, p.rule_id)
+                if instrumented:
+                    m_best.inc()
         else:
             state.outer_index = len(outer)
             state.calls = counter.calls
@@ -545,6 +578,7 @@ def find_discords(
     resume_from: Optional[str] = None,
     n_workers: int = 1,
     prune: bool = False,
+    metrics=None,
 ) -> RRAResult:
     """Iteratively extract up to *num_discords* ranked discords.
 
@@ -591,6 +625,13 @@ def find_discords(
         checkpoints, so interrupted pruned runs resume with their stats
         intact.  Pruned and unpruned checkpoints are deliberately not
         interchangeable (the fingerprint covers *prune*).
+    metrics:
+        Optional :class:`~repro.observability.metrics.MetricsRegistry`.
+        Each rank becomes a ``search.rank`` span closed by a
+        ``search.rank_complete`` event carrying the rank's ledger slice;
+        checkpoint writes/resumes and budget trips join the event
+        stream, and checkpoints persist the registry snapshot so a
+        resumed run's report reads as one continuous stream.
     """
     validate_backend(backend)
     series = np.asarray(series, dtype=float)
@@ -606,6 +647,8 @@ def find_discords(
         )
     if budget is None:
         budget = SearchBudget.unlimited()
+    metrics = ensure_metrics(metrics)
+    budget.bind_metrics(metrics)
 
     result = RRAResult(candidate_count=len(list(intervals)))
     valid = [
@@ -644,6 +687,14 @@ def find_discords(
         start_rank = int(data["rank"])
         if data.get("rng_state") is not None:
             rng = restore_rng(data["rng_state"])
+        if metrics.enabled:
+            metrics.restore(data.get("metrics"), data.get("metric_events"))
+            metrics.event(
+                "checkpoint.resumed",
+                path=resume_from,
+                rank=start_rank,
+                outer_index=int(data["outer_index"]),
+            )
         if data.get("done"):
             result.distance_calls = counter.calls
             return result
@@ -661,6 +712,15 @@ def find_discords(
     boundary_count = [0]
 
     def _write(state: _RankState, outer: list[RuleInterval], done: bool) -> None:
+        if metrics.enabled:
+            # Emitted before the snapshot so the persisted event stream
+            # includes its own save marker.
+            metrics.event(
+                "checkpoint.saved",
+                rank=current_rank[0],
+                outer_index=state.outer_index,
+                done=done,
+            )
         save_checkpoint(
             checkpoint_path,
             {
@@ -686,6 +746,14 @@ def find_discords(
                 "candidate_count": len(valid),
                 "done": done,
                 "status": budget.status.value,
+                **(
+                    {
+                        "metrics": metrics.snapshot(),
+                        "metric_events": metrics.events,
+                    }
+                    if metrics.enabled
+                    else {}
+                ),
             },
         )
 
@@ -702,21 +770,29 @@ def find_discords(
         state = resumed_state if rank == start_rank and resumed_state else _RankState()
         if checkpoint_path is not None:
             state.rng_state = rng_state_to_json(rng)
-        discord, counter = find_discord(
-            series,
-            valid,
-            counter=counter,
-            rng=rng,
-            exclude=exclusions,
-            backend=backend,
-            cache=cache,
-            budget=budget,
-            n_workers=n_workers,
-            prune=prune,
-            _state=state,
-            _on_boundary=on_boundary,
-            _lower_bound=lower_bound,
-        )
+        rank_ledger = counter.ledger() if metrics.enabled else None
+        with metrics.span("search.rank", source="rra", rank=rank):
+            discord, counter = find_discord(
+                series,
+                valid,
+                counter=counter,
+                rng=rng,
+                exclude=exclusions,
+                backend=backend,
+                cache=cache,
+                budget=budget,
+                n_workers=n_workers,
+                prune=prune,
+                metrics=metrics,
+                _state=state,
+                _on_boundary=on_boundary,
+                _lower_bound=lower_bound,
+            )
+        if metrics.enabled:
+            emit_rank_event(
+                metrics, "rra", rank, rank_ledger, counter, discord,
+                exact=state.complete,
+            )
         if checkpoint_path is not None:
             # Only needed for the final interruption write below.
             last_outer = sorted(

@@ -18,11 +18,14 @@ import numpy as np
 from repro.core.anomaly import Anomaly
 from repro.exceptions import ParameterError
 from repro.grammar.intervals import RuleInterval
+from repro.observability.metrics import ensure_metrics
 
 
 def rule_density_curve(
     intervals: Sequence[RuleInterval],
     series_length: int,
+    *,
+    metrics=None,
 ) -> np.ndarray:
     """Compute the rule density curve.
 
@@ -48,12 +51,21 @@ def rule_density_curve(
     if series_length < 0:
         raise ParameterError(f"series_length must be >= 0, got {series_length}")
     diff = np.zeros(series_length + 1, dtype=np.int64)
+    covering = 0
     for iv in intervals:
         if iv.start >= series_length:
             continue
+        covering += 1
         diff[iv.start] += 1
         diff[min(iv.end, series_length)] -= 1
-    return np.cumsum(diff[:-1])
+    curve = np.cumsum(diff[:-1])
+    metrics = ensure_metrics(metrics)
+    if metrics.enabled:
+        metrics.gauge("density.interval_count").set(covering)
+        if curve.size:
+            metrics.gauge("density.curve_min").set(float(curve.min()))
+            metrics.gauge("density.curve_max").set(float(curve.max()))
+    return curve
 
 
 def density_minima_intervals(
@@ -108,6 +120,7 @@ def find_density_anomalies(
     min_length: int = 1,
     max_anomalies: Optional[int] = None,
     edge_exclusion: int = 0,
+    metrics=None,
 ) -> list[Anomaly]:
     """Rank density-minima intervals into :class:`Anomaly` objects.
 
@@ -153,6 +166,14 @@ def find_density_anomalies(
     ]
     if max_anomalies is not None:
         anomalies = anomalies[:max_anomalies]
+    metrics = ensure_metrics(metrics)
+    if metrics.enabled:
+        metrics.counter("density.anomalies").inc(len(anomalies))
+        metrics.event(
+            "density.anomalies_found",
+            count=len(anomalies),
+            candidate_intervals=len(intervals),
+        )
     return anomalies
 
 

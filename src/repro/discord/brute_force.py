@@ -19,8 +19,13 @@ from typing import Iterator, Optional
 import numpy as np
 
 from repro.core.anomaly import Discord
-from repro.discord.search import _kernel_inner_scan_lb, validate_backend
+from repro.discord.search import (
+    _kernel_inner_scan_lb,
+    emit_rank_event,
+    validate_backend,
+)
 from repro.exceptions import DiscordSearchError
+from repro.observability.metrics import ensure_metrics
 from repro.parallel.pool import MIN_PARALLEL_CANDIDATES, effective_workers
 from repro.resilience.budget import SearchBudget, SearchStatus
 from repro.timeseries import kernels
@@ -59,6 +64,7 @@ def brute_force_discord(
     n_workers: int = 1,
     prune: bool = False,
     lower_bound: Optional[WindowLowerBound] = None,
+    metrics=None,
 ) -> tuple[Optional[Discord], DistanceCounter]:
     """Exact fixed-length discord by exhaustive search.
 
@@ -100,6 +106,11 @@ def brute_force_discord(
     lower_bound:
         Prebuilt pruner to reuse across ranks; built on the fly when
         *prune* is set without one.
+    metrics:
+        Optional :class:`~repro.observability.MetricsRegistry` recording
+        search telemetry (candidates visited / abandoned, abandon
+        depths, budget trips).  Disabled by default; results and logical
+        call counts are byte-identical either way.
     """
     validate_backend(backend)
     series = np.asarray(series, dtype=float)
@@ -113,6 +124,8 @@ def brute_force_discord(
     has_channel = budget is not None
     if budget is None:
         budget = SearchBudget.unlimited()
+    metrics = ensure_metrics(metrics)
+    budget.bind_metrics(metrics)
 
     windows = sliding_windows(series, window)
     normalized = znorm_rows(windows)
@@ -143,13 +156,14 @@ def brute_force_discord(
             n_workers=workers,
             has_channel=has_channel,
             lb=lb,
+            metrics=metrics,
         )
     else:
         try:
             best_dist, best_pos = _brute_force_scan(
                 normalized, sqnorms, k, window, counter, budget,
                 early_abandon=early_abandon, exclude=exclude, backend=backend,
-                lb=lb,
+                lb=lb, metrics=metrics,
             )
         except KeyboardInterrupt:
             if not has_channel:
@@ -182,8 +196,17 @@ def _brute_force_scan(
     exclude: tuple[tuple[int, int], ...],
     backend: str,
     lb: Optional[WindowLowerBound] = None,
+    metrics=None,
 ) -> tuple[float, Optional[int]]:
     """The exhaustive outer/inner loop; returns (best_dist, best_pos)."""
+    metrics = ensure_metrics(metrics)
+    instrumented = metrics.enabled
+    if instrumented:
+        m_visited = metrics.counter("search.candidates_visited")
+        m_abandoned = metrics.counter("search.candidates_abandoned")
+        m_survived = metrics.counter("search.candidates_survived")
+        m_best = metrics.counter("search.best_updates")
+        m_depth = metrics.histogram("search.abandon_depth")
     best_dist = -1.0
     best_pos = None
     for p in range(k):
@@ -191,6 +214,8 @@ def _brute_force_scan(
             continue
         if budget.interrupted(counter.calls) is not None:
             break
+        if instrumented:
+            calls_at_entry = counter.calls
         nearest = float("inf")
         pruned = False
         if backend == "kernel" and lb is not None:
@@ -252,9 +277,18 @@ def _brute_force_scan(
                     break
                 if dist < nearest:
                     nearest = dist
+        if instrumented:
+            m_visited.inc()
+            if pruned:
+                m_abandoned.inc()
+                m_depth.observe(counter.calls - calls_at_entry)
+            else:
+                m_survived.inc()
         if not pruned and np.isfinite(nearest) and nearest > best_dist:
             best_dist = nearest
             best_pos = p
+            if instrumented:
+                m_best.inc()
     return best_dist, best_pos
 
 
@@ -303,6 +337,7 @@ def brute_force_discords(
     budget: Optional[SearchBudget] = None,
     n_workers: int = 1,
     prune: bool = False,
+    metrics=None,
 ) -> BruteForceResult:
     """Ranked top-k fixed-length discords by exhaustive search (anytime)."""
     validate_backend(backend)
@@ -311,6 +346,8 @@ def brute_force_discords(
         counter = DistanceCounter()
     if budget is None:
         budget = SearchBudget.unlimited()
+    metrics = ensure_metrics(metrics)
+    budget.bind_metrics(metrics)
     lower_bound = None
     if prune:
         lower_bound = WindowLowerBound.from_normalized_windows(
@@ -320,19 +357,27 @@ def brute_force_discords(
     rank_complete: list[bool] = []
     exclusions: list[tuple[int, int]] = []
     for rank in range(num_discords):
-        found, counter = brute_force_discord(
-            series,
-            window,
-            counter=counter,
-            early_abandon=early_abandon,
-            exclude=tuple(exclusions),
-            backend=backend,
-            budget=budget,
-            n_workers=n_workers,
-            prune=prune,
-            lower_bound=lower_bound,
-        )
+        rank_ledger = counter.ledger() if metrics.enabled else None
+        with metrics.span("search.rank", source="brute_force", rank=rank):
+            found, counter = brute_force_discord(
+                series,
+                window,
+                counter=counter,
+                early_abandon=early_abandon,
+                exclude=tuple(exclusions),
+                backend=backend,
+                budget=budget,
+                n_workers=n_workers,
+                prune=prune,
+                lower_bound=lower_bound,
+                metrics=metrics,
+            )
         truncated = budget.status is not SearchStatus.COMPLETE
+        if metrics.enabled:
+            emit_rank_event(
+                metrics, "brute_force", rank, rank_ledger, counter, found,
+                exact=not truncated,
+            )
         if found is not None:
             discords.append(
                 Discord(

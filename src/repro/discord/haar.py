@@ -123,6 +123,7 @@ def haar_discord(
     budget: Optional[SearchBudget] = None,
     n_workers: int = 1,
     prune: bool = False,
+    metrics=None,
 ) -> tuple[Optional[Discord], DistanceCounter]:
     """Best fixed-length discord with Haar-word loop ordering (exact).
 
@@ -142,6 +143,7 @@ def haar_discord(
         budget=budget,
         n_workers=n_workers,
         prune=prune,
+        metrics=metrics,
     )
 
 
@@ -157,6 +159,7 @@ def haar_discords(
     budget: Optional[SearchBudget] = None,
     n_workers: int = 1,
     prune: bool = False,
+    metrics=None,
 ) -> HaarResult:
     """Ranked top-k discords with Haar-word loop ordering (anytime)."""
     if budget is None:
@@ -173,6 +176,7 @@ def haar_discords(
         budget=budget,
         n_workers=n_workers,
         prune=prune,
+        metrics=metrics,
     )
     return HaarResult(
         discords=discords,

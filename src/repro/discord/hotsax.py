@@ -138,6 +138,7 @@ def hotsax_discord(
     prune: bool = False,
     prune_paa_size: Optional[int] = None,
     prune_alphabet_size: Optional[int] = None,
+    metrics=None,
 ) -> tuple[Optional[Discord], DistanceCounter]:
     """Find the best fixed-length discord with the HOTSAX heuristics.
 
@@ -170,6 +171,11 @@ def hotsax_discord(
         split ledger).  By default the cascade reuses this search's own
         SAX discretization; *prune_paa_size* / *prune_alphabet_size*
         request a finer pruning-only discretization.
+    metrics:
+        Optional :class:`~repro.observability.MetricsRegistry` recording
+        search telemetry (see
+        :func:`repro.discord.search.ordered_discord_search`).  Disabled
+        by default; results are byte-identical either way.
     """
     series = np.asarray(series, dtype=float)
     disc = SAXWindowDiscretization(series, window, paa_size, alphabet_size)
@@ -191,6 +197,7 @@ def hotsax_discord(
         n_workers=n_workers,
         prune=prune,
         lower_bound=lower_bound,
+        metrics=metrics,
     )
 
 
@@ -209,6 +216,7 @@ def hotsax_discords(
     prune: bool = False,
     prune_paa_size: Optional[int] = None,
     prune_alphabet_size: Optional[int] = None,
+    metrics=None,
 ) -> HOTSAXResult:
     """Ranked top-k fixed-length discords with the HOTSAX heuristics.
 
@@ -239,6 +247,7 @@ def hotsax_discords(
         n_workers=n_workers,
         prune=prune,
         lower_bound=lower_bound,
+        metrics=metrics,
     )
     return HOTSAXResult(
         discords=discords,

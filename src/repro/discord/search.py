@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.core.anomaly import Discord
 from repro.exceptions import DiscordSearchError
+from repro.observability.metrics import ensure_metrics
 from repro.parallel.pool import MIN_PARALLEL_CANDIDATES, effective_workers
 from repro.resilience.budget import SearchBudget, SearchStatus
 from repro.timeseries import kernels
@@ -45,6 +46,7 @@ def ordered_discord_search(
     n_workers: int = 1,
     prune: bool = False,
     lower_bound: Optional[WindowLowerBound] = None,
+    metrics=None,
 ) -> tuple[Optional[Discord], DistanceCounter]:
     """Exact fixed-length discord via bucket-driven loop orderings.
 
@@ -89,6 +91,13 @@ def ordered_discord_search(
         over the same sliding windows (so a caller that already
         discretized — HOTSAX — shares it).  Built on the fly from the
         normalized windows when *prune* is set without one.
+    metrics:
+        Optional :class:`~repro.observability.MetricsRegistry`.  When
+        given, the scan records candidate/abandon counters, the
+        early-abandon depth histogram, and trace events (budget trips
+        travel through the bound budget).  The default (``None``) routes
+        through the no-op sink: results and logical call counts are
+        byte-identical either way.
     """
     validate_backend(backend)
     series = np.asarray(series, dtype=float)
@@ -104,6 +113,8 @@ def ordered_discord_search(
     has_channel = budget is not None
     if budget is None:
         budget = SearchBudget.unlimited()
+    metrics = ensure_metrics(metrics)
+    budget.bind_metrics(metrics)
 
     keys = list(bucket_fn(series, window))
     if len(keys) != k:
@@ -152,6 +163,7 @@ def ordered_discord_search(
             n_workers=workers,
             has_channel=has_channel,
             lb=lb,
+            metrics=metrics,
         )
         if best_pos is None:
             return None, counter
@@ -167,12 +179,24 @@ def ordered_discord_search(
             ),
             counter,
         )
+    # Metric handles are hoisted out of the loop; with the disabled
+    # sink they are inert null objects and the `instrumented` guard
+    # keeps the hot path free of even their method calls.
+    instrumented = metrics.enabled
+    if instrumented:
+        m_visited = metrics.counter("search.candidates_visited")
+        m_abandoned = metrics.counter("search.candidates_abandoned")
+        m_survived = metrics.counter("search.candidates_survived")
+        m_best = metrics.counter("search.best_updates")
+        m_depth = metrics.histogram("search.abandon_depth")
     try:
         for p in outer:
             if any(ex_start <= p < ex_end for ex_start, ex_end in exclude):
                 continue
             if budget.interrupted(counter.calls) is not None:
                 break
+            if instrumented:
+                calls_at_entry = counter.calls
             nearest = float("inf")
             pruned = False
             same_bucket = [q for q in buckets[keys[p]] if q != p]
@@ -218,9 +242,18 @@ def ordered_discord_search(
                         break
                     if dist < nearest:
                         nearest = dist
+            if instrumented:
+                m_visited.inc()
+                if pruned:
+                    m_abandoned.inc()
+                    m_depth.observe(counter.calls - calls_at_entry)
+                else:
+                    m_survived.inc()
             if not pruned and np.isfinite(nearest) and nearest > best_dist:
                 best_dist = nearest
                 best_pos = p
+                if instrumented:
+                    m_best.inc()
     except KeyboardInterrupt:
         if not has_channel:
             raise
@@ -381,6 +414,7 @@ def iterated_search(
     n_workers: int = 1,
     prune: bool = False,
     lower_bound: Optional[WindowLowerBound] = None,
+    metrics=None,
 ) -> tuple[list[Discord], DistanceCounter, list[bool]]:
     """Top-k discords by repeated search with window-sized exclusion.
 
@@ -389,7 +423,10 @@ def iterated_search(
     candidate (True) or was truncated by the *budget* and is only the
     best seen so far (False).  *prune* / *lower_bound* opt every rank
     into the lower-bound cascade (the bound is built once and shared
-    across ranks, since the windows never change).
+    across ranks, since the windows never change).  *metrics* wraps
+    every rank in a ``search.rank`` span and emits one
+    ``search.rank_complete`` event per rank carrying that rank's slice
+    of the call ledger (the paper's Table 1 number, per rank).
     """
     validate_backend(backend)
     series = np.asarray(series, dtype=float)
@@ -401,6 +438,7 @@ def iterated_search(
         raise DiscordSearchError(f"num_discords must be >= 1, got {num_discords}")
     if budget is None:
         budget = SearchBudget.unlimited()
+    metrics = ensure_metrics(metrics)
     if prune and lower_bound is None:
         lower_bound = WindowLowerBound.from_normalized_windows(
             znorm_rows(sliding_windows(series, window)), window
@@ -409,13 +447,20 @@ def iterated_search(
     rank_complete: list[bool] = []
     exclusions: list[tuple[int, int]] = []
     for rank in range(num_discords):
-        found, counter = ordered_discord_search(
-            series, window, bucket_fn,
-            source=source, counter=counter, rng=rng, exclude=tuple(exclusions),
-            backend=backend, budget=budget, n_workers=n_workers,
-            prune=prune, lower_bound=lower_bound,
-        )
+        rank_ledger = counter.ledger() if metrics.enabled else None
+        with metrics.span("search.rank", source=source, rank=rank):
+            found, counter = ordered_discord_search(
+                series, window, bucket_fn,
+                source=source, counter=counter, rng=rng, exclude=tuple(exclusions),
+                backend=backend, budget=budget, n_workers=n_workers,
+                prune=prune, lower_bound=lower_bound, metrics=metrics,
+            )
         truncated = budget.status is not SearchStatus.COMPLETE
+        if metrics.enabled:
+            emit_rank_event(
+                metrics, source, rank, rank_ledger, counter, found,
+                exact=not truncated,
+            )
         if found is not None:
             discords.append(
                 Discord(
@@ -429,3 +474,33 @@ def iterated_search(
             break
         exclusions.append((found.start - window + 1, found.start + window))
     return discords, counter, rank_complete
+
+
+def emit_rank_event(
+    metrics,
+    source: str,
+    rank: int,
+    ledger_before: Optional[dict],
+    counter: DistanceCounter,
+    found: Optional[Discord],
+    *,
+    exact: bool,
+) -> None:
+    """Emit one ``search.rank_complete`` event with the rank's ledger slice.
+
+    The attrs carry the per-rank delta of the split call ledger
+    (``calls`` / ``true_calls`` / ``pruned`` / ``lb_calls``) — the
+    paper's Table 1 metric broken down by rank — plus the discord the
+    rank produced.  Shared by all four engines so run reports have one
+    schema.
+    """
+    after = counter.ledger()
+    delta = {
+        key: after[key] - (ledger_before or {}).get(key, 0) for key in after
+    }
+    attrs = {"source": source, "rank": rank, "exact": exact, "ledger": delta}
+    if found is not None:
+        attrs["start"] = found.start
+        attrs["end"] = found.end
+        attrs["score"] = found.score
+    metrics.event("search.rank_complete", **attrs)

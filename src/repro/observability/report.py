@@ -1,0 +1,83 @@
+"""Structured JSONL run reports for discord searches.
+
+A run report is a newline-delimited JSON file with three line types
+(full schema in DESIGN.md §9):
+
+* one ``{"type": "meta", ...}`` header carrying the run parameters and
+  library version;
+* zero or more ``{"type": "event", ...}`` lines — the trace-event
+  stream, in ``seq`` order (budget trips, checkpoint saves, rank
+  completions, span boundaries);
+* one ``{"type": "metrics", ...}`` footer with the final registry
+  snapshot (counters, gauges, histograms, timers).
+
+Every field is deterministic for a fixed seed **except** wall-clock
+ones: event ``ts``, span/end ``seconds`` attributes, and the
+``timers`` section of the footer.  :func:`deterministic_view` strips
+exactly those, which is what the regression tests compare.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterator, Optional
+
+from repro.observability.metrics import MetricsRegistry
+
+__all__ = [
+    "write_run_report",
+    "read_run_report",
+    "deterministic_view",
+]
+
+#: Format tag stamped on (and required from) every report's meta line.
+REPORT_FORMAT = "repro-run-report/1"
+
+
+def write_run_report(
+    path: str,
+    metrics: MetricsRegistry,
+    *,
+    meta: Optional[dict] = None,
+) -> None:
+    """Serialize *metrics* (snapshot + events) as a JSONL run report."""
+    header = {"type": "meta", "format": REPORT_FORMAT}
+    if meta:
+        header.update(meta)
+    with open(path, "w") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for event in metrics.events:
+            line = {"type": "event"}
+            line.update(event)
+            handle.write(json.dumps(line) + "\n")
+        footer = {"type": "metrics"}
+        footer.update(metrics.snapshot() or {})
+        handle.write(json.dumps(footer) + "\n")
+
+
+def read_run_report(path: str) -> Iterator[dict]:
+    """Yield the parsed lines of a JSONL run report, in file order."""
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def deterministic_view(lines) -> list[dict]:
+    """Strip the wall-clock fields from parsed report lines.
+
+    Removes event ``ts``, any ``seconds`` attribute inside event attrs,
+    and the ``timers`` footer section — everything left is identical
+    across runs with the same inputs and seed.
+    """
+    cleaned: list[dict] = []
+    for line in lines:
+        entry = json.loads(json.dumps(line))  # deep copy via round-trip
+        entry.pop("ts", None)
+        attrs = entry.get("attrs")
+        if isinstance(attrs, dict):
+            attrs.pop("seconds", None)
+        entry.pop("timers", None)
+        cleaned.append(entry)
+    return cleaned

@@ -39,6 +39,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.observability.metrics import ensure_metrics
 from repro.parallel.pool import (
     budget_to_spec,
     ramped_slices,
@@ -116,6 +117,7 @@ def parallel_fixed_search(
     n_workers: int,
     has_channel: bool,
     lb=None,
+    metrics=None,
 ) -> tuple[Optional[int], float]:
     """Sharded outer loop for the fixed-length engines.
 
@@ -136,11 +138,22 @@ def parallel_fixed_search(
     (``true_calls``/``pruned``) is identical to the serial pruned run.
     Physical lower-bound evaluations (``lb_calls``) include worker
     over-scan and are summed as a diagnostic.
+
+    *metrics* asks every worker to keep a local registry; the parent
+    merges the snapshots in serial replay order as shards are delivered
+    (``merge_snapshot`` is commutative, so the totals are deterministic
+    for any worker count), and records per-chunk wall time in the
+    ``parallel.worker_seconds`` timer.
     """
     k = normalized.shape[0]
     total = len(outer) if outer is not None else k
     uses_rng = bucket_ids is not None
     replay = Replay(prune=prune, init_best=-1.0)
+    metrics = ensure_metrics(metrics)
+    instrumented = metrics.enabled
+    if instrumented:
+        m_chunks = metrics.counter("parallel.chunks")
+        m_worker_time = metrics.timer("parallel.worker_seconds")
 
     def _position(i: int) -> int:
         return int(outer[i]) if outer is not None else i
@@ -177,6 +190,7 @@ def parallel_fixed_search(
                 floor=replay.best,
                 rng=rng,
                 lb=lb,
+                metrics=metrics,
             )
             counter.lb_batch(shard.lb_calls)
             replay.feed(shard, 1)
@@ -221,6 +235,10 @@ def parallel_fixed_search(
         def _merge(i: int, shard) -> None:
             shards[i] = shard
             counter.lb_batch(shard.lb_calls)
+            if instrumented:
+                m_chunks.inc()
+                m_worker_time.add(shard.elapsed)
+                metrics.merge_snapshot(shard.metrics)
             if feeding[0]:
                 feeding[0] = replay.feed(shard, sizes[i])
 
@@ -261,6 +279,7 @@ def parallel_fixed_search(
                         "rng_state": state,
                         "budget": spec,
                         "lb": lb_spec,
+                        "metrics": instrumented,
                     }
 
                 return build
@@ -302,6 +321,7 @@ def parallel_rra_rank(
     capture_rng: bool,
     on_boundary: Optional[Callable] = None,
     lb_config: Optional[dict] = None,
+    metrics=None,
 ) -> None:
     """One RRA rank sharded across the pool; mutates *state* and *counter*.
 
@@ -333,6 +353,11 @@ def parallel_rra_rank(
     parallel, instead of the parent paying a full scan serially.
     """
     replay = Replay(prune=True, init_best=state.best_dist)
+    metrics = ensure_metrics(metrics)
+    instrumented = metrics.enabled
+    if instrumented:
+        m_chunks = metrics.counter("parallel.chunks")
+        m_worker_time = metrics.timer("parallel.worker_seconds")
     base_calls = counter.calls
     base_true = counter.true_calls
     base_pruned = counter.pruned
@@ -415,6 +440,10 @@ def parallel_rra_rank(
             def _merge(i: int, shard) -> None:
                 shards[i] = shard
                 counter.lb_batch(shard.lb_calls)
+                if instrumented:
+                    m_chunks.inc()
+                    m_worker_time.add(shard.elapsed)
+                    metrics.merge_snapshot(shard.metrics)
                 if not feeding[0]:
                     return
                 w, _, _, expected = chunk_meta[i]
@@ -444,6 +473,13 @@ def parallel_rra_rank(
                 if capture_rng:
                     state.rng_state = wave_states[w + 1]
                 _sync_best()
+                if instrumented:
+                    metrics.event(
+                        "parallel.wave_merged",
+                        wave=w,
+                        boundary=boundary,
+                        calls=base_calls + replay.calls,
+                    )
                 if boundary < total and on_boundary is not None:
                     on_boundary(state, outer)
 
@@ -471,6 +507,7 @@ def parallel_rra_rank(
                             "rng_state": wave_states[w],
                             "budget": spec,
                             "lb": lb_config,
+                            "metrics": instrumented,
                         }
 
                     return build

@@ -55,6 +55,7 @@ from repro.core.rra import (
 from repro.discord.search import _inner_sequence
 from repro.exceptions import DiscordSearchError
 from repro.grammar.intervals import RuleInterval
+from repro.observability.metrics import MetricsRegistry, ensure_metrics
 from repro.parallel.pool import budget_from_spec
 from repro.parallel.shared import attach
 from repro.resilience.budget import SearchBudget, SearchStatus
@@ -134,6 +135,11 @@ class ShardResult:
     elapsed: float = 0.0
     #: Physical lower-bound evaluations across the shard (diagnostic).
     lb_calls: int = 0
+    #: Snapshot of the worker-local metrics registry (None when the
+    #: parent search runs without observability).  Merged by the parent
+    #: in serial replay order; the merge is commutative, so totals are
+    #: deterministic for any worker count.
+    metrics: Optional[dict] = None
 
 
 class Replay:
@@ -396,6 +402,7 @@ def scan_fixed_positions(
     rng: Optional[np.random.Generator],
     budget: Optional[SearchBudget] = None,
     lb=None,
+    metrics=None,
 ) -> ShardResult:
     """Scan one shard of a fixed-length search's outer candidates.
 
@@ -407,10 +414,20 @@ def scan_fixed_positions(
     inline in the parent (the τ0 seed scan) — identical behaviour.
     *lb* (a :class:`~repro.timeseries.lowerbound.WindowLowerBound`)
     switches the recording scans to the lower-bound cascade; records
-    then carry the pruned prefixes the replay needs.
+    then carry the pruned prefixes the replay needs.  *metrics* records
+    the shard's *physical* work (candidates, pairs, scan depths) —
+    deterministic for a fixed seed because chunk floors are resolved at
+    deterministic wave boundaries, but a worker's-eye view, not the
+    serial ledger the replay reconstructs.
     """
     if budget is None:
         budget = SearchBudget.unlimited()
+    metrics = ensure_metrics(metrics)
+    instrumented = metrics.enabled
+    if instrumented:
+        m_candidates = metrics.counter("worker.candidates")
+        m_pairs = metrics.counter("worker.pairs")
+        m_depth = metrics.histogram("worker.scan_depth")
     k = normalized.shape[0]
     buckets: Optional[dict] = None
     if bucket_ids is not None:
@@ -456,6 +473,10 @@ def scan_fixed_positions(
         result.lb_calls += record.lb_evals
         result.records.append(record)
         result.processed += 1
+        if instrumented:
+            m_candidates.inc()
+            m_pairs.inc(record.scanned)
+            m_depth.observe(record.scanned)
         if record.complete:
             nearest = record.nearest
             if math.isfinite(nearest) and nearest > local_best:
@@ -488,7 +509,8 @@ def scan_fixed_shard(payload: dict) -> ShardResult:
             lb_spec["alphabet_size"],
             letters=attach(lb_spec["letters"]),
         )
-    return scan_fixed_positions(
+    registry = MetricsRegistry() if payload.get("metrics") else None
+    result = scan_fixed_positions(
         normalized,
         sqnorms,
         bucket_ids,
@@ -501,7 +523,11 @@ def scan_fixed_shard(payload: dict) -> ShardResult:
         rng=rng,
         budget=budget_from_spec(payload.get("budget")),
         lb=lb,
+        metrics=registry,
     )
+    if registry is not None:
+        result.metrics = registry.snapshot()
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -523,6 +549,7 @@ def scan_rra_positions(
     stride: int = 1,
     offset: int = 0,
     lb=None,
+    metrics=None,
 ) -> ShardResult:
     """Scan one shard of RRA outer candidates (records, not results).
 
@@ -538,6 +565,12 @@ def scan_rra_positions(
     """
     if budget is None:
         budget = SearchBudget.unlimited()
+    metrics = ensure_metrics(metrics)
+    instrumented = metrics.enabled
+    if instrumented:
+        m_candidates = metrics.counter("worker.candidates")
+        m_pairs = metrics.counter("worker.pairs")
+        m_depth = metrics.histogram("worker.scan_depth")
     use_kernel = backend == "kernel"
     result = ShardResult()
     local_best = floor
@@ -591,6 +624,10 @@ def scan_rra_positions(
         result.lb_calls += record.lb_evals
         result.records.append(record)
         result.processed += 1
+        if instrumented:
+            m_candidates.inc()
+            m_pairs.inc(record.scanned)
+            m_depth.observe(record.scanned)
         if complete and math.isfinite(nearest) and nearest > local_best:
             local_best = nearest
     result.elapsed = time.perf_counter() - started
@@ -619,7 +656,8 @@ def scan_rra_shard(payload: dict) -> ShardResult:
             segments=lb_config["segments"],
             alphabet_size=lb_config["alphabet_size"],
         )
-    return scan_rra_positions(
+    registry = MetricsRegistry() if payload.get("metrics") else None
+    result = scan_rra_positions(
         cache,
         ordering,
         candidates,
@@ -632,4 +670,8 @@ def scan_rra_shard(payload: dict) -> ShardResult:
         stride=payload.get("stride", 1),
         offset=payload.get("offset", 0),
         lb=lb,
+        metrics=registry,
     )
+    if registry is not None:
+        result.metrics = registry.snapshot()
+    return result

@@ -90,7 +90,14 @@ class SearchBudget:
     tripped — callers stamp it on their result after the search ends.
     """
 
-    __slots__ = ("deadline", "max_calls", "token", "_deadline_at", "_tripped")
+    __slots__ = (
+        "deadline",
+        "max_calls",
+        "token",
+        "_deadline_at",
+        "_tripped",
+        "_metrics",
+    )
 
     def __init__(
         self,
@@ -108,6 +115,28 @@ class SearchBudget:
         self.token = token
         self._deadline_at: Optional[float] = None
         self._tripped: Optional[SearchStatus] = None
+        self._metrics = None
+
+    def bind_metrics(self, metrics) -> None:
+        """Attach an observability sink; the trip becomes a trace event.
+
+        The search engines bind their ``metrics=`` registry here on
+        entry, so the *first* exhaustion/cancellation — wherever it is
+        detected — lands in the trace stream as one ``budget.tripped``
+        event.  A disabled sink (``NullMetrics``) is never bound, so the
+        default path carries no reference and emits nothing.
+        """
+        if metrics is not None and getattr(metrics, "enabled", False):
+            self._metrics = metrics
+
+    def _trip(self, status: SearchStatus, reason: str, **attrs) -> None:
+        """Record the terminal status and emit its trace event once."""
+        first = self._tripped is None
+        self._tripped = status
+        if first and self._metrics is not None:
+            self._metrics.event(
+                "budget.tripped", status=status.value, reason=reason, **attrs
+            )
 
     @classmethod
     def unlimited(cls) -> "SearchBudget":
@@ -134,17 +163,27 @@ class SearchBudget:
         if self._tripped is not None:
             return self._tripped
         if self.token is not None and self.token.cancelled:
-            self._tripped = SearchStatus.CANCELLED
+            self._trip(SearchStatus.CANCELLED, "token", calls=calls)
             return self._tripped
         if self.max_calls is not None and calls >= self.max_calls:
-            self._tripped = SearchStatus.BUDGET_EXHAUSTED
+            self._trip(
+                SearchStatus.BUDGET_EXHAUSTED,
+                "max_calls",
+                calls=calls,
+                max_calls=self.max_calls,
+            )
             return self._tripped
         if self.deadline is not None:
             now = time.monotonic()
             if self._deadline_at is None:
                 self._deadline_at = now + self.deadline
             elif now >= self._deadline_at:
-                self._tripped = SearchStatus.BUDGET_EXHAUSTED
+                self._trip(
+                    SearchStatus.BUDGET_EXHAUSTED,
+                    "deadline",
+                    calls=calls,
+                    deadline=self.deadline,
+                )
                 return self._tripped
         return None
 
@@ -189,12 +228,12 @@ class SearchBudget:
 
     def note_cancelled(self) -> None:
         """Record an out-of-band cancellation (KeyboardInterrupt)."""
-        self._tripped = SearchStatus.CANCELLED
+        self._trip(SearchStatus.CANCELLED, "keyboard_interrupt")
 
     def note_exhausted(self) -> None:
         """Record an out-of-band exhaustion (a worker shard's budget tripped)."""
         if self._tripped is None:
-            self._tripped = SearchStatus.BUDGET_EXHAUSTED
+            self._trip(SearchStatus.BUDGET_EXHAUSTED, "worker_shard")
 
     def adopt(self, status: SearchStatus) -> None:
         """Fold a worker shard's terminal status into this budget.
@@ -204,7 +243,7 @@ class SearchBudget:
         no-op.
         """
         if status is SearchStatus.CANCELLED:
-            self._tripped = SearchStatus.CANCELLED
+            self._trip(SearchStatus.CANCELLED, "worker_shard")
         elif status is SearchStatus.BUDGET_EXHAUSTED:
             self.note_exhausted()
 

@@ -87,6 +87,7 @@ class TestGrammarHealth:
             assert good.score >= tiny.score
 
 
+@pytest.mark.slow
 class TestSuggestParameters:
     def test_suggests_beat_scale_window(self):
         dataset = ecg_qtdb_0606_like()

@@ -305,7 +305,10 @@ class TestSearchBudgets:
 
 
 class TestCheckpointResume:
-    @pytest.mark.parametrize("backend", ["kernel", "scalar"])
+    @pytest.mark.parametrize(
+        "backend",
+        ["kernel", pytest.param("scalar", marks=pytest.mark.slow)],
+    )
     def test_resume_is_bit_identical(self, tmp_path, sine_bump, backend):
         """Interrupt + resume must equal the uninterrupted run exactly —
         discords AND total distance-call count."""

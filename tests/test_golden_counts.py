@@ -1,0 +1,264 @@
+"""Golden-count regression suite for the distance-call ledger.
+
+The paper's efficiency metric is the number of distance-function calls
+(Section 6: the distance function accounts for >= 99% of runtime).  Four
+layers of machinery sit on top of that counter — vectorized kernels,
+anytime budgets, the process-pool scan/replay engine, and the admissible
+lower-bound pruning ledger — and every one of them promises to preserve
+the *logical* call counts.  This suite pins the exact
+:class:`~repro.timeseries.distance.DistanceCounter` ledgers
+(``calls``/``true_calls``/``pruned``) and discord results for all four
+engines on two seeded bundled datasets against the checked-in
+``tests/golden/counts.json``, so a future perf layer cannot silently
+change logical work.
+
+Each golden entry is keyed by ``dataset/engine/prune`` only: the serial
+run and the ``n_workers=2`` run must BOTH reproduce the same entry,
+which asserts the parallel bit-identity guarantee directly rather than
+pinning separate parallel numbers.
+
+Regenerate after an *intentional* change with::
+
+    PYTHONPATH=src python tests/test_golden_counts.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import GrammarAnomalyDetector
+from repro.core.rra import find_discords
+from repro.datasets import synthetic_ecg
+from repro.datasets.synthetic import sine_with_anomaly
+from repro.discord.brute_force import brute_force_discords
+from repro.discord.haar import haar_discords
+from repro.discord.hotsax import hotsax_discords
+from repro.timeseries.distance import DistanceCounter
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "counts.json"
+GOLDEN_FORMAT = "repro-golden-counts/1"
+
+# Two seeded bundled datasets, small enough that the full matrix stays
+# inside the tier-1 time budget but large enough that every engine does
+# non-trivial pruning and multi-chunk parallel work.
+DATASETS = {
+    "sine": dict(kind="sine", length=1200, period=100, seed=7),
+    "ecg": dict(kind="ecg", num_beats=8, anomaly_beats=(5,), seed=3),
+}
+
+ENGINES = ("rra", "hotsax", "haar", "brute_force")
+NUM_DISCORDS = 2
+
+
+def _load_dataset(name: str):
+    spec = DATASETS[name]
+    if spec["kind"] == "sine":
+        return sine_with_anomaly(
+            length=spec["length"], period=spec["period"], seed=spec["seed"]
+        )
+    return synthetic_ecg(
+        num_beats=spec["num_beats"],
+        anomaly_beats=spec["anomaly_beats"],
+        seed=spec["seed"],
+    )
+
+
+def _rra_intervals(dataset):
+    """Grammar-rule candidate intervals for the RRA engine (deterministic)."""
+    detector = GrammarAnomalyDetector(
+        window=dataset.window,
+        paa_size=dataset.paa_size,
+        alphabet_size=dataset.alphabet_size,
+    )
+    return detector.fit(dataset.series).candidates
+
+
+def run_engine(name: str, dataset, intervals, *, n_workers: int, prune: bool):
+    """Run one engine; return its ledger + discord tuples as a golden entry.
+
+    ``lb_calls`` is deliberately excluded: it counts *physical*
+    lower-bound evaluations, which parallel workers perform
+    speculatively while over-scanning.  The logical triple
+    (``calls``/``true_calls``/``pruned``) is derived from the serial
+    replay order and is the invariant worth pinning.
+    """
+    counter = DistanceCounter()
+    series = dataset.series
+    if name == "rra":
+        result = find_discords(
+            series,
+            intervals,
+            num_discords=NUM_DISCORDS,
+            counter=counter,
+            n_workers=n_workers,
+            prune=prune,
+        )
+    elif name == "hotsax":
+        result = hotsax_discords(
+            series,
+            dataset.window,
+            num_discords=NUM_DISCORDS,
+            paa_size=dataset.paa_size,
+            alphabet_size=dataset.alphabet_size,
+            counter=counter,
+            n_workers=n_workers,
+            prune=prune,
+        )
+    elif name == "haar":
+        result = haar_discords(
+            series,
+            dataset.window,
+            num_discords=NUM_DISCORDS,
+            counter=counter,
+            n_workers=n_workers,
+            prune=prune,
+        )
+    elif name == "brute_force":
+        result = brute_force_discords(
+            series,
+            dataset.window,
+            num_discords=NUM_DISCORDS,
+            counter=counter,
+            n_workers=n_workers,
+            prune=prune,
+        )
+    else:  # pragma: no cover - config error
+        raise ValueError(name)
+    ledger = counter.ledger()
+    assert ledger["calls"] == ledger["true_calls"] + ledger["pruned"]
+    return {
+        "calls": ledger["calls"],
+        "true_calls": ledger["true_calls"],
+        "pruned": ledger["pruned"],
+        "discords": [
+            [d.start, d.end, float(np.round(d.score, 10))] for d in result.discords
+        ],
+    }
+
+
+def _entry_key(dataset: str, engine: str, prune: bool) -> str:
+    return f"{dataset}/{engine}/prune={'on' if prune else 'off'}"
+
+
+def _golden() -> dict:
+    with GOLDEN_PATH.open() as fh:
+        data = json.load(fh)
+    assert data["format"] == GOLDEN_FORMAT
+    return data
+
+
+CASES = [
+    (ds, engine, prune)
+    for ds in DATASETS
+    for engine in ENGINES
+    for prune in (False, True)
+]
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return _golden()
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return {name: _load_dataset(name) for name in DATASETS}
+
+
+@pytest.fixture(scope="module")
+def rra_intervals(datasets):
+    return {name: _rra_intervals(ds) for name, ds in datasets.items()}
+
+
+@pytest.mark.parametrize(
+    "dataset_name, engine, prune",
+    CASES,
+    ids=[_entry_key(*case) for case in CASES],
+)
+def test_serial_counts_match_golden(
+    golden, datasets, rra_intervals, dataset_name, engine, prune
+):
+    key = _entry_key(dataset_name, engine, prune)
+    entry = run_engine(
+        engine,
+        datasets[dataset_name],
+        rra_intervals[dataset_name],
+        n_workers=1,
+        prune=prune,
+    )
+    assert entry == golden["entries"][key], key
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "dataset_name, engine, prune",
+    CASES,
+    ids=[_entry_key(*case) for case in CASES],
+)
+def test_parallel_counts_match_golden(
+    golden, datasets, rra_intervals, dataset_name, engine, prune
+):
+    """n_workers=2 must reproduce the SAME golden entry as the serial run."""
+    key = _entry_key(dataset_name, engine, prune)
+    entry = run_engine(
+        engine,
+        datasets[dataset_name],
+        rra_intervals[dataset_name],
+        n_workers=2,
+        prune=prune,
+    )
+    assert entry == golden["entries"][key], key
+
+
+def test_golden_file_covers_every_case(golden):
+    expected = {_entry_key(*case) for case in CASES}
+    assert set(golden["entries"]) == expected
+
+
+def test_prune_preserves_logical_calls(golden):
+    """The pruning ledger promise: prune on/off never shifts ``calls``."""
+    for ds in DATASETS:
+        for engine in ENGINES:
+            off = golden["entries"][_entry_key(ds, engine, False)]
+            on = golden["entries"][_entry_key(ds, engine, True)]
+            assert on["calls"] == off["calls"], (ds, engine)
+            assert on["discords"] == off["discords"], (ds, engine)
+            assert off["pruned"] == 0, (ds, engine)
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance entry point
+    entries = {}
+    for name in DATASETS:
+        dataset = _load_dataset(name)
+        intervals = _rra_intervals(dataset)
+        for engine in ENGINES:
+            for prune in (False, True):
+                key = _entry_key(name, engine, prune)
+                entries[key] = run_engine(
+                    engine, dataset, intervals, n_workers=1, prune=prune
+                )
+                print(key, entries[key]["calls"], "calls")
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": GOLDEN_FORMAT,
+        "datasets": {k: {**v, "anomaly_beats": list(v.get("anomaly_beats", []))}
+                     if "anomaly_beats" in v else v
+                     for k, v in DATASETS.items()},
+        "num_discords": NUM_DISCORDS,
+        "entries": entries,
+    }
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    if "--regen" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)

@@ -1,0 +1,169 @@
+"""Hypothesis property tests for the DistanceCounter ledger algebra.
+
+The parallel engine folds per-worker counters into the parent with
+:meth:`DistanceCounter.merge` / ``+=`` and checkpoint resume rebuilds a
+counter from a pruned-prefix ledger via :meth:`restore_ledger`.  Both
+promise the same invariants regardless of how the work was sliced:
+
+* ``calls == true_calls + pruned`` is preserved by every operation that
+  starts from counters satisfying it;
+* merging is associative and commutative — any shard order, any
+  grouping, same totals;
+* ``restore_ledger`` then merging the remaining shards equals merging
+  everything from scratch (the checkpoint-resume identity).
+
+These are exercised here with Hypothesis over arbitrary operation
+counts, merge orders, and interleaved reconstructions.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timeseries.distance import DistanceCounter
+
+
+def make_counter(ops):
+    """Build a counter from a list of (kind, count) recording operations."""
+    counter = DistanceCounter()
+    for kind, count in ops:
+        if kind == "batch":
+            counter.batch(count)
+        elif kind == "pruned":
+            counter.pruned_batch(count)
+        else:
+            counter.lb_batch(count)
+    return counter
+
+
+operation = st.tuples(
+    st.sampled_from(["batch", "pruned", "lb"]),
+    st.integers(min_value=0, max_value=10_000),
+)
+op_list = st.lists(operation, max_size=30)
+counter_strategy = op_list.map(make_counter)
+
+
+def ledgers_equal(a: DistanceCounter, b: DistanceCounter) -> bool:
+    return a.ledger() == b.ledger()
+
+
+@given(op_list)
+def test_recording_preserves_split_invariant(ops):
+    counter = make_counter(ops)
+    assert counter.calls == counter.true_calls + counter.pruned
+
+
+@given(counter_strategy, counter_strategy)
+def test_merge_preserves_split_invariant(a, b):
+    a.merge(b)
+    assert a.calls == a.true_calls + a.pruned
+
+
+@given(st.lists(op_list, min_size=1, max_size=6), st.randoms(use_true_random=False))
+def test_merge_order_is_irrelevant(shards_ops, rnd):
+    """Commutativity: any permutation of worker shards merges to the same."""
+    in_order = DistanceCounter()
+    for ops in shards_ops:
+        in_order += make_counter(ops)
+
+    shuffled_ops = list(shards_ops)
+    rnd.shuffle(shuffled_ops)
+    shuffled = DistanceCounter()
+    for ops in shuffled_ops:
+        shuffled += make_counter(ops)
+
+    assert ledgers_equal(in_order, shuffled)
+
+
+@given(counter_strategy, counter_strategy, counter_strategy)
+def test_merge_is_associative(a, b, c):
+    left = make_counter([])
+    left.restore_ledger(a.ledger())
+    ab = make_counter([])
+    ab.restore_ledger(a.ledger())
+    ab.merge(b)
+
+    # (a + b) + c
+    grouped_left = make_counter([])
+    grouped_left.restore_ledger(ab.ledger())
+    grouped_left.merge(c)
+
+    # a + (b + c)
+    bc = make_counter([])
+    bc.restore_ledger(b.ledger())
+    bc.merge(c)
+    grouped_right = make_counter([])
+    grouped_right.restore_ledger(a.ledger())
+    grouped_right.merge(bc)
+
+    assert ledgers_equal(grouped_left, grouped_right)
+
+
+@given(op_list, st.integers(min_value=0, max_value=30))
+def test_pruned_prefix_reconstruction(ops, split_at):
+    """Checkpoint-resume identity: restore a prefix ledger, replay the rest.
+
+    A resumed search restores the ledger saved at the checkpoint
+    boundary and keeps recording; the final ledger must equal the
+    uninterrupted run's, wherever the boundary fell.
+    """
+    split_at = min(split_at, len(ops))
+    full = make_counter(ops)
+
+    prefix = make_counter(ops[:split_at])
+    resumed = DistanceCounter()
+    resumed.restore_ledger(prefix.ledger())
+    for kind, count in ops[split_at:]:
+        if kind == "batch":
+            resumed.batch(count)
+        elif kind == "pruned":
+            resumed.pruned_batch(count)
+        else:
+            resumed.lb_batch(count)
+
+    assert ledgers_equal(full, resumed)
+    assert resumed.calls == resumed.true_calls + resumed.pruned
+
+
+@given(st.lists(op_list, min_size=2, max_size=5), st.data())
+@settings(max_examples=50)
+def test_interleaved_restore_and_merge(shards_ops, data):
+    """Mixing restore_ledger-rebuilt shards with live shards changes nothing."""
+    direct = DistanceCounter()
+    for ops in shards_ops:
+        direct += make_counter(ops)
+
+    mixed = DistanceCounter()
+    for ops in shards_ops:
+        live = make_counter(ops)
+        if data.draw(st.booleans()):
+            rebuilt = DistanceCounter()
+            rebuilt.restore_ledger(live.ledger())
+            mixed += rebuilt
+        else:
+            mixed += live
+
+    assert ledgers_equal(direct, mixed)
+
+
+@given(counter_strategy)
+def test_ledger_roundtrip_is_lossless(counter):
+    clone = DistanceCounter()
+    clone.restore_ledger(counter.ledger())
+    assert ledgers_equal(counter, clone)
+
+
+@given(op_list)
+def test_legacy_ledger_defaults(ops):
+    """Pre-pruning checkpoints carried only ``calls``; the split defaults
+    to all-true so ``calls == true_calls + pruned`` still holds."""
+    counter = make_counter(ops)
+    legacy = {"calls": counter.calls}
+    restored = DistanceCounter()
+    restored.restore_ledger(legacy)
+    assert restored.calls == counter.calls
+    assert restored.true_calls == counter.calls
+    assert restored.pruned == 0
+    assert restored.calls == restored.true_calls + restored.pruned

@@ -150,6 +150,7 @@ ENGINES = {
 }
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("engine", sorted(ENGINES))
 @pytest.mark.parametrize("n_workers", [2, 4])
 def test_fixed_engines_parallel_identical_ecg(ecg, engine, n_workers):
@@ -182,6 +183,7 @@ def test_rra_parallel_identical_ecg(ecg_candidates, n_workers):
     _no_orphans()
 
 
+@pytest.mark.slow
 def test_hotsax_parallel_identical_power(power):
     serial = hotsax_discords(power.series, power.window, num_discords=1)
     parallel = hotsax_discords(
