@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core.pipeline import GrammarAnomalyDetector
 from repro.exceptions import ReproError
+from repro.timeseries.kernels import BACKENDS
 
 
 def _load_series(
@@ -83,6 +84,7 @@ def _cmd_find(args: argparse.Namespace) -> int:
         args.window,
         args.paa,
         args.alphabet,
+        backend=args.backend,
         quality_policy=args.quality or "raise",
         n_workers=args.workers,
         metrics=metrics,
@@ -270,6 +272,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, metavar="N",
         help="worker processes for the discord search (results are "
              "bit-identical for any value; default 1 = in-process)",
+    )
+    find.add_argument(
+        "--backend", choices=list(BACKENDS), default="kernel",
+        help="distance backend: kernel (vectorized blocks), batch "
+             "(tiled GEMM scans), or scalar (per-pair reference); "
+             "results and call counts are identical, only speed differs",
     )
     find.add_argument(
         "--prune", action="store_true",

@@ -149,6 +149,13 @@ class _CandidateSet:
         self._values: dict[tuple[int, int], np.ndarray] = {}
         self._sqnorms: dict[tuple[int, int], float] = {}
         self._sq_cumsums: dict[tuple[int, int], np.ndarray] = {}
+        # Batch-backend structures, built lazily on first use: per-length
+        # stacked matrices of every distinct same-length subsequence, and
+        # per-candidate one-vs-group squared-distance rows.
+        self._length_groups: dict[
+            int, tuple[np.ndarray, np.ndarray, dict[tuple[int, int], int]]
+        ] = {}
+        self._batch_rows: dict[tuple[int, int], np.ndarray] = {}
 
     @property
     def stats(self) -> kernels.SeriesStats:
@@ -186,6 +193,60 @@ class _CandidateSet:
             cached = kernels.sq_cumsum(self.values(interval))
             self._sq_cumsums[key] = cached
         return cached
+
+    def _length_group(
+        self, length: int
+    ) -> tuple[np.ndarray, np.ndarray, dict[tuple[int, int], int]]:
+        """Stacked matrix of every distinct subsequence of *length*.
+
+        Returns ``(rows, sqnorms, pos)`` where ``pos`` maps a
+        ``(start, end)`` key to its row index.  Built once per length on
+        first batch-backend use.
+        """
+        group = self._length_groups.get(length)
+        if group is None:
+            keys: list[tuple[int, int]] = []
+            seen: set[tuple[int, int]] = set()
+            for iv in self.intervals:
+                key = (iv.start, iv.end)
+                if iv.length != length or key in seen:
+                    continue
+                seen.add(key)
+                keys.append(key)
+            stacked = []
+            for key in keys:
+                values = self._values.get(key)
+                if values is None:
+                    values = self._stats.znorm(*key)
+                    self._values[key] = values
+                stacked.append(values)
+            rows = np.stack(stacked)
+            pos = {key: j for j, key in enumerate(keys)}
+            group = (rows, kernels.row_sqnorms(rows), pos)
+            self._length_groups[length] = group
+        return group
+
+    def pair_distance_batch(self, p: RuleInterval, q: RuleInterval) -> float:
+        """Eq. 1 distance via cached one-vs-group rows (batch backend).
+
+        Equal-length pairs read one entry of a per-candidate squared
+        distance row computed in a single matrix-vector product against
+        the candidate's whole length group — amortizing the kernel over
+        every same-length comparison the search will make.  Unequal
+        lengths fall back to the sliding-alignment kernel pair path.
+        """
+        if p.length != q.length:
+            return _kernel_pair_distance(self, p, q)
+        key = (p.start, p.end)
+        row = self._batch_rows.get(key)
+        if row is None:
+            rows, sqnorms, _ = self._length_group(p.length)
+            row = kernels.one_vs_all_sq_euclidean(
+                self.values(p), rows, query_sqnorm=self.sqnorm(p), sqnorms=sqnorms
+            )
+            self._batch_rows[key] = row
+        pos = self._length_groups[p.length][2]
+        return float(np.sqrt(row[pos[(q.start, q.end)]] / p.length))
 
 
 def _kernel_pair_distance(
@@ -310,8 +371,10 @@ def find_discord(
     backend:
         ``"kernel"`` (default) draws every pair distance from the
         vectorized kernels in :mod:`repro.timeseries.kernels`;
-        ``"scalar"`` keeps the per-pair reference path.  Both visit the
-        same pairs in the same order, so call counts are identical.
+        ``"batch"`` amortizes equal-length comparisons into cached
+        one-vs-group matrix products; ``"scalar"`` keeps the per-pair
+        reference path.  All visit the same pairs in the same order, so
+        call counts are identical.
     cache:
         Prebuilt :class:`_CandidateSet` over *series* and *intervals*,
         reused across the ranks of an iterative extraction so the znorm
@@ -384,7 +447,8 @@ def find_discord(
     if cache is None:
         cache = _CandidateSet(series, candidates)
     ordering = _InnerOrdering(candidates)
-    use_kernel = backend == "kernel"
+    use_kernel = backend != "scalar"
+    use_batch = backend == "batch"
     lb = _lower_bound if prune else None
     if prune and lb is None:
         lb = IntervalLowerBound(cache)
@@ -486,7 +550,11 @@ def find_discord(
                         continue
                 if use_kernel:
                     counter.batch(1)
-                    dist = _kernel_pair_distance(cache, p, q)
+                    dist = (
+                        cache.pair_distance_batch(p, q)
+                        if use_batch
+                        else _kernel_pair_distance(cache, p, q)
+                    )
                 else:
                     dist = counter.variable_length(
                         p_values, cache.values(q), normalize_inputs=False
@@ -913,6 +981,24 @@ def nearest_neighbor_distances(
         group_sqnorms[length] = kernels.row_sqnorms(rows)
         group_index[length] = np.asarray(members, dtype=np.intp)
 
+    # The batch backend turns the per-query matrix-vector products of a
+    # length group into a few tiled GEMMs over the whole group, computed
+    # up front.  Accounting and the visited pairs are unchanged.
+    group_sq: dict[int, np.ndarray] = {}
+    group_pos: dict[int, dict[int, int]] = {}
+    if backend == "batch":
+        for length, members in by_length.items():
+            rows = group_rows[length]
+            sqnorms = group_sqnorms[length]
+            sq = np.empty((rows.shape[0], rows.shape[0]), dtype=float)
+            for lo, hi in kernels.tile_plan(rows.shape[0], rows.shape[0]):
+                sq[lo:hi] = kernels.all_pairs_sq_euclidean_tile(
+                    rows[lo:hi], rows,
+                    query_sqnorms=sqnorms[lo:hi], sqnorms=sqnorms,
+                )
+            group_sq[length] = sq
+            group_pos[length] = {i: j for j, i in enumerate(members)}
+
     for i, p in enumerate(candidates):
         # Paper line 7 as a mask: |p0 - q0| > Length(p).  This also
         # removes p itself, so every True entry is one logical call.
@@ -925,12 +1011,15 @@ def nearest_neighbor_distances(
         same = group_index[p.length]
         keep = valid[same]
         if keep.any():
-            sq = kernels.one_vs_all_sq_euclidean(
-                p_values,
-                group_rows[p.length][keep],
-                query_sqnorm=p_sqnorm,
-                sqnorms=group_sqnorms[p.length][keep],
-            )
+            if backend == "batch":
+                sq = group_sq[p.length][group_pos[p.length][i]][keep]
+            else:
+                sq = kernels.one_vs_all_sq_euclidean(
+                    p_values,
+                    group_rows[p.length][keep],
+                    query_sqnorm=p_sqnorm,
+                    sqnorms=group_sqnorms[p.length][keep],
+                )
             nearest = float(np.sqrt(sq.min() / p.length))
 
         for length, members in by_length.items():

@@ -1,0 +1,517 @@
+"""Tiled GEMM scan machinery behind ``backend='batch'``.
+
+The ``kernel`` backend made each inner scan one matrix-vector product
+per block; its hot path is therefore ~one BLAS call *per candidate*,
+and for large candidate sets the per-call overhead dominates.  This
+module restructures the scan into *tiles*: a whole group of outer
+candidates is classified together, their surviving distance rows come
+from a single ``A @ B.T`` GEMM (through the array-API seam, so an
+optional CuPy/torch namespace accelerates it), and each candidate's
+serial trajectory is then *replayed* over the precomputed distances.
+
+The replay is the determinism core.  Per candidate it walks the exact
+block schedule of the kernel scans (8, x4 growth, 2048 cap) over the
+tile's precomputed values, applying the identical nearest-so-far /
+first-below / lower-bound logic — so discords, ranks, and the split
+call ledger (``calls == true_calls + pruned``) match the other
+backends, which the golden-count suite enforces.
+
+Tile-wise work avoidance, all provably trajectory-preserving:
+
+* **Early-abandon row drop** — a candidate whose first-block (head)
+  minimum is already below the tile-start threshold *floor* never needs
+  its tail distances: the serial threshold only grows, so the replay is
+  guaranteed to break inside the head.  Its GEMM row is skipped.
+* **Lower-bound row closure** (``prune`` only) — a candidate whose
+  stage-1 MINDIST bound certifies every tail pair against the
+  post-head nearest can skip the GEMM too: the replay's ``block_keep``
+  would discard every tail block wholesale.  This is deterministically
+  sound, not merely float-robust, because the closure test and the
+  replay compare the *same* stage-1 values — the tile MINDIST kernel
+  (:func:`repro.sax.mindist.mindist_sq_tile`) is bit-identical per
+  pair to the one-vs-block kernel, and the replay receives the tile's
+  values through ``block_keep(..., stage1_sq=...)``.
+* Stage-2 (PAA) pruning deliberately runs only inside the replay's
+  ``block_keep``, on stage-1 survivors, exactly as the kernel scan
+  does — never as a tile-wise physical mask.
+
+Two drivers share the machinery: :func:`batch_serial_scan` for the
+engines' serial outer loops (updating the live counter/metrics), and
+:func:`record_row` for the parallel workers (producing the same
+records as the kernel recording scans, so the scan/replay merge layer
+needs no changes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+from repro.exceptions import DiscordSearchError
+from repro.observability.metrics import ensure_metrics
+from repro.resilience.budget import SearchBudget
+from repro.sax.mindist import mindist_sq_tile
+from repro.timeseries import kernels
+from repro.timeseries.array_api import ArrayNamespace
+from repro.timeseries.distance import DistanceCounter
+from repro.timeseries.lowerbound import WindowLowerBound
+
+__all__ = [
+    "HEAD_BLOCK",
+    "DEFAULT_TILE_ROWS",
+    "RowScan",
+    "TileScanner",
+    "replay_row",
+    "record_row",
+    "batch_serial_scan",
+]
+
+#: First block size of the kernel scans' growth schedule (8, x4, cap
+#: 2048).  The tile head phase evaluates exactly this many pairs per
+#: candidate before deciding whether the tail GEMM is needed.
+HEAD_BLOCK = 8
+
+#: Test hook: when set (an int), overrides the per-tile row count every
+#: :class:`TileScanner` derives from :func:`repro.timeseries.kernels.
+#: tile_plan`.  The equivalence tests sweep this to prove results are
+#: invariant under arbitrary tile boundaries.
+DEFAULT_TILE_ROWS: Optional[int] = None
+
+_INCONSISTENT = (
+    "batch tile classification inconsistency: a replay reached tail "
+    "distances for a candidate the tile classifier dropped"
+)
+
+
+@dataclass
+class RowScan:
+    """One candidate's precomputed scan material within a tile.
+
+    ``head`` always holds the first ``min(HEAD_BLOCK, len(order))``
+    distances.  ``tail`` holds the remaining distances, or ``None``
+    when the classifier proved they are unreachable (early-abandon
+    drop) or wholly prunable (``closed``).  ``stage1`` carries the
+    squared stage-1 MINDIST bounds for the tail (pruning runs only),
+    so the replay's ``block_keep`` reuses the exact classification
+    floats.
+    """
+
+    position: int
+    order: np.ndarray
+    head: np.ndarray
+    tail: Optional[np.ndarray] = None
+    stage1: Optional[np.ndarray] = None
+    closed: bool = False
+
+
+class TileScanner:
+    """Classifies tiles of candidates and precomputes their distances.
+
+    Built once per search from the z-normalized window matrix and its
+    row norms (plus the active :class:`WindowLowerBound` when pruning).
+    :meth:`prepare` turns one tile of (position, inner order) pairs
+    into :class:`RowScan` rows ready for replay/recording.
+    """
+
+    __slots__ = ("normalized", "sqnorms", "lb", "xp", "tile_rows")
+
+    def __init__(
+        self,
+        normalized: np.ndarray,
+        sqnorms: np.ndarray,
+        *,
+        lb: Optional[WindowLowerBound] = None,
+        xp: Optional[ArrayNamespace] = None,
+        tile_rows: Optional[int] = None,
+    ):
+        self.normalized = normalized
+        self.sqnorms = sqnorms
+        self.lb = lb
+        self.xp = xp
+        if tile_rows is None:
+            tile_rows = DEFAULT_TILE_ROWS
+        if tile_rows is None:
+            k = normalized.shape[0]
+            tile_rows = kernels.tile_plan(k, k)[0][1] if k else 1
+        if tile_rows < 1:
+            raise DiscordSearchError(
+                f"tile_rows must be >= 1, got {tile_rows}"
+            )
+        self.tile_rows = int(tile_rows)
+
+    def prepare(
+        self,
+        positions: Iterable[int],
+        orders: list,
+        floor: float,
+    ) -> list:
+        """Classify one tile; return a :class:`RowScan` per candidate.
+
+        *floor* is the search threshold at tile start (``-inf`` when
+        early abandoning is off).  The serial threshold is monotone
+        non-decreasing, so a head minimum strictly below *floor* stays
+        strictly below every later threshold — those rows break inside
+        the head and skip the GEMM entirely.
+        """
+        positions = np.asarray(list(positions), dtype=np.intp)
+        n_rows = positions.size
+        if n_rows == 0:
+            return []
+        head_lens = np.array(
+            [min(HEAD_BLOCK, o.size) for o in orders], dtype=np.intp
+        )
+        head_idx = np.zeros((n_rows, HEAD_BLOCK), dtype=np.intp)
+        for i, order in enumerate(orders):
+            head_idx[i, : head_lens[i]] = order[:HEAD_BLOCK]
+        p_rows = self.normalized[positions]
+        cross = np.einsum("tw,thw->th", p_rows, self.normalized[head_idx])
+        head_sq = (
+            self.sqnorms[positions][:, None]
+            + self.sqnorms[head_idx]
+            - 2.0 * cross
+        )
+        head_d = np.sqrt(np.clip(head_sq, 0.0, None))
+
+        rows: list[RowScan] = []
+        open_rows: list[int] = []
+        for i in range(n_rows):
+            order = orders[i]
+            head = head_d[i, : head_lens[i]].copy()
+            row = RowScan(position=int(positions[i]), order=order, head=head)
+            rows.append(row)
+            if head.size == 0 or order.size <= HEAD_BLOCK:
+                # No tail to compute; an empty array keeps the replay's
+                # classification checks trivially satisfied.
+                row.tail = np.empty(0)
+                continue
+            if float(head.min()) < floor:
+                continue  # dropped: the replay breaks inside the head
+            open_rows.append(i)
+
+        if open_rows and self.lb is not None:
+            lb = self.lb
+            sel = positions[open_rows]
+            stage1_tile = mindist_sq_tile(
+                lb.letters[sel], lb.letters, lb.alphabet_size, lb.scale_sq
+            )
+            still_open: list[int] = []
+            for j, i in enumerate(open_rows):
+                row = rows[i]
+                stage1 = stage1_tile[j, row.order[HEAD_BLOCK:]]
+                nu = float(row.head.min())
+                if bool(np.all(stage1 >= nu * nu)):
+                    # Every tail block's block_keep (threshold nu**2,
+                    # unchanged while everything is pruned) discards the
+                    # whole block — no tail distance can ever be read.
+                    row.closed = True
+                else:
+                    row.stage1 = stage1
+                    still_open.append(i)
+            open_rows = still_open
+
+        if open_rows:
+            sel = positions[open_rows]
+            tile_sq = kernels.all_pairs_sq_euclidean_tile(
+                self.normalized[sel],
+                self.normalized,
+                query_sqnorms=self.sqnorms[sel],
+                sqnorms=self.sqnorms,
+                xp=self.xp,
+            )
+            for j, i in enumerate(open_rows):
+                row = rows[i]
+                row.tail = np.sqrt(tile_sq[j, row.order[HEAD_BLOCK:]])
+        return rows
+
+
+def replay_row(
+    row: RowScan,
+    threshold: float,
+    lb: Optional[WindowLowerBound] = None,
+) -> tuple[float, int, int, int, bool]:
+    """Replay one candidate's serial inner scan over precomputed values.
+
+    Mirrors ``_kernel_inner_scan`` / ``_kernel_inner_scan_lb`` exactly
+    (block schedule, first-below stop, lower-bound cascade against the
+    running nearest at block start).  Returns
+    ``(nearest, consumed, true_count, lb_evals, stopped)`` with the
+    same meaning as the kernel scans: *consumed* is the logical pair
+    count, *true_count* how many pairs reached a distance evaluation.
+    """
+    order = row.order
+    n = order.size
+    head_size = row.head.size
+    nearest = float("inf")
+    consumed = 0
+    true_count = 0
+    lb_evals = 0
+    block = HEAD_BLOCK
+    start = 0
+    while start < n:
+        size = min(block, n - start)
+        if start == 0:
+            keep_positions = None
+            dists = row.head[:size]
+        else:
+            if lb is not None and math.isfinite(nearest):
+                lb_evals += size
+                if row.closed:
+                    consumed += size
+                    start += size
+                    block = min(block * 4, 2048)
+                    continue
+                keep = lb.block_keep(
+                    row.position,
+                    order[start : start + size],
+                    nearest,
+                    stage1_sq=row.stage1[start - head_size : start - head_size + size],
+                )
+                keep_positions = np.flatnonzero(keep)
+                if keep_positions.size == 0:
+                    consumed += size
+                    start += size
+                    block = min(block * 4, 2048)
+                    continue
+            else:
+                keep_positions = None
+            if row.tail is None:
+                raise DiscordSearchError(_INCONSISTENT)
+            seg = row.tail[start - head_size : start - head_size + size]
+            dists = seg if keep_positions is None else seg[keep_positions]
+        hit = kernels.first_below(dists, threshold)
+        if hit >= 0:
+            logical = (
+                int(hit) if keep_positions is None
+                else int(keep_positions[int(hit)])
+            )
+            return (
+                nearest,
+                consumed + logical + 1,
+                true_count + int(hit) + 1,
+                lb_evals,
+                True,
+            )
+        consumed += size
+        true_count += int(dists.size)
+        block_min = float(dists.min())
+        if block_min < nearest:
+            nearest = block_min
+        start += size
+        block = min(block * 4, 2048)
+    return nearest, consumed, true_count, lb_evals, False
+
+
+def record_row(
+    row: RowScan,
+    threshold: float,
+    lb: Optional[WindowLowerBound] = None,
+):
+    """Recording replay for the parallel workers.
+
+    Produces the same record a kernel recording scan
+    (``_record_kernel_blocks`` / ``_record_kernel_row``) would: the
+    logical scanned count, the strict running-minimum points, the
+    completion flag, and — with *lb* — the pruned prefix counts the
+    serial merge needs.  Returns a
+    :class:`repro.parallel.scan.CandidateScan` (imported lazily to keep
+    this module independent of the parallel layer).
+    """
+    from repro.parallel.scan import CandidateScan
+
+    order = row.order
+    n = order.size
+    head_size = row.head.size
+    minima: list = []
+    pruned_prefix: Optional[list] = [] if lb is not None else None
+    nearest = float("inf")
+    scanned = 0
+    pruned_cum = 0
+    lb_evals = 0
+    block = HEAD_BLOCK
+    start = 0
+    while start < n:
+        size = min(block, n - start)
+        if start == 0:
+            keep_positions = None
+            dists = row.head[:size]
+        else:
+            if lb is not None and math.isfinite(nearest):
+                lb_evals += size
+                if row.closed:
+                    scanned += size
+                    pruned_cum += size
+                    start += size
+                    block = min(block * 4, 2048)
+                    continue
+                keep = lb.block_keep(
+                    row.position,
+                    order[start : start + size],
+                    nearest,
+                    stage1_sq=row.stage1[start - head_size : start - head_size + size],
+                )
+                keep_positions = np.flatnonzero(keep)
+                if keep_positions.size == 0:
+                    scanned += size
+                    pruned_cum += size
+                    start += size
+                    block = min(block * 4, 2048)
+                    continue
+            else:
+                keep_positions = None
+            if row.tail is None:
+                raise DiscordSearchError(_INCONSISTENT)
+            seg = row.tail[start - head_size : start - head_size + size]
+            dists = seg if keep_positions is None else seg[keep_positions]
+        hit = kernels.first_below(dists, threshold)
+        limit = int(hit) + 1 if hit >= 0 else int(dists.size)
+        if limit:
+            points, values = kernels.running_min_points(dists[:limit])
+            for j, value in zip(points, values):
+                value = float(value)
+                if value < nearest:
+                    nearest = value
+                    logical_j = (
+                        int(j) if keep_positions is None
+                        else int(keep_positions[int(j)])
+                    )
+                    minima.append((scanned + logical_j + 1, value))
+                    if pruned_prefix is not None:
+                        pruned_prefix.append(pruned_cum + (logical_j - int(j)))
+        if hit >= 0:
+            logical_hit = (
+                int(hit) if keep_positions is None
+                else int(keep_positions[int(hit)])
+            )
+            scanned += logical_hit + 1
+            pruned_cum += logical_hit - int(hit)
+            return CandidateScan(
+                row.position, scanned, minima, False,
+                pruned_prefix=pruned_prefix, pruned_total=pruned_cum,
+                lb_evals=lb_evals,
+            )
+        scanned += size
+        if keep_positions is not None:
+            pruned_cum += size - int(keep_positions.size)
+        start += size
+        block = min(block * 4, 2048)
+    return CandidateScan(
+        row.position, scanned, minima, True,
+        pruned_prefix=pruned_prefix, pruned_total=pruned_cum,
+        lb_evals=lb_evals,
+    )
+
+
+def batch_serial_scan(
+    scanner: TileScanner,
+    positions: Iterable[int],
+    make_order: Callable[[int], np.ndarray],
+    *,
+    abandon: bool,
+    counter: DistanceCounter,
+    budget: SearchBudget,
+    lb: Optional[WindowLowerBound] = None,
+    metrics=None,
+    init_best: float = -1.0,
+    band: Optional[int] = None,
+) -> tuple[float, Optional[int]]:
+    """Serial outer loop over tiles; returns ``(best_dist, best_pos)``.
+
+    *positions* must already be exclusion-filtered and in serial outer
+    order; *make_order* produces each candidate's full inner ordering
+    (consuming the search RNG in serial order — orders for a tile are
+    drawn up front, so on a budget trip the RNG sits at the tile
+    boundary rather than the serial stop point, the same over-draw the
+    parallel engine's chunk pre-draws already perform).  Counter and
+    metrics updates replicate the serial kernel loops exactly, so the
+    ledger and observability output are bit-identical.
+
+    *band*, when given, declares that ``make_order(p)`` enumerates
+    exactly the rows with ``|q - p| > band`` (brute force's trivial-match
+    exclusion).  With early abandoning and the lower bound both off that
+    makes the inner order irrelevant — every pair is evaluated and the
+    nearest neighbour is the set minimum — so the scan takes a dense
+    fast path: one GEMM per tile, a vectorized banded row minimum, and
+    an arithmetic ``consumed`` count, never materializing orders or
+    replaying block schedules.  The ledger is identical (``consumed ==
+    order.size`` for a completed full scan) and ``sqrt`` is monotone, so
+    the scores match the replay's bit for bit given the same squared
+    distances.
+    """
+    metrics = ensure_metrics(metrics)
+    instrumented = metrics.enabled
+    if instrumented:
+        m_visited = metrics.counter("search.candidates_visited")
+        m_abandoned = metrics.counter("search.candidates_abandoned")
+        m_survived = metrics.counter("search.candidates_survived")
+        m_best = metrics.counter("search.best_updates")
+        m_depth = metrics.histogram("search.abandon_depth")
+    best = init_best
+    best_pos: Optional[int] = None
+    pos_list = [int(p) for p in positions]
+    step = scanner.tile_rows
+    if band is not None and not abandon and lb is None:
+        k = scanner.normalized.shape[0]
+        for lo in range(0, len(pos_list), step):
+            tile = pos_list[lo : lo + step]
+            sel = np.asarray(tile, dtype=np.intp)
+            tile_sq = kernels.all_pairs_sq_euclidean_tile(
+                scanner.normalized[sel],
+                scanner.normalized,
+                query_sqnorms=scanner.sqnorms[sel],
+                sqnorms=scanner.sqnorms,
+                xp=scanner.xp,
+            )
+            for j, p in enumerate(tile):
+                tile_sq[j, max(0, p - band) : p + band + 1] = np.inf
+            mins = tile_sq.min(axis=1)
+            for j, p in enumerate(tile):
+                if budget.interrupted(counter.calls) is not None:
+                    return best, best_pos
+                consumed = k - (min(k, p + band + 1) - max(0, p - band))
+                counter.batch(consumed)
+                nearest = (
+                    float(np.sqrt(mins[j])) if consumed else float("inf")
+                )
+                if instrumented:
+                    m_visited.inc()
+                    m_survived.inc()
+                if math.isfinite(nearest) and nearest > best:
+                    best = nearest
+                    best_pos = p
+                    if instrumented:
+                        m_best.inc()
+        return best, best_pos
+    for lo in range(0, len(pos_list), step):
+        tile = pos_list[lo : lo + step]
+        orders = [make_order(p) for p in tile]
+        floor = best if abandon else float("-inf")
+        rows = scanner.prepare(tile, orders, floor)
+        for row in rows:
+            if budget.interrupted(counter.calls) is not None:
+                return best, best_pos
+            threshold = best if abandon else float("-inf")
+            nearest, consumed, true_count, lb_evals, stopped = replay_row(
+                row, threshold, lb
+            )
+            if lb is not None:
+                counter.batch(true_count)
+                counter.pruned_batch(consumed - true_count)
+                counter.lb_batch(lb_evals)
+            else:
+                counter.batch(consumed)
+            if instrumented:
+                m_visited.inc()
+                if stopped:
+                    m_abandoned.inc()
+                    m_depth.observe(consumed)
+                else:
+                    m_survived.inc()
+            if not stopped and math.isfinite(nearest) and nearest > best:
+                best = nearest
+                best_pos = row.position
+                if instrumented:
+                    m_best.inc()
+    return best, best_pos

@@ -31,8 +31,7 @@ from repro.resilience.budget import SearchBudget, SearchStatus
 from repro.timeseries import kernels
 from repro.timeseries.distance import DistanceCounter
 from repro.timeseries.lowerbound import WindowLowerBound
-from repro.timeseries.windows import num_windows, sliding_windows
-from repro.timeseries.znorm import znorm_rows
+from repro.timeseries.windows import num_windows
 
 
 def brute_force_call_count(series_length: int, window: int) -> int:
@@ -64,6 +63,7 @@ def brute_force_discord(
     n_workers: int = 1,
     prune: bool = False,
     lower_bound: Optional[WindowLowerBound] = None,
+    windows: Optional[kernels.WindowMatrix] = None,
     metrics=None,
 ) -> tuple[Optional[Discord], DistanceCounter]:
     """Exact fixed-length discord by exhaustive search.
@@ -106,6 +106,10 @@ def brute_force_discord(
     lower_bound:
         Prebuilt pruner to reuse across ranks; built on the fly when
         *prune* is set without one.
+    windows:
+        Prebuilt :class:`~repro.timeseries.kernels.WindowMatrix` to
+        reuse across ranks (one normalization + row-norm pass per
+        search); built on the fly when absent.
     metrics:
         Optional :class:`~repro.observability.MetricsRegistry` recording
         search telemetry (candidates visited / abandoned, abandon
@@ -127,9 +131,10 @@ def brute_force_discord(
     metrics = ensure_metrics(metrics)
     budget.bind_metrics(metrics)
 
-    windows = sliding_windows(series, window)
-    normalized = znorm_rows(windows)
-    sqnorms = kernels.row_sqnorms(normalized) if backend == "kernel" else None
+    if windows is None:
+        windows = kernels.WindowMatrix(series, window)
+    normalized = windows.normalized
+    sqnorms = windows.sqnorms if backend in ("kernel", "batch") else None
 
     lb = lower_bound if prune else None
     if prune and lb is None:
@@ -200,6 +205,24 @@ def _brute_force_scan(
 ) -> tuple[float, Optional[int]]:
     """The exhaustive outer/inner loop; returns (best_dist, best_pos)."""
     metrics = ensure_metrics(metrics)
+    if backend == "batch":
+        from repro.discord import batch
+
+        active = [
+            p for p in range(k)
+            if not any(s <= p < e for s, e in exclude)
+        ]
+        arange = np.arange(k, dtype=np.intp)
+
+        def make_order(p: int) -> np.ndarray:
+            return arange[np.abs(arange - p) > window]
+
+        scanner = batch.TileScanner(normalized, sqnorms, lb=lb)
+        return batch.batch_serial_scan(
+            scanner, active, make_order,
+            abandon=early_abandon, counter=counter, budget=budget, lb=lb,
+            metrics=metrics, init_best=-1.0, band=window,
+        )
     instrumented = metrics.enabled
     if instrumented:
         m_visited = metrics.counter("search.candidates_visited")
@@ -348,10 +371,17 @@ def brute_force_discords(
         budget = SearchBudget.unlimited()
     metrics = ensure_metrics(metrics)
     budget.bind_metrics(metrics)
+    # Deferred for degenerate inputs so brute_force_discord still raises
+    # its own (tested) validation error.
+    windows = (
+        kernels.WindowMatrix(series, window)
+        if num_windows(series.size, window) >= 2
+        else None
+    )
     lower_bound = None
-    if prune:
+    if prune and windows is not None:
         lower_bound = WindowLowerBound.from_normalized_windows(
-            znorm_rows(sliding_windows(series, window)), window
+            windows.normalized, window
         )
     discords: list[Discord] = []
     rank_complete: list[bool] = []
@@ -370,6 +400,7 @@ def brute_force_discords(
                 n_workers=n_workers,
                 prune=prune,
                 lower_bound=lower_bound,
+                windows=windows,
                 metrics=metrics,
             )
         truncated = budget.status is not SearchStatus.COMPLETE

@@ -22,8 +22,9 @@ from repro.core.anomaly import Discord
 from repro.discord.search import iterated_search, ordered_discord_search
 from repro.exceptions import ParameterError
 from repro.resilience.budget import SearchBudget, SearchStatus
+from repro.timeseries import kernels
 from repro.timeseries.distance import DistanceCounter
-from repro.timeseries.windows import sliding_windows
+from repro.timeseries.windows import num_windows, sliding_windows
 from repro.timeseries.znorm import znorm_rows
 
 
@@ -90,25 +91,50 @@ def _quantize(coefficient: float, scale: float) -> str:
 
 
 def haar_words(
-    series: np.ndarray, window: int, *, num_coefficients: int = 4
+    series: np.ndarray,
+    window: int,
+    *,
+    num_coefficients: int = 4,
+    normalized: Optional[np.ndarray] = None,
 ) -> list[str]:
     """The Haar bucket key of every sliding window.
 
     Each window is z-normalized, Haar-transformed, and its first
-    *num_coefficients* coefficients are quantized to 4 levels.
+    *num_coefficients* coefficients are quantized to 4 levels.  Pass a
+    prebuilt z-normalized window matrix to skip that pass.
     """
     if num_coefficients < 1:
         raise ParameterError(
             f"num_coefficients must be >= 1, got {num_coefficients}"
         )
-    windows = sliding_windows(series, window)
-    normalized = znorm_rows(windows)
+    if normalized is None:
+        normalized = znorm_rows(sliding_windows(series, window))
     words = []
     for row in normalized:
         coefficients = haar_transform(row)[:num_coefficients]
         scale = max(1e-9, float(np.abs(coefficients).mean()))
         words.append("".join(_quantize(c, scale) for c in coefficients))
     return words
+
+
+def _shared_bucketing(series: np.ndarray, window: int, num_coefficients: int):
+    """One WindowMatrix + one Haar-word pass, shared across all ranks.
+
+    The words are a pure function of the (unchanging) windows, so
+    computing them once per search instead of once per rank is
+    result-identical; degenerate inputs fall back to the lazy path so
+    the search's own validation error still fires first.
+    """
+    if num_windows(series.size, window) < 2:
+        return None, (
+            lambda s, w: haar_words(s, w, num_coefficients=num_coefficients)
+        )
+    windows = kernels.WindowMatrix(series, window)
+    words = haar_words(
+        series, window,
+        num_coefficients=num_coefficients, normalized=windows.normalized,
+    )
+    return windows, (lambda s, w: words)
 
 
 def haar_discord(
@@ -131,10 +157,12 @@ def haar_discord(
     pruning-only discretization of the windows; the Haar bucketing is
     untouched).  Results and logical call counts are bit-identical.
     """
+    series = np.asarray(series, dtype=float)
+    windows, bucket_fn = _shared_bucketing(series, window, num_coefficients)
     return ordered_discord_search(
         series,
         window,
-        lambda s, w: haar_words(s, w, num_coefficients=num_coefficients),
+        bucket_fn,
         source="haar",
         counter=counter,
         rng=rng,
@@ -143,6 +171,7 @@ def haar_discord(
         budget=budget,
         n_workers=n_workers,
         prune=prune,
+        windows=windows,
         metrics=metrics,
     )
 
@@ -164,10 +193,12 @@ def haar_discords(
     """Ranked top-k discords with Haar-word loop ordering (anytime)."""
     if budget is None:
         budget = SearchBudget.unlimited()
+    series = np.asarray(series, dtype=float)
+    windows, bucket_fn = _shared_bucketing(series, window, num_coefficients)
     discords, counter, rank_complete = iterated_search(
         series,
         window,
-        lambda s, w: haar_words(s, w, num_coefficients=num_coefficients),
+        bucket_fn,
         source="haar",
         num_discords=num_discords,
         counter=counter,
@@ -176,6 +207,7 @@ def haar_discords(
         budget=budget,
         n_workers=n_workers,
         prune=prune,
+        windows=windows,
         metrics=metrics,
     )
     return HaarResult(

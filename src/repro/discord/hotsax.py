@@ -27,10 +27,11 @@ from repro.discord.search import iterated_search, ordered_discord_search
 from repro.resilience.budget import SearchBudget, SearchStatus
 from repro.sax.alphabet import alphabet_letters
 from repro.sax.mindist import letter_indices
+from repro.timeseries import kernels
 from repro.timeseries.distance import DistanceCounter
 from repro.timeseries.lowerbound import WindowLowerBound
 from repro.timeseries.paa import paa_batch
-from repro.timeseries.windows import sliding_windows
+from repro.timeseries.windows import num_windows, sliding_windows
 from repro.timeseries.znorm import znorm_rows
 
 
@@ -71,9 +72,16 @@ class SAXWindowDiscretization:
     __slots__ = ("window", "paa_size", "alphabet_size", "paa_values", "letters", "words")
 
     def __init__(
-        self, series: np.ndarray, window: int, paa_size: int, alphabet_size: int
+        self,
+        series: np.ndarray,
+        window: int,
+        paa_size: int,
+        alphabet_size: int,
+        *,
+        normalized: Optional[np.ndarray] = None,
     ):
-        normalized = znorm_rows(sliding_windows(series, window))
+        if normalized is None:
+            normalized = znorm_rows(sliding_windows(series, window))
         self.window = window
         self.paa_size = paa_size
         self.alphabet_size = alphabet_size
@@ -102,6 +110,8 @@ def _pruning_bound(
     disc: SAXWindowDiscretization,
     prune_paa_size: Optional[int],
     prune_alphabet_size: Optional[int],
+    *,
+    normalized: Optional[np.ndarray] = None,
 ) -> WindowLowerBound:
     """The pruner for a HOTSAX search: shared discretization by default.
 
@@ -120,7 +130,9 @@ def _pruning_bound(
 
     paa = min(window, prune_paa_size or DEFAULT_PRUNE_PAA_SIZE)
     alpha = prune_alphabet_size or DEFAULT_PRUNE_ALPHABET_SIZE
-    return SAXWindowDiscretization(series, window, paa, alpha).lower_bound()
+    return SAXWindowDiscretization(
+        series, window, paa, alpha, normalized=normalized
+    ).lower_bound()
 
 
 def hotsax_discord(
@@ -178,9 +190,20 @@ def hotsax_discord(
         by default; results are byte-identical either way.
     """
     series = np.asarray(series, dtype=float)
-    disc = SAXWindowDiscretization(series, window, paa_size, alphabet_size)
+    windows = (
+        kernels.WindowMatrix(series, window)
+        if num_windows(series.size, window) >= 2
+        else None
+    )
+    normalized = windows.normalized if windows is not None else None
+    disc = SAXWindowDiscretization(
+        series, window, paa_size, alphabet_size, normalized=normalized
+    )
     lower_bound = (
-        _pruning_bound(series, window, disc, prune_paa_size, prune_alphabet_size)
+        _pruning_bound(
+            series, window, disc, prune_paa_size, prune_alphabet_size,
+            normalized=normalized,
+        )
         if prune
         else None
     )
@@ -197,6 +220,7 @@ def hotsax_discord(
         n_workers=n_workers,
         prune=prune,
         lower_bound=lower_bound,
+        windows=windows,
         metrics=metrics,
     )
 
@@ -228,9 +252,20 @@ def hotsax_discords(
     if budget is None:
         budget = SearchBudget.unlimited()
     series = np.asarray(series, dtype=float)
-    disc = SAXWindowDiscretization(series, window, paa_size, alphabet_size)
+    windows = (
+        kernels.WindowMatrix(series, window)
+        if num_windows(series.size, window) >= 2
+        else None
+    )
+    normalized = windows.normalized if windows is not None else None
+    disc = SAXWindowDiscretization(
+        series, window, paa_size, alphabet_size, normalized=normalized
+    )
     lower_bound = (
-        _pruning_bound(series, window, disc, prune_paa_size, prune_alphabet_size)
+        _pruning_bound(
+            series, window, disc, prune_paa_size, prune_alphabet_size,
+            normalized=normalized,
+        )
         if prune
         else None
     )
@@ -247,6 +282,7 @@ def hotsax_discords(
         n_workers=n_workers,
         prune=prune,
         lower_bound=lower_bound,
+        windows=windows,
         metrics=metrics,
     )
     return HOTSAXResult(

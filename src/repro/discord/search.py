@@ -25,8 +25,7 @@ from repro.timeseries import kernels
 from repro.timeseries.distance import DistanceCounter
 from repro.timeseries.kernels import BACKENDS, validate_backend  # noqa: F401
 from repro.timeseries.lowerbound import WindowLowerBound
-from repro.timeseries.windows import num_windows, sliding_windows
-from repro.timeseries.znorm import znorm_rows
+from repro.timeseries.windows import num_windows
 
 #: A bucketing function: (series, window) -> one hashable key per window.
 BucketFn = Callable[[np.ndarray, int], Sequence[str]]
@@ -46,6 +45,7 @@ def ordered_discord_search(
     n_workers: int = 1,
     prune: bool = False,
     lower_bound: Optional[WindowLowerBound] = None,
+    windows: Optional[kernels.WindowMatrix] = None,
     metrics=None,
 ) -> tuple[Optional[Discord], DistanceCounter]:
     """Exact fixed-length discord via bucket-driven loop orderings.
@@ -91,6 +91,12 @@ def ordered_discord_search(
         over the same sliding windows (so a caller that already
         discretized — HOTSAX — shares it).  Built on the fly from the
         normalized windows when *prune* is set without one.
+    windows:
+        A prebuilt :class:`~repro.timeseries.kernels.WindowMatrix` over
+        the same series/window, so repeated ranks (and callers that
+        already normalized the windows for bucketing) reuse one window
+        matrix, one set of row norms, and one statistics pass.  Built on
+        the fly when absent; results are identical either way.
     metrics:
         Optional :class:`~repro.observability.MetricsRegistry`.  When
         given, the scan records candidate/abandon counters, the
@@ -125,8 +131,10 @@ def ordered_discord_search(
     for pos, key in enumerate(keys):
         buckets[key].append(pos)
 
-    normalized = znorm_rows(sliding_windows(series, window))
-    sqnorms = kernels.row_sqnorms(normalized) if backend == "kernel" else None
+    if windows is None:
+        windows = kernels.WindowMatrix(series, window)
+    normalized = windows.normalized
+    sqnorms = windows.sqnorms if backend in ("kernel", "batch") else None
 
     lb = lower_bound if prune else None
     if prune and lb is None:
@@ -190,70 +198,107 @@ def ordered_discord_search(
         m_best = metrics.counter("search.best_updates")
         m_depth = metrics.histogram("search.abandon_depth")
     try:
-        for p in outer:
-            if any(ex_start <= p < ex_end for ex_start, ex_end in exclude):
-                continue
-            if budget.interrupted(counter.calls) is not None:
-                break
-            if instrumented:
-                calls_at_entry = counter.calls
-            nearest = float("inf")
-            pruned = False
-            same_bucket = [q for q in buckets[keys[p]] if q != p]
-            tail = rng.permutation(k)
-            if backend == "kernel":
-                order = (
-                    q
-                    for q in _inner_sequence(same_bucket, tail, p)
-                    if abs(p - q) > window
+        if backend == "batch":
+            from repro.discord import batch
+
+            # Exclusion filtering up front is equivalent: the serial
+            # loop never checks the budget for an excluded candidate.
+            active = [
+                p for p in outer
+                if not any(s <= p < e for s, e in exclude)
+            ]
+
+            def make_order(p: int) -> np.ndarray:
+                # Vectorized form of _inner_sequence + the window
+                # filter: same-bucket first, then the shuffled
+                # remainder, identical pair order and RNG consumption.
+                same_bucket = np.asarray(
+                    [q for q in buckets[keys[p]] if q != p], dtype=np.intp
                 )
-                if lb is None:
-                    nearest, consumed, pruned = _kernel_inner_scan(
-                        normalized, sqnorms, p, order, best_dist
-                    )
-                    counter.batch(consumed)
-                else:
-                    nearest, consumed, true_count, lb_evals, pruned = (
-                        _kernel_inner_scan_lb(
-                            normalized, sqnorms, p, order, best_dist, lb
-                        )
-                    )
-                    counter.batch(true_count)
-                    counter.pruned_batch(consumed - true_count)
-                    counter.lb_batch(lb_evals)
-            else:
-                for q in _inner_sequence(same_bucket, tail, p):
-                    if abs(p - q) <= window:
-                        continue
-                    if lb is not None and np.isfinite(nearest):
-                        counter.lb_batch(1)
-                        if lb.pair_exceeds(p, q, nearest):
-                            # dist >= LB >= nearest >= best_dist: this
-                            # pair can neither break nor lower nearest.
-                            counter.pruned_batch(1)
-                            continue
-                    # Abandoning beyond `nearest` is lossless: while the
-                    # candidate is alive, nearest >= best_dist (see hotsax.py).
-                    dist = counter.euclidean(
-                        normalized[p], normalized[q], cutoff=nearest
-                    )
-                    if dist < best_dist:
-                        pruned = True
-                        break
-                    if dist < nearest:
-                        nearest = dist
-            if instrumented:
-                m_visited.inc()
-                if pruned:
-                    m_abandoned.inc()
-                    m_depth.observe(counter.calls - calls_at_entry)
-                else:
-                    m_survived.inc()
-            if not pruned and np.isfinite(nearest) and nearest > best_dist:
-                best_dist = nearest
-                best_pos = p
+                tail = rng.permutation(k)
+                mask = np.ones(k, dtype=bool)
+                mask[same_bucket] = False
+                mask[p] = False
+                rest = tail[mask[tail]]
+                order = (
+                    np.concatenate((same_bucket, rest))
+                    if same_bucket.size
+                    else rest
+                )
+                return order[np.abs(order - p) > window]
+
+            scanner = batch.TileScanner(normalized, sqnorms, lb=lb)
+            best_dist, best_pos = batch.batch_serial_scan(
+                scanner, active, make_order,
+                abandon=True, counter=counter, budget=budget, lb=lb,
+                metrics=metrics, init_best=best_dist,
+            )
+        else:
+            for p in outer:
+                if any(ex_start <= p < ex_end for ex_start, ex_end in exclude):
+                    continue
+                if budget.interrupted(counter.calls) is not None:
+                    break
                 if instrumented:
-                    m_best.inc()
+                    calls_at_entry = counter.calls
+                nearest = float("inf")
+                pruned = False
+                same_bucket = [q for q in buckets[keys[p]] if q != p]
+                tail = rng.permutation(k)
+                if backend == "kernel":
+                    order = (
+                        q
+                        for q in _inner_sequence(same_bucket, tail, p)
+                        if abs(p - q) > window
+                    )
+                    if lb is None:
+                        nearest, consumed, pruned = _kernel_inner_scan(
+                            normalized, sqnorms, p, order, best_dist
+                        )
+                        counter.batch(consumed)
+                    else:
+                        nearest, consumed, true_count, lb_evals, pruned = (
+                            _kernel_inner_scan_lb(
+                                normalized, sqnorms, p, order, best_dist, lb
+                            )
+                        )
+                        counter.batch(true_count)
+                        counter.pruned_batch(consumed - true_count)
+                        counter.lb_batch(lb_evals)
+                else:
+                    for q in _inner_sequence(same_bucket, tail, p):
+                        if abs(p - q) <= window:
+                            continue
+                        if lb is not None and np.isfinite(nearest):
+                            counter.lb_batch(1)
+                            if lb.pair_exceeds(p, q, nearest):
+                                # dist >= LB >= nearest >= best_dist: this
+                                # pair can neither break nor lower nearest.
+                                counter.pruned_batch(1)
+                                continue
+                        # Abandoning beyond `nearest` is lossless: while the
+                        # candidate is alive, nearest >= best_dist (see
+                        # hotsax.py).
+                        dist = counter.euclidean(
+                            normalized[p], normalized[q], cutoff=nearest
+                        )
+                        if dist < best_dist:
+                            pruned = True
+                            break
+                        if dist < nearest:
+                            nearest = dist
+                if instrumented:
+                    m_visited.inc()
+                    if pruned:
+                        m_abandoned.inc()
+                        m_depth.observe(counter.calls - calls_at_entry)
+                    else:
+                        m_survived.inc()
+                if not pruned and np.isfinite(nearest) and nearest > best_dist:
+                    best_dist = nearest
+                    best_pos = p
+                    if instrumented:
+                        m_best.inc()
     except KeyboardInterrupt:
         if not has_channel:
             raise
@@ -414,6 +459,7 @@ def iterated_search(
     n_workers: int = 1,
     prune: bool = False,
     lower_bound: Optional[WindowLowerBound] = None,
+    windows: Optional[kernels.WindowMatrix] = None,
     metrics=None,
 ) -> tuple[list[Discord], DistanceCounter, list[bool]]:
     """Top-k discords by repeated search with window-sized exclusion.
@@ -423,10 +469,14 @@ def iterated_search(
     candidate (True) or was truncated by the *budget* and is only the
     best seen so far (False).  *prune* / *lower_bound* opt every rank
     into the lower-bound cascade (the bound is built once and shared
-    across ranks, since the windows never change).  *metrics* wraps
-    every rank in a ``search.rank`` span and emits one
-    ``search.rank_complete`` event per rank carrying that rank's slice
-    of the call ledger (the paper's Table 1 number, per rank).
+    across ranks, since the windows never change).  The
+    :class:`~repro.timeseries.kernels.WindowMatrix` is likewise built
+    once (or adopted from *windows*) and shared across ranks, so the
+    normalization and row-norm passes run once per search rather than
+    once per rank.  *metrics* wraps every rank in a ``search.rank``
+    span and emits one ``search.rank_complete`` event per rank carrying
+    that rank's slice of the call ledger (the paper's Table 1 number,
+    per rank).
     """
     validate_backend(backend)
     series = np.asarray(series, dtype=float)
@@ -439,9 +489,13 @@ def iterated_search(
     if budget is None:
         budget = SearchBudget.unlimited()
     metrics = ensure_metrics(metrics)
-    if prune and lower_bound is None:
+    if windows is None and num_windows(series.size, window) >= 2:
+        # Deferred for degenerate inputs so ordered_discord_search still
+        # raises its own (tested) validation error.
+        windows = kernels.WindowMatrix(series, window)
+    if prune and lower_bound is None and windows is not None:
         lower_bound = WindowLowerBound.from_normalized_windows(
-            znorm_rows(sliding_windows(series, window)), window
+            windows.normalized, window
         )
     discords: list[Discord] = []
     rank_complete: list[bool] = []
@@ -453,7 +507,8 @@ def iterated_search(
                 series, window, bucket_fn,
                 source=source, counter=counter, rng=rng, exclude=tuple(exclusions),
                 backend=backend, budget=budget, n_workers=n_workers,
-                prune=prune, lower_bound=lower_bound, metrics=metrics,
+                prune=prune, lower_bound=lower_bound, windows=windows,
+                metrics=metrics,
             )
         truncated = budget.status is not SearchStatus.COMPLETE
         if metrics.enabled:

@@ -84,3 +84,37 @@ def mindist_sq_one_vs_block(
     """
     table = sq_cell_table(alpha)
     return scale_sq * table[letters_query[np.newaxis, :], letters_block].sum(axis=1)
+
+
+def mindist_sq_tile(
+    letters_queries: np.ndarray,
+    letters_block: np.ndarray,
+    alpha: int,
+    scale_sq: float,
+) -> np.ndarray:
+    """Squared MINDIST of many letter rows against a block of letter rows.
+
+    The tile form of :func:`mindist_sq_one_vs_block` used by the batch
+    backend's stage-1 pruning: *letters_queries* is ``(c, w)`` and
+    *letters_block* either ``(b, w)`` (one shared block, result
+    ``(c, b)``) or ``(c, b, w)`` (a per-query block, result ``(c, b)``).
+    Each output row is computed by the same table-lookup-and-sum as the
+    one-vs-block kernel, so per-pair values are bit-identical to it —
+    the property the batch replay's prune bookkeeping relies on.
+    """
+    table = sq_cell_table(alpha)
+    lq = np.asarray(letters_queries)
+    lb = np.asarray(letters_block)
+    if lq.ndim != 2:
+        raise ValueError(
+            f"letters_queries must be (c, w), got shape {lq.shape}"
+        )
+    if lb.ndim == 2:
+        cells = table[lq[:, None, :], lb[None, :, :]]
+    elif lb.ndim == 3:
+        cells = table[lq[:, None, :], lb]
+    else:
+        raise ValueError(
+            f"letters_block must be (b, w) or (c, b, w), got shape {lb.shape}"
+        )
+    return scale_sq * cells.sum(axis=-1)

@@ -37,19 +37,23 @@ from typing import Optional
 import numpy as np
 
 from repro.exceptions import ParameterError
+from repro.timeseries.array_api import ArrayNamespace, resolve_namespace
 from repro.timeseries.windows import num_windows, sliding_windows
-from repro.timeseries.znorm import DEFAULT_FLATNESS_THRESHOLD
+from repro.timeseries.znorm import DEFAULT_FLATNESS_THRESHOLD, znorm_rows
 
 __all__ = [
     "BACKENDS",
     "validate_backend",
     "SeriesStats",
+    "WindowMatrix",
     "sliding_window_stats",
     "znorm_sliding_windows",
     "row_sqnorms",
     "sq_cumsum",
     "one_vs_all_sq_euclidean",
     "one_vs_all_euclidean",
+    "all_pairs_sq_euclidean_tile",
+    "tile_plan",
     "early_abandon_filter",
     "sliding_alignment_sq_profile",
     "sliding_min_normalized_distance",
@@ -59,8 +63,12 @@ __all__ = [
 ]
 
 
-#: Recognized distance backends for the discord searches.
-BACKENDS = ("kernel", "scalar")
+#: Recognized distance backends for the discord searches.  ``kernel``
+#: is the block-vectorized default, ``scalar`` the per-pair reference
+#: path, and ``batch`` the tiled GEMM path behind the array-API seam
+#: (:mod:`repro.discord.batch`).  All three visit the same pairs in the
+#: same logical order, so results and call counts are identical.
+BACKENDS = ("kernel", "scalar", "batch")
 
 
 def validate_backend(backend: str) -> None:
@@ -171,19 +179,33 @@ class SeriesStats:
 
 
 def sliding_window_stats(
-    series: np.ndarray, window: int
+    series: np.ndarray,
+    window: int,
+    *,
+    stats: Optional[SeriesStats] = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Mean and population std of every sliding window in O(m).
 
     Returns ``(means, stds)``, each of length ``m - window + 1``,
-    computed from cumulative sums rather than a per-window pass.
+    computed from cumulative sums rather than a per-window pass.  Pass a
+    prebuilt :class:`SeriesStats` over the same series to reuse its
+    cumulative sums instead of recomputing them (the results are
+    bit-identical either way, since both build the same arrays).
     """
     series = np.ascontiguousarray(series, dtype=float)
     k = num_windows(series.size, window)
     if k == 0:
         return np.empty(0), np.empty(0)
-    cumsum = np.concatenate(([0.0], np.cumsum(series)))
-    sq = np.concatenate(([0.0], np.cumsum(series * series)))
+    if stats is not None:
+        if stats.series.size != series.size:
+            raise ParameterError(
+                f"stats built over a series of length {stats.series.size}, "
+                f"got one of length {series.size}"
+            )
+        cumsum, sq = stats.cumsums
+    else:
+        cumsum = np.concatenate(([0.0], np.cumsum(series)))
+        sq = np.concatenate(([0.0], np.cumsum(series * series)))
     means = (cumsum[window:] - cumsum[:-window]) / window
     ex2 = (sq[window:] - sq[:-window]) / window
     variances = np.clip(ex2 - means * means, 0.0, None)
@@ -194,17 +216,98 @@ def znorm_sliding_windows(
     series: np.ndarray,
     window: int,
     threshold: float = DEFAULT_FLATNESS_THRESHOLD,
+    *,
+    stats: Optional[SeriesStats] = None,
 ) -> np.ndarray:
     """Z-normalized sliding-window matrix using cumulative-sum statistics.
 
     Equivalent (to roundoff) to
     ``znorm_rows(sliding_windows(series, window))`` but computes the
-    per-window mean/std in O(m) instead of O(m·window).
+    per-window mean/std in O(m) instead of O(m·window).  A prebuilt
+    *stats* over the same series skips the cumulative-sum pass entirely.
     """
-    means, stds = sliding_window_stats(series, window)
+    means, stds = sliding_window_stats(series, window, stats=stats)
     view = sliding_windows(series, window)
     scales = np.where(stds < threshold, 1.0, stds)
     return (view - means[:, None]) / scales[:, None]
+
+
+class WindowMatrix:
+    """Per-search cache of the sliding-window matrix and its statistics.
+
+    Every fixed-length engine needs the same four artifacts — the raw
+    window view, the z-normalized window matrix, the per-row squared
+    norms, and (for pruning/discretization consumers) the series'
+    cumulative-sum statistics.  Before this cache each rank of an
+    iterated search recomputed all of them; building one
+    :class:`WindowMatrix` per search and passing it down makes each a
+    compute-once property.
+
+    The normalized matrix deliberately comes from
+    :func:`repro.timeseries.znorm.znorm_rows` over the window view —
+    the exact arithmetic the engines always used — rather than the
+    cumulative-sum shortcut, so distance trajectories (and the pinned
+    golden call counts) are bit-identical to the pre-cache code.  The
+    cumulative sums back :meth:`window_stats` and any consumer that
+    wants interval statistics without another O(m·window) pass.
+    """
+
+    __slots__ = ("series", "window", "_stats", "_view", "_normalized", "_sqnorms")
+
+    def __init__(
+        self,
+        series: np.ndarray,
+        window: int,
+        *,
+        stats: Optional[SeriesStats] = None,
+    ):
+        series = np.ascontiguousarray(series, dtype=float)
+        if series.ndim != 1:
+            raise ParameterError(
+                f"WindowMatrix expects a 1-d series, got shape {series.shape}"
+            )
+        if num_windows(series.size, window) == 0:
+            raise ParameterError(
+                f"series of length {series.size} has no windows of size {window}"
+            )
+        self.series = series
+        self.window = window
+        self._stats = stats
+        self._view: Optional[np.ndarray] = None
+        self._normalized: Optional[np.ndarray] = None
+        self._sqnorms: Optional[np.ndarray] = None
+
+    @property
+    def stats(self) -> SeriesStats:
+        """Cumulative-sum statistics of the series (built once)."""
+        if self._stats is None:
+            self._stats = SeriesStats(self.series)
+        return self._stats
+
+    @property
+    def view(self) -> np.ndarray:
+        """The raw ``(k, window)`` sliding-window view (zero-copy)."""
+        if self._view is None:
+            self._view = sliding_windows(self.series, self.window)
+        return self._view
+
+    @property
+    def normalized(self) -> np.ndarray:
+        """Z-normalized window matrix (the engines' distance substrate)."""
+        if self._normalized is None:
+            self._normalized = znorm_rows(self.view)
+        return self._normalized
+
+    @property
+    def sqnorms(self) -> np.ndarray:
+        """Squared row norms of :attr:`normalized`, computed once."""
+        if self._sqnorms is None:
+            self._sqnorms = row_sqnorms(self.normalized)
+        return self._sqnorms
+
+    def window_stats(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-window ``(means, stds)`` reusing the cached cumulative sums."""
+        return sliding_window_stats(self.series, self.window, stats=self.stats)
 
 
 # ---------------------------------------------------------------------------
@@ -273,6 +376,79 @@ def one_vs_all_euclidean(
     )
     dists = np.sqrt(sq)
     return early_abandon_filter(dists, cutoff)
+
+
+def tile_plan(
+    n_rows: int,
+    n_cols: int,
+    *,
+    target_elems: int = 1 << 20,
+    min_rows: int = 1,
+    max_rows: int = 128,
+) -> list[tuple[int, int]]:
+    """Partition *n_rows* candidates into GEMM-sized row tiles.
+
+    Returns ``[(lo, hi), ...]`` half-open row slices whose tiles hold
+    roughly *target_elems* matrix elements each (``rows × n_cols``),
+    clamped to ``[min_rows, max_rows]`` rows per tile.  The default
+    targets ~8 MB float64 tiles — big enough to keep a BLAS GEMM out of
+    the per-call overhead regime, small enough to stay cache-friendly
+    and to bound the memory a single tile pins.
+    """
+    if n_rows < 0 or n_cols < 0:
+        raise ParameterError(
+            f"tile_plan needs non-negative dimensions, got {n_rows}x{n_cols}"
+        )
+    if min_rows < 1 or max_rows < min_rows:
+        raise ParameterError(
+            f"tile_plan needs 1 <= min_rows <= max_rows, "
+            f"got min_rows={min_rows}, max_rows={max_rows}"
+        )
+    if n_rows == 0:
+        return []
+    rows = target_elems // max(1, n_cols)
+    rows = max(min_rows, min(max_rows, rows))
+    return [(lo, min(lo + rows, n_rows)) for lo in range(0, n_rows, rows)]
+
+
+def all_pairs_sq_euclidean_tile(
+    queries: np.ndarray,
+    matrix: np.ndarray,
+    *,
+    query_sqnorms: Optional[np.ndarray] = None,
+    sqnorms: Optional[np.ndarray] = None,
+    xp: Optional[ArrayNamespace] = None,
+) -> np.ndarray:
+    """Squared Euclidean distances from every query row to every matrix row.
+
+    The tile form of :func:`one_vs_all_sq_euclidean`: one
+    ``(q, w) @ (w, k)`` GEMM plus two norm broadcasts produces the whole
+    ``(q, k)`` distance tile, clipped at zero.  This is the batch
+    backend's workhorse — the GEMM (and only the GEMM path) runs through
+    the array-API seam, so an optional CuPy/torch namespace accelerates
+    it without any caller changes; inputs and outputs are always NumPy.
+    """
+    queries = np.asarray(queries, dtype=float)
+    matrix = np.asarray(matrix, dtype=float)
+    if queries.ndim != 2 or matrix.ndim != 2 or queries.shape[1] != matrix.shape[1]:
+        raise ParameterError(
+            f"shape mismatch: queries {queries.shape} vs matrix {matrix.shape}"
+        )
+    if query_sqnorms is None:
+        query_sqnorms = row_sqnorms(queries)
+    if sqnorms is None:
+        sqnorms = row_sqnorms(matrix)
+    if xp is None:
+        xp = resolve_namespace()
+    a = xp.asarray(queries)
+    b = xp.asarray(matrix)
+    gram = xp.matmul(a, xp.transpose(b))
+    sq = (
+        xp.asarray(query_sqnorms)[:, None]
+        + xp.asarray(sqnorms)[None, :]
+        - 2.0 * gram
+    )
+    return xp.to_numpy(xp.clip_min(sq, 0.0))
 
 
 def early_abandon_filter(dists: np.ndarray, cutoff: float) -> np.ndarray:

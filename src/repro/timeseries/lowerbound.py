@@ -154,21 +154,33 @@ class WindowLowerBound:
             paa_batch(normalized, paa_size), window, alphabet_size
         )
 
-    def block_keep(self, p: int, idx: np.ndarray, nearest: float) -> np.ndarray:
+    def block_keep(
+        self,
+        p: int,
+        idx: np.ndarray,
+        nearest: float,
+        *,
+        stage1_sq: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         """Boolean mask over *idx*: True = the true kernel must run.
 
         A pair is dropped when its cascaded lower bound is ``>=
         nearest`` (the caller's running nearest-neighbour distance at
         block start).  Stage 1 (MINDIST) filters the whole block; stage
         2 (PAA) only runs on stage-1 survivors.
+
+        *stage1_sq* lets the batch backend hand in the squared MINDIST
+        values it already computed for the block (via
+        :func:`repro.sax.mindist.mindist_sq_tile`, bit-identical to the
+        one-vs-block kernel) so the replay's prune decisions reuse the
+        exact same floats as the tile classification.
         """
         threshold_sq = nearest * nearest
-        keep = (
-            mindist_sq_one_vs_block(
+        if stage1_sq is None:
+            stage1_sq = mindist_sq_one_vs_block(
                 self.letters[p], self.letters[idx], self.alphabet_size, self.scale_sq
             )
-            < threshold_sq
-        )
+        keep = stage1_sq < threshold_sq
         if keep.any():
             survivors = idx[keep]
             deltas = self.paa_values[survivors] - self.paa_values[p]

@@ -1,0 +1,87 @@
+"""Tests for the array-API seam behind the batch backend.
+
+The seam's contract: NumPy resolves with zero new imports, optional
+accelerator namespaces are detected lazily, and every failure mode is a
+:class:`~repro.exceptions.ParameterError` with an actionable message —
+never an ``ImportError`` at import time.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.timeseries.array_api import (
+    ARRAY_API_ENV,
+    NumpyNamespace,
+    available_namespaces,
+    resolve_namespace,
+)
+
+
+def test_default_resolution_is_numpy():
+    xp = resolve_namespace()
+    assert isinstance(xp, NumpyNamespace)
+    assert xp.name == "numpy"
+
+
+def test_explicit_numpy_resolution_is_singleton():
+    assert resolve_namespace("numpy") is resolve_namespace("numpy")
+
+
+def test_numpy_namespace_round_trip():
+    xp = resolve_namespace("numpy")
+    a = xp.asarray([[1.0, 2.0], [3.0, 4.0]])
+    b = xp.asarray([[1.0, 0.0], [0.0, 1.0]])
+    out = xp.to_numpy(xp.matmul(a, xp.transpose(b)))
+    np.testing.assert_allclose(out, [[1.0, 2.0], [3.0, 4.0]])
+    clipped = xp.to_numpy(xp.clip_min(xp.asarray([-1.0, 0.5]), 0.0))
+    np.testing.assert_allclose(clipped, [0.0, 0.5])
+
+
+def test_unknown_namespace_raises_parameter_error():
+    with pytest.raises(ParameterError, match="unknown array namespace"):
+        resolve_namespace("tensorflow")
+
+
+@pytest.mark.parametrize("name", ["cupy", "torch"])
+def test_missing_extra_names_the_pip_extra(name):
+    if importlib.util.find_spec(name) is not None:
+        pytest.skip(f"{name} is installed in this environment")
+    with pytest.raises(ParameterError, match=f"repro\\[{name}\\]"):
+        resolve_namespace(name)
+
+
+def test_available_namespaces_always_includes_numpy():
+    names = available_namespaces()
+    assert "numpy" in names
+    for name in names:
+        # Everything advertised as available must actually resolve.
+        assert resolve_namespace(name).name == name
+
+
+def test_env_var_selects_namespace(monkeypatch):
+    monkeypatch.setenv(ARRAY_API_ENV, "numpy")
+    assert resolve_namespace().name == "numpy"
+    monkeypatch.setenv(ARRAY_API_ENV, "no-such-library")
+    with pytest.raises(ParameterError, match="unknown array namespace"):
+        resolve_namespace()
+    # Empty value falls back to the default rather than erroring.
+    monkeypatch.setenv(ARRAY_API_ENV, "")
+    assert resolve_namespace().name == "numpy"
+
+
+def test_tile_kernel_accepts_explicit_namespace():
+    from repro.timeseries import kernels
+
+    rng = np.random.default_rng(11)
+    queries = rng.normal(size=(5, 16))
+    matrix = rng.normal(size=(9, 16))
+    via_seam = kernels.all_pairs_sq_euclidean_tile(
+        queries, matrix, xp=resolve_namespace("numpy")
+    )
+    default = kernels.all_pairs_sq_euclidean_tile(queries, matrix)
+    np.testing.assert_array_equal(via_seam, default)

@@ -77,7 +77,10 @@ def _rra_intervals(dataset):
     return detector.fit(dataset.series).candidates
 
 
-def run_engine(name: str, dataset, intervals, *, n_workers: int, prune: bool):
+def run_engine(
+    name: str, dataset, intervals, *, n_workers: int, prune: bool,
+    backend: str = "kernel",
+):
     """Run one engine; return its ledger + discord tuples as a golden entry.
 
     ``lb_calls`` is deliberately excluded: it counts *physical*
@@ -96,6 +99,7 @@ def run_engine(name: str, dataset, intervals, *, n_workers: int, prune: bool):
             counter=counter,
             n_workers=n_workers,
             prune=prune,
+            backend=backend,
         )
     elif name == "hotsax":
         result = hotsax_discords(
@@ -107,6 +111,7 @@ def run_engine(name: str, dataset, intervals, *, n_workers: int, prune: bool):
             counter=counter,
             n_workers=n_workers,
             prune=prune,
+            backend=backend,
         )
     elif name == "haar":
         result = haar_discords(
@@ -116,6 +121,7 @@ def run_engine(name: str, dataset, intervals, *, n_workers: int, prune: bool):
             counter=counter,
             n_workers=n_workers,
             prune=prune,
+            backend=backend,
         )
     elif name == "brute_force":
         result = brute_force_discords(
@@ -125,6 +131,7 @@ def run_engine(name: str, dataset, intervals, *, n_workers: int, prune: bool):
             counter=counter,
             n_workers=n_workers,
             prune=prune,
+            backend=backend,
         )
     else:  # pragma: no cover - config error
         raise ValueError(name)
@@ -210,6 +217,55 @@ def test_parallel_counts_match_golden(
         rra_intervals[dataset_name],
         n_workers=2,
         prune=prune,
+    )
+    assert entry == golden["entries"][key], key
+
+
+@pytest.mark.parametrize(
+    "dataset_name, engine, prune",
+    CASES,
+    ids=[_entry_key(*case) for case in CASES],
+)
+def test_batch_serial_counts_match_golden(
+    golden, datasets, rra_intervals, dataset_name, engine, prune
+):
+    """``backend='batch'`` must reproduce the SAME golden entry.
+
+    The tiled GEMM scans replay the serial nearest-so-far trajectory
+    over precomputed distances, so the ledger triple and the discords
+    are pinned to the kernel backend's numbers — not to separate
+    batch-specific goldens.
+    """
+    key = _entry_key(dataset_name, engine, prune)
+    entry = run_engine(
+        engine,
+        datasets[dataset_name],
+        rra_intervals[dataset_name],
+        n_workers=1,
+        prune=prune,
+        backend="batch",
+    )
+    assert entry == golden["entries"][key], key
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "dataset_name, engine, prune",
+    CASES,
+    ids=[_entry_key(*case) for case in CASES],
+)
+def test_batch_parallel_counts_match_golden(
+    golden, datasets, rra_intervals, dataset_name, engine, prune
+):
+    """``backend='batch'`` with n_workers=2: still the same entry."""
+    key = _entry_key(dataset_name, engine, prune)
+    entry = run_engine(
+        engine,
+        datasets[dataset_name],
+        rra_intervals[dataset_name],
+        n_workers=2,
+        prune=prune,
+        backend="batch",
     )
     assert entry == golden["entries"][key], key
 
