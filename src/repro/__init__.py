@@ -56,6 +56,7 @@ from repro.exceptions import (
     ReproError,
     TrajectoryError,
 )
+from repro.cache import ResultCache, SearchContext
 from repro.resilience import CancellationToken, SearchBudget, SearchStatus
 from repro.grammar import Grammar, GrammarRule, induce_grammar, repair_grammar
 from repro.sax import Discretization, NumerosityReduction, discretize, sax_word
@@ -89,6 +90,9 @@ __all__ = [
     # streaming
     "StreamAlarm",
     "StreamingAnomalyDetector",
+    # cache
+    "ResultCache",
+    "SearchContext",
     # resilience
     "CancellationToken",
     "SearchBudget",

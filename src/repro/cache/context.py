@@ -1,0 +1,313 @@
+"""In-process memoization of per-series search artifacts.
+
+A :class:`SearchContext` owns every intermediate the engines, the
+pipeline, and the parameter-grid sweep would otherwise recompute for the
+same series — cumulative-sum statistics, z-normalized window matrices
+(with their row norms), SAX/Haar discretizations, MINDIST lower-bound
+tables, windowed-PAA coefficient matrices, and the z-normalized sample
+rows behind the sweep's approximation-distance axis.
+
+Artifacts are keyed by series *content* (the memoized
+:func:`~repro.resilience.checkpoint.series_digest`) plus their shape
+parameters, so logically equal arrays share entries.  Every accessor
+builds its artifact with the exact arithmetic, in the exact order, the
+uncontexted code path uses — memoization changes *when* a value is
+computed, never *what* is computed — so discords, distances, and the
+logical call ledger stay bit-identical (pinned by the golden-count
+suite and the cache equivalence tests).
+
+Engine modules are imported lazily inside the accessors: the engines
+themselves import :mod:`repro.cache` for key/result helpers, and a
+module-level import here would close that cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.observability.metrics import ensure_metrics
+from repro.resilience.checkpoint import series_digest
+from repro.timeseries import kernels
+from repro.timeseries.windows import num_windows
+
+__all__ = ["SearchContext"]
+
+
+class SearchContext:
+    """Shared per-series artifact memo, threaded through the engines.
+
+    One context serves any number of searches over any number of series
+    (entries are content-keyed); :meth:`clear` drops everything when
+    memory matters more than reuse.  The context is a pure in-process
+    optimization — unlike :class:`~repro.cache.store.ResultCache` it
+    never persists anything and never short-circuits a search.
+    """
+
+    def __init__(self, *, metrics=None) -> None:
+        self._memo: dict = {}
+        self.hits = 0
+        self.misses = 0
+        self._metrics = ensure_metrics(metrics)
+
+    def bind_metrics(self, metrics) -> None:
+        """Route subsequent hit/miss counts to *metrics*."""
+        self._metrics = ensure_metrics(metrics)
+
+    # -- generic memo ---------------------------------------------------
+
+    def memo(self, key: tuple, build: Callable[[], object]) -> object:
+        """The memoized value for *key*, building (and storing) on miss."""
+        try:
+            value = self._memo[key]
+        except KeyError:
+            self.misses += 1
+            if self._metrics.enabled:
+                self._metrics.counter("context.miss").inc()
+            value = self._memo[key] = build()
+            return value
+        self.hits += 1
+        if self._metrics.enabled:
+            self._metrics.counter("context.hit").inc()
+        return value
+
+    def clear(self) -> None:
+        """Drop every memoized artifact (tallies are kept)."""
+        self._memo.clear()
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._memo),
+        }
+
+    def _series_key(self, series: np.ndarray) -> str:
+        return series_digest(series)
+
+    # -- window-level artifacts -----------------------------------------
+
+    def series_stats(self, series: np.ndarray) -> kernels.SeriesStats:
+        """Cumulative-sum statistics of *series* (shared by RRA + pruning)."""
+        key = ("series_stats", self._series_key(series))
+        return self.memo(key, lambda: kernels.SeriesStats(series))
+
+    def window_matrix(
+        self, series: np.ndarray, window: int
+    ) -> Optional[kernels.WindowMatrix]:
+        """The fixed-length engines' :class:`WindowMatrix` for *window*.
+
+        ``None`` for degenerate inputs (< 2 windows), mirroring the
+        engines' own deferral so their validation errors still fire.
+        """
+        if num_windows(series.size, window) < 2:
+            return None
+        key = ("window_matrix", self._series_key(series), int(window))
+        return self.memo(
+            key,
+            lambda: kernels.WindowMatrix(
+                series, window, stats=self.series_stats(series)
+            ),
+        )
+
+    def window_lower_bound(self, series: np.ndarray, window: int):
+        """The default MINDIST/PAA pruner over *window*'s normalized rows.
+
+        Exactly ``WindowLowerBound.from_normalized_windows(normalized,
+        window)`` — what ``iterated_search`` and the brute-force engine
+        build when ``prune=True`` with no explicit bound.
+        """
+        windows = self.window_matrix(series, window)
+        if windows is None:
+            return None
+        from repro.timeseries.lowerbound import WindowLowerBound
+
+        key = ("window_lower_bound", self._series_key(series), int(window))
+        return self.memo(
+            key,
+            lambda: WindowLowerBound.from_normalized_windows(
+                windows.normalized, window
+            ),
+        )
+
+    # -- SAX artifacts --------------------------------------------------
+
+    def sax_discretization(
+        self,
+        series: np.ndarray,
+        window: int,
+        paa_size: int,
+        alphabet_size: int,
+    ):
+        """HOTSAX's per-window SAX discretization (words + PAA + letters)."""
+        from repro.discord.hotsax import SAXWindowDiscretization
+
+        key = (
+            "sax_disc",
+            self._series_key(series),
+            int(window),
+            int(paa_size),
+            int(alphabet_size),
+        )
+
+        def build():
+            windows = self.window_matrix(series, window)
+            normalized = windows.normalized if windows is not None else None
+            return SAXWindowDiscretization(
+                series, window, paa_size, alphabet_size, normalized=normalized
+            )
+
+        return self.memo(key, build)
+
+    def sax_lower_bound(
+        self,
+        series: np.ndarray,
+        window: int,
+        paa_size: int,
+        alphabet_size: int,
+    ):
+        """The MINDIST pruner over one SAX discretization, built once."""
+        key = (
+            "sax_lb",
+            self._series_key(series),
+            int(window),
+            int(paa_size),
+            int(alphabet_size),
+        )
+        disc = self.sax_discretization(series, window, paa_size, alphabet_size)
+        return self.memo(key, disc.lower_bound)
+
+    # -- Haar artifacts -------------------------------------------------
+
+    def haar_bucketing(
+        self, series: np.ndarray, window: int, num_coefficients: int
+    ):
+        """The Haar engine's ``(windows, bucket_fn)`` pair, words memoized."""
+        windows = self.window_matrix(series, window)
+        if windows is None:
+            from repro.discord.haar import haar_words
+
+            return None, (
+                lambda s, w: haar_words(s, w, num_coefficients=num_coefficients)
+            )
+        from repro.discord.haar import haar_words
+
+        key = (
+            "haar_words",
+            self._series_key(series),
+            int(window),
+            int(num_coefficients),
+        )
+        words = self.memo(
+            key,
+            lambda: haar_words(
+                series,
+                window,
+                num_coefficients=num_coefficients,
+                normalized=windows.normalized,
+            ),
+        )
+        return windows, (lambda s, w: words)
+
+    # -- discretization / sweep artifacts -------------------------------
+
+    def normalized_flat_windows(self, series: np.ndarray, window: int):
+        """The paa-independent front half of ``windowed_paa``.
+
+        Reuses the window matrix's z-normalized rows (identical
+        arithmetic: both run ``znorm_rows`` at the default flatness
+        threshold over the same sliding-window view) and applies the
+        flat-row zeroing on top.
+        """
+        from repro.sax.discretize import normalized_flat_windows
+
+        key = ("norm_flat", self._series_key(series), int(window))
+
+        def build():
+            windows = self.window_matrix(series, window)
+            normalized = windows.normalized if windows is not None else None
+            return normalized_flat_windows(
+                series, window, normalized=normalized
+            )
+
+        return self.memo(key, build)
+
+    def windowed_paa(
+        self, series: np.ndarray, window: int, paa_size: int
+    ) -> np.ndarray:
+        """Per-window PAA coefficients, sharing the znorm pass across
+        every ``paa_size`` of the same ``window``."""
+        from repro.sax.discretize import windowed_paa
+
+        key = (
+            "windowed_paa",
+            self._series_key(series),
+            int(window),
+            int(paa_size),
+        )
+        return self.memo(
+            key,
+            lambda: windowed_paa(
+                series,
+                window,
+                paa_size,
+                normalized_flat=self.normalized_flat_windows(series, window),
+            ),
+        )
+
+    # -- RRA artifacts --------------------------------------------------
+
+    def rra_candidate_set(self, series: np.ndarray, intervals):
+        """The RRA engine's candidate set for *intervals*, reused across
+        searches.
+
+        Keyed by the interval *positions* (rule ids are display-only:
+        the set reads nothing but ``start``/``end``/``length``), so a
+        repeated :func:`~repro.core.rra.find_discords` over the same
+        grammar — common in interactive sweeps — reuses every
+        z-normalized candidate subsequence, squared norm, squared
+        cumulative sum, batch row, and memoized pair distance instead of
+        rebuilding them.  Purely accelerative: every cached quantity is
+        the exact float the uncontexted path computes.  This is the
+        largest artifact family the context holds (one normalized copy
+        of every distinct candidate); use :meth:`clear` between
+        unrelated studies if memory matters.
+        """
+        from repro.core.rra import _CandidateSet
+
+        key = (
+            "rra_candidates",
+            self._series_key(series),
+            tuple((iv.start, iv.end) for iv in intervals),
+        )
+        return self.memo(
+            key,
+            lambda: _CandidateSet(
+                series, intervals, stats=self.series_stats(series)
+            ),
+        )
+
+    def approx_normalized_rows(
+        self, series: np.ndarray, window: int, sample_stride: int
+    ) -> list:
+        """The z-normalized sample rows behind ``approximation_distance``,
+        shared across every ``paa_size`` of the same ``window``."""
+        from repro.core.parameter_grid import _normalized_sample_rows
+
+        key = (
+            "approx_rows",
+            self._series_key(series),
+            int(window),
+            int(sample_stride),
+        )
+        return self.memo(
+            key,
+            lambda: _normalized_sample_rows(series, window, sample_stride),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SearchContext(entries={len(self._memo)}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

@@ -1,0 +1,94 @@
+"""Cache-key derivation for the fingerprint-keyed result cache.
+
+Every key is the checkpoint layer's :func:`search_fingerprint` over the
+series content, the candidate intervals, and a parameter dict — plus
+two cache-private entries folded into the params: the engine name and
+:data:`CACHE_KEY_VERSION`.  Bumping the version orphans (never
+corrupts) every existing entry when the result schema or the search
+semantics change.
+
+``n_workers`` is deliberately **excluded** from every key: the parallel
+scan/replay engine guarantees bit-identical discords and logical
+ledgers across worker counts (pinned by the golden-count suite), so a
+result computed with 8 workers is exactly the result a serial run would
+produce — and may be served to one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Optional
+
+import numpy as np
+
+from repro.resilience.checkpoint import rng_state_to_json, search_fingerprint
+
+__all__ = [
+    "CACHE_KEY_VERSION",
+    "rng_fingerprint",
+    "discord_search_key",
+    "grid_cell_key",
+]
+
+#: Version of the key derivation + stored-payload schema.  Part of every
+#: key, so a bump silently invalidates (misses) all prior entries.
+CACHE_KEY_VERSION = 1
+
+
+def rng_fingerprint(rng: Optional[np.random.Generator]) -> str:
+    """Digest of a Generator's full state (``"none"`` when absent).
+
+    Engines that consume random draws (tie-breaking visit orders) fold
+    this into their cache key so two searches are only considered
+    identical when they would draw the same stream.
+    """
+    if rng is None:
+        return "none"
+    state = rng_state_to_json(rng)
+    return hashlib.sha256(
+        json.dumps(state, sort_keys=True).encode()
+    ).hexdigest()
+
+
+def discord_search_key(
+    series: np.ndarray,
+    intervals,
+    *,
+    engine: str,
+    params: dict,
+    rng: Optional[np.random.Generator] = None,
+) -> str:
+    """Cache key for one complete discord search.
+
+    *params* must contain everything that can change the discords or
+    the logical ledger (backend, prune, num_discords, window geometry,
+    ...) — but not ``n_workers`` (see module docstring).
+    """
+    merged = dict(params)
+    merged["__cache_engine__"] = engine
+    merged["__cache_key_version__"] = CACHE_KEY_VERSION
+    merged["__cache_rng__"] = rng_fingerprint(rng)
+    return search_fingerprint(series, intervals, merged)
+
+
+def grid_cell_key(
+    series: np.ndarray,
+    *,
+    window: int,
+    paa_size: int,
+    alphabet_size: int,
+    params: Optional[dict] = None,
+) -> str:
+    """Cache key for one ``ParameterGridStudy`` sweep cell."""
+    merged = dict(params or {})
+    merged.update(
+        {
+            "__cache_engine__": "grid_cell",
+            "__cache_key_version__": CACHE_KEY_VERSION,
+            "window": int(window),
+            "paa_size": int(paa_size),
+            "alphabet_size": int(alphabet_size),
+        }
+    )
+    return search_fingerprint(series, (), merged)

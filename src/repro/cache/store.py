@@ -1,0 +1,227 @@
+"""Persistent, content-addressed result store with size-capped LRU.
+
+Layout: one JSON document per entry, named ``<64-hex-key>.json`` inside
+the cache directory.  Each document carries a format tag and echoes its
+own key; :meth:`ResultCache.get` validates both, and *any* failure —
+unreadable file, truncated JSON, wrong format, key mismatch — deletes
+the offender and reports a miss, so corruption can only ever cost a
+recompute, never a wrong answer.
+
+Writes are atomic (temp file + ``os.replace``, the checkpoint layer's
+pattern), so concurrent readers never observe a half-written entry and
+a crash mid-put leaves the store consistent.  Eviction is LRU by file
+mtime — ``get`` touches entries on hit — applied after every put until
+the store fits ``max_bytes``; the entry just written is never evicted,
+so a single oversized result still caches (the cap is honored again as
+soon as a smaller entry displaces it).
+
+Metrics: ``cache.hit`` / ``cache.miss`` / ``cache.evicted`` counters
+and the ``cache.bytes`` gauge on the bound registry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+from repro.observability.metrics import ensure_metrics
+
+__all__ = ["CACHE_FORMAT", "DEFAULT_MAX_BYTES", "ResultCache"]
+
+#: Format tag written into (and required from) every cache entry.
+CACHE_FORMAT = "repro-result-cache/1"
+
+#: Default store cap: 256 MiB — thousands of typical entries (a stored
+#: result is a few KiB of discords plus a ledger), while bounding the
+#: worst case of caching many large sweeps.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+_KEY_HEX = set("0123456789abcdef")
+
+
+def _valid_key(key: str) -> bool:
+    """64 lowercase hex chars — rejects anything path-traversal-shaped."""
+    return (
+        isinstance(key, str)
+        and len(key) == 64
+        and all(ch in _KEY_HEX for ch in key)
+    )
+
+
+class ResultCache:
+    """On-disk cache of completed search results, keyed by fingerprint.
+
+    Parameters
+    ----------
+    directory:
+        Where entries live; created on first use.
+    max_bytes:
+        LRU size cap for the directory's ``*.json`` entries.
+    metrics:
+        Optional :class:`~repro.observability.metrics.MetricsRegistry`
+        receiving hit/miss/eviction counters (rebindable later via
+        :meth:`bind_metrics`, e.g. by the pipeline ctor).
+    """
+
+    def __init__(
+        self,
+        directory,
+        *,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        metrics=None,
+    ) -> None:
+        self.directory = os.path.expanduser(os.fspath(directory))
+        self.max_bytes = int(max_bytes)
+        self._metrics = ensure_metrics(metrics)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def bind_metrics(self, metrics) -> None:
+        """Route subsequent hit/miss/eviction counts to *metrics*."""
+        self._metrics = ensure_metrics(metrics)
+
+    # -- lookup ---------------------------------------------------------
+
+    def get(self, key: str) -> dict | None:
+        """The stored payload for *key*, or ``None`` (always a miss-able
+        operation: every validation failure deletes the entry and
+        returns ``None``)."""
+        if not _valid_key(key):
+            self._miss()
+            return None
+        path = self._path(key)
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except FileNotFoundError:
+            self._miss()
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._discard(path)
+            self._miss()
+            return None
+        if (
+            not isinstance(data, dict)
+            or data.get("format") != CACHE_FORMAT
+            or data.get("key") != key
+            or "payload" not in data
+        ):
+            self._discard(path)
+            self._miss()
+            return None
+        try:
+            os.utime(path)  # LRU touch
+        except OSError:
+            pass
+        self.hits += 1
+        if self._metrics.enabled:
+            self._metrics.counter("cache.hit").inc()
+        return data["payload"]
+
+    # -- insertion ------------------------------------------------------
+
+    def put(self, key: str, payload: dict) -> None:
+        """Atomically store *payload* under *key*, then enforce the cap.
+
+        Silently refuses malformed keys (defensive: a caller bug should
+        degrade to "not cached", not crash a successful search).
+        """
+        if not _valid_key(key):
+            return
+        os.makedirs(self.directory, exist_ok=True)
+        path = self._path(key)
+        document = {"format": CACHE_FORMAT, "key": key, "payload": payload}
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=key + ".", suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(document, handle)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self._evict(keep=os.path.basename(path))
+
+    # -- maintenance ----------------------------------------------------
+
+    def stats(self) -> dict:
+        """Hit/miss/eviction tallies plus current entry count and bytes."""
+        count, total = self._usage()[:2]
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": count,
+            "bytes": total,
+        }
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, key + ".json")
+
+    def _entries(self) -> list:
+        """(mtime_ns, size, path) for every entry file, oldest first."""
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        entries = []
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            entries.append((stat.st_mtime_ns, stat.st_size, path))
+        entries.sort()
+        return entries
+
+    def _usage(self):
+        entries = self._entries()
+        return len(entries), sum(size for _, size, _ in entries), entries
+
+    def _evict(self, *, keep: str) -> None:
+        count, total, entries = self._usage()
+        if total <= self.max_bytes:
+            self._set_bytes_gauge(total)
+            return
+        for _mtime, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            if os.path.basename(path) == keep:
+                continue
+            self._discard(path)
+            total -= size
+            self.evictions += 1
+            if self._metrics.enabled:
+                self._metrics.counter("cache.evicted").inc()
+        self._set_bytes_gauge(total)
+
+    def _set_bytes_gauge(self, total: int) -> None:
+        if self._metrics.enabled:
+            self._metrics.gauge("cache.bytes").set(total)
+
+    def _miss(self) -> None:
+        self.misses += 1
+        if self._metrics.enabled:
+            self._metrics.counter("cache.miss").inc()
+
+    @staticmethod
+    def _discard(path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache({self.directory!r}, hits={self.hits}, "
+            f"misses={self.misses}, evictions={self.evictions})"
+        )

@@ -88,6 +88,7 @@ def _cmd_find(args: argparse.Namespace) -> int:
         quality_policy=args.quality or "raise",
         n_workers=args.workers,
         metrics=metrics,
+        cache=args.cache_dir,
     )
     result = detector.fit(series)
     anomalies = list(detector.density_anomalies(max_anomalies=args.discords))
@@ -104,6 +105,11 @@ def _cmd_find(args: argparse.Namespace) -> int:
     )
     anomalies.extend(rra.discords)
     print(grammar_report(result, anomalies))
+    if rra.from_cache:
+        print(
+            f"discord search answered from cache ({args.cache_dir})",
+            file=sys.stderr,
+        )
     if args.trace and metrics is not None:
         print(_format_trace(metrics), file=sys.stderr)
     if args.metrics_out:
@@ -300,6 +306,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="NaN/Inf policy: raise refuses dirty data, interpolate "
              "repairs gaps, mask repairs but never reports anomalies "
              "from repaired spans (default: drop non-finite rows on load)",
+    )
+    find.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent result cache: an identical repeated search "
+             "(same series content and parameters) is answered from DIR "
+             "bit-identically instead of recomputed",
     )
     find.set_defaults(func=_cmd_find)
 

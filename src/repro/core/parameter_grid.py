@@ -24,6 +24,7 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro.cache import ResultCache, SearchContext, grid_cell_key
 from repro.core.pipeline import GrammarAnomalyDetector
 from repro.exceptions import ParameterError
 from repro.parallel.pool import effective_workers
@@ -55,28 +56,45 @@ class GridPoint:
     density_hit_enhanced: bool = False
 
 
+def _normalized_sample_rows(
+    series: np.ndarray, window: int, sample_stride: int
+) -> list[np.ndarray]:
+    """Z-normalized sampled window rows — the ``paa_size``-independent
+    half of :func:`approximation_distance`, shareable across a sweep's
+    alphabet and PAA loops for one window."""
+    windows = sliding_windows(series, window)[::sample_stride]
+    if windows.shape[0] == 0:
+        raise ParameterError("series shorter than window")
+    return [znorm(row) for row in windows]
+
+
 def approximation_distance(
-    series: np.ndarray, window: int, paa_size: int, *, sample_stride: int = 1
+    series: np.ndarray,
+    window: int,
+    paa_size: int,
+    *,
+    sample_stride: int = 1,
+    normalized_rows: Optional[list] = None,
 ) -> float:
     """Mean Euclidean error of the PAA approximation over all windows.
 
     Each window is z-normalized, reduced to ``paa_size`` segment means,
     reconstructed by repeating each mean over its segment, and compared
     with the original.  ``sample_stride`` lets large sweeps subsample
-    windows.
+    windows; *normalized_rows* accepts the prebuilt
+    :func:`_normalized_sample_rows` output (one z-normalization pass
+    shared across every ``paa_size`` of the same window).
     """
     if sample_stride < 1:
         raise ParameterError(f"sample_stride must be >= 1, got {sample_stride}")
-    windows = sliding_windows(series, window)[::sample_stride]
-    if windows.shape[0] == 0:
-        raise ParameterError("series shorter than window")
+    if normalized_rows is None:
+        normalized_rows = _normalized_sample_rows(series, window, sample_stride)
     total = 0.0
-    for row in windows:
-        normalized = znorm(row)
+    for normalized in normalized_rows:
         means = paa(normalized, paa_size)
         reconstructed = _paa_reconstruct(means, window)
         total += float(np.sqrt(np.sum((normalized - reconstructed) ** 2)))
-    return total / windows.shape[0]
+    return total / len(normalized_rows)
 
 
 def _paa_reconstruct(means: np.ndarray, n: int) -> np.ndarray:
@@ -134,6 +152,45 @@ class ParameterGridStudy:
         self.true_anomaly = true_anomaly
         self.min_overlap = min_overlap
 
+    def _cell_key(self, window: int, paa_size: int, alphabet_size: int) -> str:
+        """Result-cache key of one sweep cell (includes the study setup)."""
+        return grid_cell_key(
+            self.series,
+            window=window,
+            paa_size=paa_size,
+            alphabet_size=alphabet_size,
+            params={
+                "true_anomaly": [int(b) for b in self.true_anomaly],
+                "min_overlap": float(self.min_overlap),
+            },
+        )
+
+    @staticmethod
+    def _point_payload(point: GridPoint) -> dict:
+        return {
+            "window": int(point.window),
+            "paa_size": int(point.paa_size),
+            "alphabet_size": int(point.alphabet_size),
+            "approximation_distance": float(point.approximation_distance),
+            "grammar_size": int(point.grammar_size),
+            "density_hit": bool(point.density_hit),
+            "rra_hit": bool(point.rra_hit),
+            "density_hit_enhanced": bool(point.density_hit_enhanced),
+        }
+
+    @staticmethod
+    def _point_from_payload(payload: dict) -> GridPoint:
+        return GridPoint(
+            window=int(payload["window"]),
+            paa_size=int(payload["paa_size"]),
+            alphabet_size=int(payload["alphabet_size"]),
+            approximation_distance=float(payload["approximation_distance"]),
+            grammar_size=int(payload["grammar_size"]),
+            density_hit=bool(payload["density_hit"]),
+            rra_hit=bool(payload["rra_hit"]),
+            density_hit_enhanced=bool(payload["density_hit_enhanced"]),
+        )
+
     def evaluate_point(
         self,
         window: int,
@@ -142,6 +199,8 @@ class ParameterGridStudy:
         *,
         approx_distance: Optional[float] = None,
         paa_values: Optional[np.ndarray] = None,
+        context: Optional[SearchContext] = None,
+        cache: Optional[ResultCache] = None,
     ) -> Optional[GridPoint]:
         """Evaluate one parameter combination; None when it is invalid
         (window too long for the series, PAA larger than the window, ...).
@@ -150,10 +209,22 @@ class ParameterGridStudy:
         ``(window, paa_size)`` quantities precomputed by
         :meth:`_evaluate_pair`, which are identical for every alphabet
         size and dominate the per-point cost when recomputed.
+        *context* threads a :class:`~repro.cache.SearchContext` through
+        the detector so per-series artifacts are shared across cells;
+        *cache* short-circuits the whole cell when an identical one was
+        completed before (and stores this one on completion).
         """
         if paa_size > window or window >= self.series.size:
             return None
-        detector = GrammarAnomalyDetector(window, paa_size, alphabet_size)
+        cell_key = None
+        if cache is not None:
+            cell_key = self._cell_key(window, paa_size, alphabet_size)
+            payload = cache.get(cell_key)
+            if payload is not None:
+                return self._point_from_payload(payload)
+        detector = GrammarAnomalyDetector(
+            window, paa_size, alphabet_size, context=context
+        )
         try:
             fitted = detector.fit(self.series, paa_values=paa_values)
         except Exception:
@@ -177,17 +248,24 @@ class ParameterGridStudy:
         rra_found = [(d.start, d.end) for d in rra.discords]
 
         true_start, true_end = self.true_anomaly
-        return GridPoint(
+        if approx_distance is None:
+            stride = max(1, window // 4)
+            approx_distance = approximation_distance(
+                self.series,
+                window,
+                paa_size,
+                sample_stride=stride,
+                normalized_rows=(
+                    context.approx_normalized_rows(self.series, window, stride)
+                    if context is not None
+                    else None
+                ),
+            )
+        point = GridPoint(
             window=window,
             paa_size=paa_size,
             alphabet_size=alphabet_size,
-            approximation_distance=(
-                approx_distance
-                if approx_distance is not None
-                else approximation_distance(
-                    self.series, window, paa_size, sample_stride=max(1, window // 4)
-                )
-            ),
+            approximation_distance=approx_distance,
             grammar_size=fitted.grammar.grammar_size(),
             density_hit=_hit(density_paper, true_start, true_end, self.min_overlap),
             rra_hit=_hit(rra_found, true_start, true_end, self.min_overlap),
@@ -195,37 +273,76 @@ class ParameterGridStudy:
                 density_enhanced, true_start, true_end, self.min_overlap
             ),
         )
+        if cell_key is not None:
+            cache.put(cell_key, self._point_payload(point))
+        return point
 
     def _evaluate_pair(
         self,
         window: int,
         paa_size: int,
         alphabet_sizes: Sequence[int],
+        *,
+        context: Optional[SearchContext] = None,
+        cache: Optional[ResultCache] = None,
     ) -> list[GridPoint]:
         """Evaluate every alphabet size of one ``(window, paa_size)`` pair.
 
         The approximation distance and the per-window PAA coefficients
-        depend only on the pair, so they are computed once here and
-        shared across the alphabet loop — both serially and as the unit
-        of work one parallel sweep task executes.
+        depend only on the pair, so they are computed once here — never
+        once per alphabet — and shared across the alphabet loop, both
+        serially and as the unit of work one parallel sweep task
+        executes.  They are also computed *lazily*: a pair whose cells
+        all hit the result cache never discretizes at all.  With a
+        *context*, the z-normalization front half is additionally
+        shared across every ``paa_size`` of the same window.
         """
         if paa_size > window or window >= self.series.size:
             return []
-        approx = approximation_distance(
-            self.series, window, paa_size, sample_stride=max(1, window // 4)
-        )
-        paa_values = windowed_paa(self.series, window, paa_size)
+        approx: Optional[float] = None
+        paa_values: Optional[np.ndarray] = None
         points: list[GridPoint] = []
         for alphabet_size in alphabet_sizes:
+            cell_key = None
+            if cache is not None:
+                cell_key = self._cell_key(window, paa_size, alphabet_size)
+                payload = cache.get(cell_key)
+                if payload is not None:
+                    points.append(self._point_from_payload(payload))
+                    continue
+            if paa_values is None:
+                stride = max(1, window // 4)
+                approx = approximation_distance(
+                    self.series,
+                    window,
+                    paa_size,
+                    sample_stride=stride,
+                    normalized_rows=(
+                        context.approx_normalized_rows(
+                            self.series, window, stride
+                        )
+                        if context is not None
+                        else None
+                    ),
+                )
+                if context is not None:
+                    paa_values = context.windowed_paa(
+                        self.series, window, paa_size
+                    )
+                else:
+                    paa_values = windowed_paa(self.series, window, paa_size)
             point = self.evaluate_point(
                 window,
                 paa_size,
                 alphabet_size,
                 approx_distance=approx,
                 paa_values=paa_values,
+                context=context,
             )
             if point is not None:
                 points.append(point)
+                if cell_key is not None:
+                    cache.put(cell_key, self._point_payload(point))
         return points
 
     def sweep(
@@ -235,25 +352,92 @@ class ParameterGridStudy:
         alphabet_sizes: Sequence[int],
         *,
         n_workers: Optional[int] = 1,
+        cache=None,
+        context: Optional[SearchContext] = None,
     ) -> list[GridPoint]:
         """Evaluate the full cartesian grid (invalid points skipped).
 
         ``n_workers > 1`` evaluates one ``(window, paa_size)`` pair per
         pool task (see :mod:`repro.parallel`); the returned points are in
         the same order as the serial sweep.
+
+        *cache* (a :class:`~repro.cache.ResultCache` or a directory
+        path) persists each completed cell keyed by series content and
+        cell parameters; a repeated sweep — or any sweep whose grid
+        overlaps an earlier one over the same series — returns the
+        stored :class:`GridPoint` for every hit.  In a parallel sweep
+        the hits are resolved in the parent *before* sharding, so fully
+        cached pairs never reach the pool.  *context* memoizes
+        per-series artifacts across cells (serial sweeps only; pool
+        workers build their own per-process context).  Both options are
+        purely accelerative: the returned points are identical with or
+        without them.
         """
         workers = effective_workers(n_workers)
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
         if workers > 1:
-            from repro.parallel.engine import parallel_grid_sweep
-
-            return parallel_grid_sweep(
-                self, windows, paa_sizes, alphabet_sizes, n_workers=workers
+            from repro.parallel.engine import (
+                parallel_grid_pairs,
+                parallel_grid_sweep,
             )
+
+            if cache is None:
+                return parallel_grid_sweep(
+                    self, windows, paa_sizes, alphabet_sizes, n_workers=workers
+                )
+            # Resolve cache hits up front; only the missing cells shard.
+            cells: dict[tuple, GridPoint] = {}
+            keys: dict[tuple, str] = {}
+            pending: list[tuple] = []
+            for window in windows:
+                for paa_size in paa_sizes:
+                    if paa_size > window or window >= self.series.size:
+                        continue
+                    missing: list[int] = []
+                    for alphabet_size in alphabet_sizes:
+                        cell = (int(window), int(paa_size), int(alphabet_size))
+                        key = self._cell_key(*cell)
+                        keys[cell] = key
+                        payload = cache.get(key)
+                        if payload is not None:
+                            cells[cell] = self._point_from_payload(payload)
+                        else:
+                            missing.append(int(alphabet_size))
+                    if missing:
+                        pending.append((int(window), int(paa_size), missing))
+            if pending:
+                for point in parallel_grid_pairs(
+                    self, pending, n_workers=workers
+                ):
+                    cell = (
+                        int(point.window),
+                        int(point.paa_size),
+                        int(point.alphabet_size),
+                    )
+                    cells[cell] = point
+                    cache.put(keys[cell], self._point_payload(point))
+            return [
+                cells[cell]
+                for window in windows
+                for paa_size in paa_sizes
+                for alphabet_size in alphabet_sizes
+                if (
+                    cell := (int(window), int(paa_size), int(alphabet_size))
+                )
+                in cells
+            ]
         points: list[GridPoint] = []
         for window in windows:
             for paa_size in paa_sizes:
                 points.extend(
-                    self._evaluate_pair(window, paa_size, alphabet_sizes)
+                    self._evaluate_pair(
+                        window,
+                        paa_size,
+                        alphabet_sizes,
+                        context=context,
+                        cache=cache,
+                    )
                 )
         return points
 

@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.cache import ResultCache, SearchContext
 from repro.core.anomaly import Anomaly, Discord
 from repro.core.rra import RRAResult, find_discords, nearest_neighbor_distances
 from repro.core.rule_density import find_density_anomalies, rule_density_curve
@@ -117,6 +118,19 @@ class GrammarAnomalyDetector:
         :meth:`discords` can serialize it as a JSONL run report via
         ``report_path=``.  Disabled by default — results are
         byte-identical with or without it.
+    cache:
+        Optional persistent result cache for :meth:`discords`: a
+        :class:`~repro.cache.ResultCache` or a directory path (string /
+        path-like) one is created over.  A repeated identical query —
+        same series content, candidates, and parameters — returns the
+        stored discords and ledger flagged ``from_cache=True``,
+        bit-identical to a live run.  Disabled by default.
+    context:
+        Optional :class:`~repro.cache.SearchContext` memoizing
+        per-series artifacts (window matrices, discretizations,
+        lower-bound tables) across fits and queries.  Purely an
+        in-process optimization; results are bit-identical with or
+        without it.  Disabled by default.
 
     Examples
     --------
@@ -146,6 +160,8 @@ class GrammarAnomalyDetector:
         quality_policy: str = "raise",
         n_workers: int = 1,
         metrics=None,
+        cache=None,
+        context: Optional[SearchContext] = None,
     ) -> None:
         if grammar_algorithm not in ("sequitur", "repair"):
             raise ParameterError(
@@ -168,6 +184,15 @@ class GrammarAnomalyDetector:
         self.grammar_algorithm = grammar_algorithm
         self.seed = seed
         self.metrics = ensure_metrics(metrics)
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.context = context
+        if self.metrics.enabled:
+            if self.cache is not None:
+                self.cache.bind_metrics(self.metrics)
+            if self.context is not None:
+                self.context.bind_metrics(self.metrics)
         self._result: Optional[PipelineResult] = None
 
     # -- fitting --------------------------------------------------------
@@ -200,6 +225,13 @@ class GrammarAnomalyDetector:
             # The gate repaired the series, so any precomputed PAA matrix
             # describes the wrong data — fall back to recomputing it.
             paa_values = None
+        elif paa_values is None and self.context is not None:
+            # The context's windowed_paa is the same arithmetic the
+            # discretizer would run — memoized per series content, so
+            # refits and sweeps sharing this context skip it.
+            paa_values = self.context.windowed_paa(
+                series, self.window, self.paa_size
+            )
         with metrics.span("pipeline.discretize"):
             disc = discretize(
                 series,
@@ -306,6 +338,11 @@ class GrammarAnomalyDetector:
         kernels are skipped while discords, distances, ranks, and the
         logical call counts stay bit-identical.
 
+        When the detector was built with ``cache=``, a repeated
+        identical query is answered from the store: the result carries
+        the cached discords and replays the stored ledger, flagged
+        ``from_cache=True``, bit-identical to a live run.
+
         *report_path* writes a JSONL run report of this query
         (:func:`repro.observability.report.write_run_report`) — search
         telemetry, trace events, and the final ledger.  It uses the
@@ -330,6 +367,8 @@ class GrammarAnomalyDetector:
             n_workers=self.n_workers if n_workers is None else n_workers,
             prune=prune,
             metrics=metrics,
+            cache=self.cache,
+            context=self.context,
         )
         if not rra.complete:
             rra.degraded = True

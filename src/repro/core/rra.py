@@ -87,6 +87,7 @@ class RRAResult:
     rank_complete: list[bool] = field(default_factory=list)
     degraded: bool = False
     fallback: list[Anomaly] = field(default_factory=list)
+    from_cache: bool = False
 
     @property
     def best(self) -> Optional[Discord]:
@@ -149,6 +150,11 @@ class _CandidateSet:
         self._values: dict[tuple[int, int], np.ndarray] = {}
         self._sqnorms: dict[tuple[int, int], float] = {}
         self._sq_cumsums: dict[tuple[int, int], np.ndarray] = {}
+        # Pair distances are symmetric and depend only on the interval
+        # positions, so each distinct unordered pair is computed once —
+        # within a search and, when a SearchContext keeps this set
+        # alive, across repeated searches over the same candidates.
+        self._pair_distances: dict[tuple[int, int, int, int], float] = {}
         # Batch-backend structures, built lazily on first use: per-length
         # stacked matrices of every distinct same-length subsequence, and
         # per-candidate one-vs-group squared-distance rows.
@@ -256,23 +262,33 @@ def _kernel_pair_distance(
 
     Equal lengths use the dot-product identity with the cached squared
     norms; unequal lengths evaluate the full sliding-alignment profile
-    in one shot instead of the scalar per-offset loop.
+    in one shot instead of the scalar per-offset loop.  The result is
+    memoized per unordered pair (the distance is symmetric by
+    construction: the shorter interval always plays the query role).
     """
+    pk, qk = (p.start, p.end), (q.start, q.end)
+    key = pk + qk if pk <= qk else qk + pk
+    memoized = cache._pair_distances.get(key)
+    if memoized is not None:
+        return memoized
     a = cache.values(p)
     b = cache.values(q)
     if a.size == b.size:
         sq = cache.sqnorm(p) + cache.sqnorm(q) - 2.0 * float(np.dot(a, b))
-        return float(np.sqrt(max(sq, 0.0) / a.size))
-    if a.size < b.size:
-        short_iv, long_iv, short, long_ = p, q, a, b
+        distance = float(np.sqrt(max(sq, 0.0) / a.size))
     else:
-        short_iv, long_iv, short, long_ = q, p, b, a
-    return kernels.sliding_min_normalized_distance(
-        short,
-        long_,
-        short_sqnorm=cache.sqnorm(short_iv),
-        long_sq_cumsum=cache.sq_cumsum(long_iv),
-    )
+        if a.size < b.size:
+            short_iv, long_iv, short, long_ = p, q, a, b
+        else:
+            short_iv, long_iv, short, long_ = q, p, b, a
+        distance = kernels.sliding_min_normalized_distance(
+            short,
+            long_,
+            short_sqnorm=cache.sqnorm(short_iv),
+            long_sq_cumsum=cache.sq_cumsum(long_iv),
+        )
+    cache._pair_distances[key] = distance
+    return distance
 
 
 def _is_non_self_match(p: RuleInterval, q: RuleInterval) -> bool:
@@ -647,6 +663,8 @@ def find_discords(
     n_workers: int = 1,
     prune: bool = False,
     metrics=None,
+    cache=None,
+    context=None,
 ) -> RRAResult:
     """Iteratively extract up to *num_discords* ranked discords.
 
@@ -700,6 +718,20 @@ def find_discords(
         checkpoint writes/resumes and budget trips join the event
         stream, and checkpoints persist the registry snapshot so a
         resumed run's report reads as one continuous stream.
+    cache:
+        Optional :class:`~repro.cache.store.ResultCache`.  An identical
+        previous search (same series, candidates, parameters, backend,
+        prune flag, and RNG state) is served from disk: same discords,
+        same split-ledger increments applied to *counter*, flagged
+        ``from_cache=True`` — and the hit short-circuits checkpointing
+        entirely.  Only complete, untruncated results are ever stored;
+        a resumed search that runs to completion populates the cache
+        with the full-run ledger, exactly as an uninterrupted run would
+        have.  ``n_workers`` is deliberately not part of the key (the
+        result is bit-identical across worker counts).
+    context:
+        Optional :class:`~repro.cache.context.SearchContext` sharing the
+        series' cumulative-sum statistics across searches.
     """
     validate_backend(backend)
     series = np.asarray(series, dtype=float)
@@ -722,8 +754,51 @@ def find_discords(
     valid = [
         iv for iv in intervals if iv.end <= series.size and iv.length >= 2
     ]
-    cache = _CandidateSet(series, valid)
-    lower_bound = IntervalLowerBound(cache) if prune else None
+
+    result_cache_key: Optional[str] = None
+    ledger_before: Optional[dict] = None
+    if cache is not None:
+        from repro.cache.keys import discord_search_key
+        from repro.cache.results import (
+            LEDGER_FIELDS,
+            apply_ledger_delta,
+            discords_to_json,
+            ledger_delta,
+        )
+
+        result_cache_key = discord_search_key(
+            series,
+            valid,
+            engine="rra",
+            params={
+                "num_discords": int(num_discords),
+                "backend": backend,
+                "prune": bool(prune),
+            },
+            rng=rng,
+        )
+        entry = cache.get(result_cache_key)
+        if entry is not None:
+            # Hit: the stored discords and ledger increments, applied to
+            # the live counter — and no candidate set, no lower bound,
+            # no checkpoint writes.
+            apply_ledger_delta(counter, entry["ledger"])
+            for item in entry["discords"]:
+                result.discords.append(_discord_from_json(item))
+                result.rank_complete.append(True)
+            result.distance_calls = counter.calls
+            result.from_cache = True
+            return result
+        ledger_before = counter.ledger()
+
+    if context is not None:
+        # The context keeps the whole candidate set (normalized values,
+        # norms, batch rows, pair distances) alive across searches over
+        # the same grammar — a repeated search recomputes no distances.
+        candidate_cache = context.rra_candidate_set(series, valid)
+    else:
+        candidate_cache = _CandidateSet(series, valid)
+    lower_bound = IntervalLowerBound(candidate_cache) if prune else None
 
     fingerprint: Optional[str] = None
     if checkpoint_path is not None or resume_from is not None:
@@ -731,6 +806,23 @@ def find_discords(
             series,
             valid,
             {"num_discords": num_discords, "backend": backend, "prune": prune},
+        )
+
+    def _store_complete() -> None:
+        """Populate the result cache with a complete, exact result."""
+        if (
+            result_cache_key is None
+            or result.status is not SearchStatus.COMPLETE
+            or not all(result.rank_complete)
+        ):
+            return
+        cache.put(
+            result_cache_key,
+            {
+                "engine": "rra",
+                "discords": discords_to_json(result.discords),
+                "ledger": ledger_delta(ledger_before, counter.ledger()),
+            },
         )
 
     exclusions: list[tuple[int, int]] = []
@@ -752,6 +844,13 @@ def find_discords(
         else:
             counter.calls = int(data["distance_calls"])
             counter.true_calls = counter.calls
+        if result_cache_key is not None:
+            # restore_ledger is an absolute overwrite: the counter now
+            # holds the prior partial run's full tally, so a zero
+            # baseline makes the stored delta equal the complete
+            # cold-run ledger — exactly what an uninterrupted search
+            # would have cached.
+            ledger_before = {field: 0 for field in LEDGER_FIELDS}
         start_rank = int(data["rank"])
         if data.get("rng_state") is not None:
             rng = restore_rng(data["rng_state"])
@@ -765,6 +864,7 @@ def find_discords(
             )
         if data.get("done"):
             result.distance_calls = counter.calls
+            _store_complete()
             return result
         best_key = data.get("best_key")
         resumed_state = _RankState(
@@ -847,7 +947,7 @@ def find_discords(
                 rng=rng,
                 exclude=exclusions,
                 backend=backend,
-                cache=cache,
+                cache=candidate_cache,
                 budget=budget,
                 n_workers=n_workers,
                 prune=prune,
@@ -921,6 +1021,7 @@ def find_discords(
                 done=(rank + 1 >= num_discords),
             )
     result.distance_calls = counter.calls
+    _store_complete()
     return result
 
 

@@ -160,26 +160,27 @@ class TileScanner:
         n_rows = positions.size
         if n_rows == 0:
             return []
-        head_lens = np.array(
-            [min(HEAD_BLOCK, o.size) for o in orders], dtype=np.intp
-        )
-        head_idx = np.zeros((n_rows, HEAD_BLOCK), dtype=np.intp)
-        for i, order in enumerate(orders):
-            head_idx[i, : head_lens[i]] = order[:HEAD_BLOCK]
-        p_rows = self.normalized[positions]
-        cross = np.einsum("tw,thw->th", p_rows, self.normalized[head_idx])
-        head_sq = (
-            self.sqnorms[positions][:, None]
-            + self.sqnorms[head_idx]
-            - 2.0 * cross
-        )
-        head_d = np.sqrt(np.clip(head_sq, 0.0, None))
-
         rows: list[RowScan] = []
         open_rows: list[int] = []
         for i in range(n_rows):
             order = orders[i]
-            head = head_d[i, : head_lens[i]].copy()
+            head_order = order[:HEAD_BLOCK]
+            if head_order.size:
+                # The exact call the kernel backend makes for its first
+                # block of 8: a matrix-vector product per candidate.  An
+                # einsum (or multi-row GEMM) over the whole tile rounds
+                # differently, and a 1-ulp divergence can flip a strict
+                # comparison in the replay on a score tie.
+                head = np.sqrt(
+                    kernels.one_vs_all_sq_euclidean(
+                        self.normalized[positions[i]],
+                        self.normalized[head_order],
+                        query_sqnorm=self.sqnorms[positions[i]],
+                        sqnorms=self.sqnorms[head_order],
+                    )
+                )
+            else:
+                head = np.empty(0)
             row = RowScan(position=int(positions[i]), order=order, head=head)
             rows.append(row)
             if head.size == 0 or order.size <= HEAD_BLOCK:

@@ -330,6 +330,7 @@ class BruteForceResult:
     window: int = 0
     status: SearchStatus = SearchStatus.COMPLETE
     rank_complete: list[bool] = field(default_factory=list)
+    from_cache: bool = False
 
     @property
     def best(self) -> Optional[Discord]:
@@ -361,28 +362,79 @@ def brute_force_discords(
     n_workers: int = 1,
     prune: bool = False,
     metrics=None,
+    cache=None,
+    context=None,
 ) -> BruteForceResult:
-    """Ranked top-k fixed-length discords by exhaustive search (anytime)."""
+    """Ranked top-k fixed-length discords by exhaustive search (anytime).
+
+    *cache* serves an identical previous search from disk (discords +
+    split ledger, ``from_cache=True``); *context* shares the window
+    matrix and pruning tables across searches.  Both default to
+    ``None`` — the unconfigured path is byte-identical to the pre-cache
+    code.
+    """
     validate_backend(backend)
     series = np.asarray(series, dtype=float)
     if counter is None:
         counter = DistanceCounter()
     if budget is None:
         budget = SearchBudget.unlimited()
+    cache_key = None
+    ledger_before = None
+    if cache is not None:
+        from repro.cache.keys import discord_search_key
+        from repro.cache.results import (
+            apply_ledger_delta,
+            discords_from_json,
+            discords_to_json,
+            ledger_delta,
+        )
+
+        cache_key = discord_search_key(
+            series,
+            (),
+            engine="brute_force",
+            params={
+                "window": int(window),
+                "num_discords": int(num_discords),
+                "early_abandon": bool(early_abandon),
+                "backend": backend,
+                "prune": bool(prune),
+            },
+        )
+        entry = cache.get(cache_key)
+        if entry is not None:
+            apply_ledger_delta(counter, entry["ledger"])
+            cached = discords_from_json(entry["discords"])
+            return BruteForceResult(
+                discords=cached,
+                distance_calls=counter.calls,
+                window=window,
+                status=SearchStatus.COMPLETE,
+                rank_complete=[True] * len(cached),
+                from_cache=True,
+            )
+        ledger_before = counter.ledger()
     metrics = ensure_metrics(metrics)
     budget.bind_metrics(metrics)
-    # Deferred for degenerate inputs so brute_force_discord still raises
-    # its own (tested) validation error.
-    windows = (
-        kernels.WindowMatrix(series, window)
-        if num_windows(series.size, window) >= 2
-        else None
-    )
-    lower_bound = None
-    if prune and windows is not None:
-        lower_bound = WindowLowerBound.from_normalized_windows(
-            windows.normalized, window
+    if context is not None:
+        windows = context.window_matrix(series, window)
+        lower_bound = (
+            context.window_lower_bound(series, window) if prune else None
         )
+    else:
+        # Deferred for degenerate inputs so brute_force_discord still
+        # raises its own (tested) validation error.
+        windows = (
+            kernels.WindowMatrix(series, window)
+            if num_windows(series.size, window) >= 2
+            else None
+        )
+        lower_bound = None
+        if prune and windows is not None:
+            lower_bound = WindowLowerBound.from_normalized_windows(
+                windows.normalized, window
+            )
     discords: list[Discord] = []
     rank_complete: list[bool] = []
     exclusions: list[tuple[int, int]] = []
@@ -427,6 +479,19 @@ def brute_force_discords(
         # Exclude a window-sized neighbourhood around the found discord so
         # the next iteration reports a genuinely different anomaly.
         exclusions.append((found.start - window + 1, found.start + window))
+    if (
+        cache_key is not None
+        and budget.status is SearchStatus.COMPLETE
+        and all(rank_complete)
+    ):
+        cache.put(
+            cache_key,
+            {
+                "engine": "brute_force",
+                "discords": discords_to_json(discords),
+                "ledger": ledger_delta(ledger_before, counter.ledger()),
+            },
+        )
     return BruteForceResult(
         discords=discords,
         distance_calls=counter.calls,

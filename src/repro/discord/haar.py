@@ -41,6 +41,7 @@ class HaarResult:
     window: int = 0
     status: SearchStatus = SearchStatus.COMPLETE
     rank_complete: list[bool] = field(default_factory=list)
+    from_cache: bool = False
 
     @property
     def best(self) -> Optional[Discord]:
@@ -189,12 +190,70 @@ def haar_discords(
     n_workers: int = 1,
     prune: bool = False,
     metrics=None,
+    cache=None,
+    context=None,
 ) -> HaarResult:
-    """Ranked top-k discords with Haar-word loop ordering (anytime)."""
+    """Ranked top-k discords with Haar-word loop ordering (anytime).
+
+    *cache* serves an identical previous search from disk (discords +
+    split ledger, ``from_cache=True``); *context* shares the window
+    matrix, Haar words, and pruning tables across searches.  Both
+    default to ``None`` — the unconfigured path is byte-identical to
+    the pre-cache code.
+    """
     if budget is None:
         budget = SearchBudget.unlimited()
     series = np.asarray(series, dtype=float)
-    windows, bucket_fn = _shared_bucketing(series, window, num_coefficients)
+    cache_key = None
+    ledger_before = None
+    if cache is not None:
+        from repro.cache.keys import discord_search_key
+        from repro.cache.results import (
+            apply_ledger_delta,
+            discords_from_json,
+            discords_to_json,
+            ledger_delta,
+        )
+
+        if counter is None:
+            counter = DistanceCounter()
+        if rng is None:
+            rng = np.random.default_rng(0)
+        cache_key = discord_search_key(
+            series,
+            (),
+            engine="haar",
+            params={
+                "window": int(window),
+                "num_discords": int(num_discords),
+                "num_coefficients": int(num_coefficients),
+                "backend": backend,
+                "prune": bool(prune),
+            },
+            rng=rng,
+        )
+        entry = cache.get(cache_key)
+        if entry is not None:
+            apply_ledger_delta(counter, entry["ledger"])
+            discords = discords_from_json(entry["discords"])
+            return HaarResult(
+                discords=discords,
+                distance_calls=counter.calls,
+                window=window,
+                status=SearchStatus.COMPLETE,
+                rank_complete=[True] * len(discords),
+                from_cache=True,
+            )
+        ledger_before = counter.ledger()
+    lower_bound = None
+    if context is not None:
+        windows, bucket_fn = context.haar_bucketing(
+            series, window, num_coefficients
+        )
+        if prune:
+            lower_bound = context.window_lower_bound(series, window)
+    else:
+        windows, bucket_fn = _shared_bucketing(series, window, num_coefficients)
     discords, counter, rank_complete = iterated_search(
         series,
         window,
@@ -207,9 +266,23 @@ def haar_discords(
         budget=budget,
         n_workers=n_workers,
         prune=prune,
+        lower_bound=lower_bound,
         windows=windows,
         metrics=metrics,
     )
+    if (
+        cache_key is not None
+        and budget.status is SearchStatus.COMPLETE
+        and all(rank_complete)
+    ):
+        cache.put(
+            cache_key,
+            {
+                "engine": "haar",
+                "discords": discords_to_json(discords),
+                "ledger": ledger_delta(ledger_before, counter.ledger()),
+            },
+        )
     return HaarResult(
         discords=discords,
         distance_calls=counter.calls,

@@ -49,6 +49,7 @@ class HOTSAXResult:
     window: int = 0
     status: SearchStatus = SearchStatus.COMPLETE
     rank_complete: list[bool] = field(default_factory=list)
+    from_cache: bool = False
 
     @property
     def best(self) -> Optional[Discord]:
@@ -133,6 +134,30 @@ def _pruning_bound(
     return SAXWindowDiscretization(
         series, window, paa, alpha, normalized=normalized
     ).lower_bound()
+
+
+def _context_pruning_bound(
+    context,
+    series: np.ndarray,
+    window: int,
+    paa_size: int,
+    alphabet_size: int,
+    prune_paa_size: Optional[int],
+    prune_alphabet_size: Optional[int],
+) -> WindowLowerBound:
+    """:func:`_pruning_bound` semantics via a shared
+    :class:`~repro.cache.context.SearchContext` — the same
+    discretization parameters resolve to the same memoized tables."""
+    if prune_paa_size is None and prune_alphabet_size is None:
+        return context.sax_lower_bound(series, window, paa_size, alphabet_size)
+    from repro.timeseries.lowerbound import (
+        DEFAULT_PRUNE_ALPHABET_SIZE,
+        DEFAULT_PRUNE_PAA_SIZE,
+    )
+
+    paa = min(window, prune_paa_size or DEFAULT_PRUNE_PAA_SIZE)
+    alpha = prune_alphabet_size or DEFAULT_PRUNE_ALPHABET_SIZE
+    return context.sax_lower_bound(series, window, paa, alpha)
 
 
 def hotsax_discord(
@@ -241,6 +266,8 @@ def hotsax_discords(
     prune_paa_size: Optional[int] = None,
     prune_alphabet_size: Optional[int] = None,
     metrics=None,
+    cache=None,
+    context=None,
 ) -> HOTSAXResult:
     """Ranked top-k fixed-length discords with the HOTSAX heuristics.
 
@@ -248,27 +275,94 @@ def hotsax_discords(
     ``result.status`` and ``result.rank_complete``.  The SAX
     discretization (and, with *prune*, the lower-bound tables derived
     from it) is computed once and shared across all ranks.
+
+    *cache* (a :class:`~repro.cache.store.ResultCache`) serves an
+    identical previous search from disk — same discords, same split
+    ledger applied to *counter*, flagged ``from_cache=True``; only
+    complete, untruncated results are ever stored.  *context* (a
+    :class:`~repro.cache.context.SearchContext`) shares the window
+    matrix, SAX discretization, and pruning tables across searches.
+    Both default to ``None`` — the unconfigured path is byte-identical
+    to the pre-cache code.
     """
     if budget is None:
         budget = SearchBudget.unlimited()
     series = np.asarray(series, dtype=float)
-    windows = (
-        kernels.WindowMatrix(series, window)
-        if num_windows(series.size, window) >= 2
-        else None
-    )
-    normalized = windows.normalized if windows is not None else None
-    disc = SAXWindowDiscretization(
-        series, window, paa_size, alphabet_size, normalized=normalized
-    )
-    lower_bound = (
-        _pruning_bound(
-            series, window, disc, prune_paa_size, prune_alphabet_size,
-            normalized=normalized,
+    cache_key = None
+    ledger_before = None
+    if cache is not None:
+        from repro.cache.keys import discord_search_key
+        from repro.cache.results import (
+            apply_ledger_delta,
+            discords_from_json,
+            discords_to_json,
+            ledger_delta,
         )
-        if prune
-        else None
-    )
+
+        if counter is None:
+            counter = DistanceCounter()
+        if rng is None:
+            rng = np.random.default_rng(0)
+        cache_key = discord_search_key(
+            series,
+            (),
+            engine="hotsax",
+            params={
+                "window": int(window),
+                "num_discords": int(num_discords),
+                "paa_size": int(paa_size),
+                "alphabet_size": int(alphabet_size),
+                "backend": backend,
+                "prune": bool(prune),
+                "prune_paa_size": prune_paa_size,
+                "prune_alphabet_size": prune_alphabet_size,
+            },
+            rng=rng,
+        )
+        entry = cache.get(cache_key)
+        if entry is not None:
+            apply_ledger_delta(counter, entry["ledger"])
+            discords = discords_from_json(entry["discords"])
+            return HOTSAXResult(
+                discords=discords,
+                distance_calls=counter.calls,
+                window=window,
+                status=SearchStatus.COMPLETE,
+                rank_complete=[True] * len(discords),
+                from_cache=True,
+            )
+        ledger_before = counter.ledger()
+    if context is not None:
+        windows = context.window_matrix(series, window)
+        disc = context.sax_discretization(
+            series, window, paa_size, alphabet_size
+        )
+        lower_bound = (
+            _context_pruning_bound(
+                context, series, window, paa_size, alphabet_size,
+                prune_paa_size, prune_alphabet_size,
+            )
+            if prune
+            else None
+        )
+    else:
+        windows = (
+            kernels.WindowMatrix(series, window)
+            if num_windows(series.size, window) >= 2
+            else None
+        )
+        normalized = windows.normalized if windows is not None else None
+        disc = SAXWindowDiscretization(
+            series, window, paa_size, alphabet_size, normalized=normalized
+        )
+        lower_bound = (
+            _pruning_bound(
+                series, window, disc, prune_paa_size, prune_alphabet_size,
+                normalized=normalized,
+            )
+            if prune
+            else None
+        )
     discords, counter, rank_complete = iterated_search(
         series,
         window,
@@ -285,6 +379,19 @@ def hotsax_discords(
         windows=windows,
         metrics=metrics,
     )
+    if (
+        cache_key is not None
+        and budget.status is SearchStatus.COMPLETE
+        and all(rank_complete)
+    ):
+        cache.put(
+            cache_key,
+            {
+                "engine": "hotsax",
+                "discords": discords_to_json(discords),
+                "ledger": ledger_delta(ledger_before, counter.ledger()),
+            },
+        )
     return HOTSAXResult(
         discords=discords,
         distance_calls=counter.calls,

@@ -60,6 +60,7 @@ from repro.resilience.checkpoint import rng_state_to_json
 __all__ = [
     "parallel_fixed_search",
     "parallel_rra_rank",
+    "parallel_grid_pairs",
     "parallel_grid_sweep",
 ]
 
@@ -559,8 +560,18 @@ def parallel_rra_rank(
 # ---------------------------------------------------------------------------
 
 
+#: Worker-global memoization context for grid-sweep tasks, keyed by the
+#: shared-memory block name of the series it serves.  Pool workers are
+#: reused across tasks, so every (window, paa_size) pair a worker
+#: evaluates for one sweep shares z-normalized windows, discretizations,
+#: and statistics.  One sweep runs at a time per pool, so a new series
+#: simply replaces the old context.
+_GRID_CONTEXTS: dict = {}
+
+
 def _grid_pair_task(payload: dict) -> list:
     """Worker: evaluate one (window, paa_size) pair over all alphabets."""
+    from repro.cache import SearchContext
     from repro.core.parameter_grid import ParameterGridStudy
 
     series = np.array(attach(payload["series"]))
@@ -569,9 +580,49 @@ def _grid_pair_task(payload: dict) -> list:
         tuple(payload["true_anomaly"]),
         min_overlap=payload["min_overlap"],
     )
+    ctx_key = payload["series"].name
+    context = _GRID_CONTEXTS.get(ctx_key)
+    if context is None:
+        _GRID_CONTEXTS.clear()
+        context = _GRID_CONTEXTS[ctx_key] = SearchContext()
     return study._evaluate_pair(
-        payload["window"], payload["paa_size"], payload["alphabet_sizes"]
+        payload["window"],
+        payload["paa_size"],
+        payload["alphabet_sizes"],
+        context=context,
     )
+
+
+def parallel_grid_pairs(study, pairs, *, n_workers: int) -> list:
+    """Fan explicit ``(window, paa_size, alphabet_sizes)`` work units out
+    one pool task each.
+
+    The generalized form of :func:`parallel_grid_sweep`: the cached
+    sweep path uses it to dispatch only the cells the result cache
+    could not answer, with a per-pair alphabet subset.  Point order
+    matches the serial evaluation of *pairs* in the given order.
+    """
+    pairs = list(pairs)
+    if not pairs:
+        return []
+    with SharedArrays() as arena:
+        series_spec = arena.share(study.series)
+        payloads = [
+            {
+                "series": series_spec,
+                "true_anomaly": list(study.true_anomaly),
+                "min_overlap": study.min_overlap,
+                "window": int(window),
+                "paa_size": int(paa_size),
+                "alphabet_sizes": [int(a) for a in alphabet_sizes],
+            }
+            for window, paa_size, alphabet_sizes in pairs
+        ]
+        results = run_tasks(_grid_pair_task, payloads, n_workers=n_workers)
+    points: list = []
+    for pair_points in results:
+        points.extend(pair_points or [])
+    return points
 
 
 def parallel_grid_sweep(
@@ -588,24 +639,8 @@ def parallel_grid_sweep(
     triple loop, so the concatenated result list is identical to
     ``ParameterGridStudy.sweep`` run serially.
     """
-    pairs = [(w, p) for w in windows for p in paa_sizes]
-    if not pairs:
-        return []
-    with SharedArrays() as arena:
-        series_spec = arena.share(study.series)
-        payloads = [
-            {
-                "series": series_spec,
-                "true_anomaly": list(study.true_anomaly),
-                "min_overlap": study.min_overlap,
-                "window": int(window),
-                "paa_size": int(paa_size),
-                "alphabet_sizes": [int(a) for a in alphabet_sizes],
-            }
-            for window, paa_size in pairs
-        ]
-        results = run_tasks(_grid_pair_task, payloads, n_workers=n_workers)
-    points: list = []
-    for pair_points in results:
-        points.extend(pair_points or [])
-    return points
+    return parallel_grid_pairs(
+        study,
+        [(w, p, alphabet_sizes) for w in windows for p in paa_sizes],
+        n_workers=n_workers,
+    )

@@ -618,6 +618,16 @@ def scan_fixed_positions(
     return result
 
 
+#: One-entry worker memos of shard artifacts that are identical across
+#: every task of one parallel search.  Keys are built from the parent's
+#: shared-memory block names, which are unique per run, so a task from
+#: a new search simply displaces the previous run's entry.  Reuse is
+#: purely physical — the artifacts are deterministic functions of the
+#: shared arrays — so records, ledgers, and discords are unchanged.
+_FIXED_LB_MEMO: dict = {}
+_RRA_SHARD_MEMO: dict = {}
+
+
 def scan_fixed_shard(payload: dict) -> ShardResult:
     """Worker entry point: attach shared arrays, scan the shard."""
     normalized = attach(payload["normalized"])
@@ -636,12 +646,22 @@ def scan_fixed_shard(payload: dict) -> ShardResult:
     if lb_spec is not None:
         from repro.timeseries.lowerbound import WindowLowerBound
 
-        lb = WindowLowerBound(
-            attach(lb_spec["paa_values"]),
+        lb_key = (
+            lb_spec["paa_values"].name,
+            lb_spec["letters"].name,
             lb_spec["window"],
             lb_spec["alphabet_size"],
-            letters=attach(lb_spec["letters"]),
         )
+        lb = _FIXED_LB_MEMO.get(lb_key)
+        if lb is None:
+            _FIXED_LB_MEMO.clear()
+            lb = WindowLowerBound(
+                attach(lb_spec["paa_values"]),
+                lb_spec["window"],
+                lb_spec["alphabet_size"],
+                letters=attach(lb_spec["letters"]),
+            )
+            _FIXED_LB_MEMO[lb_key] = lb
     registry = MetricsRegistry() if payload.get("metrics") else None
     result = scan_fixed_positions(
         normalized,
@@ -773,27 +793,48 @@ def scan_rra_positions(
 
 
 def scan_rra_shard(payload: dict) -> ShardResult:
-    """Worker entry point for one RRA shard."""
-    series = attach(payload["series"])
-    cumsum = attach(payload["cumsum"])
-    sq_cumsum = attach(payload["sq_cumsum"])
-    candidates = [
-        RuleInterval(rule_id, start, end, usage)
-        for rule_id, start, end, usage in payload["candidates"]
-    ]
-    stats = kernels.SeriesStats.from_cumsums(series, cumsum, sq_cumsum)
-    cache = _CandidateSet(series, candidates, stats=stats)
-    ordering = _InnerOrdering(candidates)
-    lb = None
-    lb_config = payload.get("lb")
-    if lb_config is not None:
-        from repro.timeseries.lowerbound import IntervalLowerBound
+    """Worker entry point for one RRA shard.
 
-        lb = IntervalLowerBound(
-            cache,
-            segments=lb_config["segments"],
-            alphabet_size=lb_config["alphabet_size"],
-        )
+    A multi-wave RRA search sends the same worker many shards over the
+    same series and candidate pool, so the rebuildable artifacts — the
+    candidate-set value cache, the inner-ordering table, and the
+    interval lower bound — are memoized per worker across tasks.
+    """
+    lb_config = payload.get("lb")
+    memo_key = (
+        payload["series"].name,
+        tuple(tuple(c) for c in payload["candidates"]),
+        (
+            (lb_config["segments"], lb_config["alphabet_size"])
+            if lb_config is not None
+            else None
+        ),
+    )
+    memo = _RRA_SHARD_MEMO.get(memo_key)
+    if memo is None:
+        series = attach(payload["series"])
+        cumsum = attach(payload["cumsum"])
+        sq_cumsum = attach(payload["sq_cumsum"])
+        candidates = [
+            RuleInterval(rule_id, start, end, usage)
+            for rule_id, start, end, usage in payload["candidates"]
+        ]
+        stats = kernels.SeriesStats.from_cumsums(series, cumsum, sq_cumsum)
+        cache = _CandidateSet(series, candidates, stats=stats)
+        ordering = _InnerOrdering(candidates)
+        lb = None
+        if lb_config is not None:
+            from repro.timeseries.lowerbound import IntervalLowerBound
+
+            lb = IntervalLowerBound(
+                cache,
+                segments=lb_config["segments"],
+                alphabet_size=lb_config["alphabet_size"],
+            )
+        _RRA_SHARD_MEMO.clear()
+        _RRA_SHARD_MEMO[memo_key] = (cache, ordering, candidates, lb)
+    else:
+        cache, ordering, candidates, lb = memo
     registry = MetricsRegistry() if payload.get("metrics") else None
     result = scan_rra_positions(
         cache,

@@ -18,6 +18,7 @@ import hashlib
 import json
 import os
 import tempfile
+import weakref
 from typing import Any, Sequence
 
 import numpy as np
@@ -74,6 +75,40 @@ def restore_rng(state: dict) -> np.random.Generator:
 
 # -- input fingerprinting ----------------------------------------------
 
+#: Per-array-object memo of series digests, keyed by ``id(array)``.  A
+#: weakref finalizer evicts entries when the array dies, so a recycled
+#: id can never resurface a stale digest.  Pipelines, sweeps, and the
+#: result cache hash the same (large) series array over and over; this
+#: reduces every hash after the first to a dict lookup.  Like any
+#: identity memo it assumes the array is not mutated after first use —
+#: the same assumption every search layer already makes.
+_SERIES_DIGESTS: dict[int, str] = {}
+
+
+def series_digest(series: np.ndarray) -> str:
+    """SHA-256 hex digest of the series' float64 bytes (memoized).
+
+    The digest is over ``np.ascontiguousarray(series, dtype=float)``
+    bytes, so logically equal inputs of any layout or dtype agree.
+    """
+    key = None
+    if isinstance(series, np.ndarray):
+        key = id(series)
+        cached = _SERIES_DIGESTS.get(key)
+        if cached is not None:
+            return cached
+    digest = hashlib.sha256(
+        np.ascontiguousarray(series, dtype=float).tobytes()
+    ).hexdigest()
+    if key is not None:
+        try:
+            weakref.finalize(series, _SERIES_DIGESTS.pop, key, None)
+        except TypeError:  # pragma: no cover - weakref-less ndarray subclass
+            pass
+        else:
+            _SERIES_DIGESTS[key] = digest
+    return digest
+
 
 def search_fingerprint(
     series: np.ndarray,
@@ -82,12 +117,13 @@ def search_fingerprint(
 ) -> str:
     """Digest of the search inputs, for resume-time validation.
 
-    Covers the raw series bytes, every candidate interval's
-    ``(rule_id, start, end, usage)`` tuple, and the search parameters —
-    anything that could change the visitation order or the distances.
+    Covers the series content (via the memoized :func:`series_digest`),
+    every candidate interval's ``(rule_id, start, end, usage)`` tuple,
+    and the search parameters — anything that could change the
+    visitation order or the distances.
     """
     digest = hashlib.sha256()
-    digest.update(np.ascontiguousarray(series, dtype=float).tobytes())
+    digest.update(series_digest(series).encode())
     for iv in intervals:
         digest.update(
             f"{iv.rule_id},{iv.start},{iv.end},{iv.usage};".encode()

@@ -126,30 +126,59 @@ class Discretization:
         return 1.0 - len(self.words) / self.raw_word_count
 
 
+def normalized_flat_windows(
+    series: np.ndarray,
+    window: int,
+    *,
+    flatness_threshold: float = DEFAULT_FLATNESS_THRESHOLD,
+    normalized: np.ndarray = None,
+) -> np.ndarray:
+    """Z-normalized sliding windows with flat rows zeroed out.
+
+    The ``paa_size``- and alphabet-independent front half of
+    :func:`windowed_paa`: slide, z-normalize, zero out flat windows.
+    Flat windows carry no shape: discretizing them as exact zeros maps
+    them all to the same middle-letter word instead of flickering
+    across the central breakpoint on sub-threshold noise.
+
+    Pass *normalized* (a prebuilt ``znorm_rows`` of the same windows at
+    the same threshold, e.g. a
+    :class:`~repro.timeseries.kernels.WindowMatrix`'s ``normalized``)
+    to skip the normalization pass; the flat-row zeroing never mutates
+    it.
+    """
+    windows = sliding_windows(series, window)
+    if normalized is None:
+        normalized = znorm_rows(windows, flatness_threshold)
+    flat_rows = windows.std(axis=1) < flatness_threshold
+    if flat_rows.any():
+        normalized = np.where(flat_rows[:, None], 0.0, normalized)
+    return normalized
+
+
 def windowed_paa(
     series: np.ndarray,
     window: int,
     paa_size: int,
     *,
     flatness_threshold: float = DEFAULT_FLATNESS_THRESHOLD,
+    normalized_flat: np.ndarray = None,
 ) -> np.ndarray:
     """Per-window PAA coefficients of the z-normalized sliding windows.
 
     The expensive front half of :func:`discretize` — everything that
-    depends only on ``(window, paa_size)`` and not on the alphabet:
-    slide, z-normalize, zero out flat windows, reduce to segment means.
+    depends only on ``(window, paa_size)`` and not on the alphabet.
     Parameter sweeps compute this once per ``(window, paa_size)`` pair
-    and hand it to :func:`discretize` for each alphabet size.
+    and hand it to :func:`discretize` for each alphabet size; the
+    memoization context goes further and shares *normalized_flat* (the
+    output of :func:`normalized_flat_windows`) across every
+    ``paa_size`` of the same ``window``.
     """
-    windows = sliding_windows(series, window)
-    normalized = znorm_rows(windows, flatness_threshold)
-    # Flat windows carry no shape: discretize them as exact zeros so
-    # they all map to the same middle-letter word instead of flickering
-    # across the central breakpoint on sub-threshold noise.
-    flat_rows = windows.std(axis=1) < flatness_threshold
-    if flat_rows.any():
-        normalized = np.where(flat_rows[:, None], 0.0, normalized)
-    return paa_batch(normalized, paa_size)
+    if normalized_flat is None:
+        normalized_flat = normalized_flat_windows(
+            series, window, flatness_threshold=flatness_threshold
+        )
+    return paa_batch(normalized_flat, paa_size)
 
 
 def discretize(

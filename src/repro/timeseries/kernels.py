@@ -421,12 +421,22 @@ def all_pairs_sq_euclidean_tile(
 ) -> np.ndarray:
     """Squared Euclidean distances from every query row to every matrix row.
 
-    The tile form of :func:`one_vs_all_sq_euclidean`: one
-    ``(q, w) @ (w, k)`` GEMM plus two norm broadcasts produces the whole
-    ``(q, k)`` distance tile, clipped at zero.  This is the batch
-    backend's workhorse — the GEMM (and only the GEMM path) runs through
-    the array-API seam, so an optional CuPy/torch namespace accelerates
-    it without any caller changes; inputs and outputs are always NumPy.
+    The tile form of :func:`one_vs_all_sq_euclidean`, producing the
+    whole ``(q, k)`` distance tile, clipped at zero.  This is the batch
+    backend's workhorse.
+
+    On the default NumPy namespace the cross terms are computed one
+    query row at a time — the exact ``matrix @ query`` product
+    :func:`one_vs_all_sq_euclidean` uses — so every element is
+    bit-identical to the one-vs-all kernel no matter how the queries
+    are tiled.  A single multi-row GEMM is *not* equivalent: BLAS
+    rounds gemm and gemv accumulations differently (observably 1 ulp
+    apart for ≥ 3 query rows), and on a knife-edge score tie that ulp
+    flips a strict comparison in the search replay, changing discord
+    order and call ledgers with the tile shape.  Accelerator
+    namespaces (CuPy/torch) keep the single ``(q, w) @ (w, k)`` GEMM
+    through the array-API seam — a GPU GEMM never promised CPU-BLAS
+    bit-equality in the first place.
     """
     queries = np.asarray(queries, dtype=float)
     matrix = np.asarray(matrix, dtype=float)
@@ -440,6 +450,14 @@ def all_pairs_sq_euclidean_tile(
         sqnorms = row_sqnorms(matrix)
     if xp is None:
         xp = resolve_namespace()
+    if xp.name == "numpy":
+        query_sqnorms = np.asarray(query_sqnorms, dtype=float)
+        sqnorms = np.asarray(sqnorms, dtype=float)
+        gram = np.empty((queries.shape[0], matrix.shape[0]))
+        for i in range(queries.shape[0]):
+            gram[i] = matrix @ queries[i]
+        sq = query_sqnorms[:, None] + sqnorms[None, :] - 2.0 * gram
+        return np.clip(sq, 0.0, None)
     a = xp.asarray(queries)
     b = xp.asarray(matrix)
     gram = xp.matmul(a, xp.transpose(b))

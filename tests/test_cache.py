@@ -1,0 +1,540 @@
+"""Tests for the fingerprint-keyed result cache and memoization layer.
+
+Three invariants rule this module:
+
+* **Warm equals cold, bitwise.**  A cache hit must return the exact
+  discords (starts, ends, hex-identical scores, ranks) and replay the
+  exact logical ledger (``calls == true_calls + pruned``) of the run
+  that populated it — for every engine, backend, and prune setting.
+* **Corruption only ever costs a recompute.**  Truncated, garbled,
+  version-mismatched, or mislabeled entries are discarded and reported
+  as misses; they can never surface a wrong answer.
+* **Disabled means untouched.**  ``cache=None`` / ``context=None``
+  (the defaults) leave every code path byte-identical to the pre-cache
+  behavior — pinned separately by the golden-count suite.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    CACHE_FORMAT,
+    ResultCache,
+    SearchContext,
+    discord_search_key,
+    grid_cell_key,
+    rng_fingerprint,
+)
+from repro.cache.results import (
+    apply_ledger_delta,
+    discords_from_json,
+    discords_to_json,
+    ledger_delta,
+)
+from repro.core.anomaly import Discord
+from repro.core.pipeline import GrammarAnomalyDetector
+from repro.core.rra import find_discords
+from repro.discord.brute_force import brute_force_discords
+from repro.discord.haar import haar_discords
+from repro.discord.hotsax import hotsax_discords
+from repro.observability.metrics import MetricsRegistry
+from repro.resilience.budget import SearchBudget
+from repro.resilience.checkpoint import series_digest
+from repro.timeseries.distance import DistanceCounter
+
+WINDOW = 40
+ENGINES = ("rra", "hotsax", "haar", "brute_force")
+BACKENDS = ("scalar", "kernel", "batch")
+
+
+@pytest.fixture(scope="module")
+def series():
+    rng = np.random.default_rng(21)
+    t = np.linspace(0.0, 30.0, 600)
+    s = np.sin(t * 2 * np.pi / 5.0) + 0.15 * rng.normal(size=600)
+    s[300:340] += 1.2
+    return s
+
+
+@pytest.fixture(scope="module")
+def rra_candidates(series):
+    detector = GrammarAnomalyDetector(
+        window=WINDOW, paa_size=4, alphabet_size=4
+    )
+    return detector.fit(series).candidates
+
+
+def run_engine(
+    engine,
+    series,
+    candidates,
+    *,
+    backend="kernel",
+    prune=False,
+    cache=None,
+    context=None,
+    n_workers=1,
+    budget=None,
+):
+    counter = DistanceCounter()
+    kwargs = dict(
+        num_discords=2,
+        counter=counter,
+        backend=backend,
+        prune=prune,
+        cache=cache,
+        context=context,
+        n_workers=n_workers,
+        budget=budget,
+    )
+    if engine == "rra":
+        result = find_discords(series, candidates, **kwargs)
+    elif engine == "hotsax":
+        result = hotsax_discords(
+            series, WINDOW, paa_size=4, alphabet_size=4, **kwargs
+        )
+    elif engine == "haar":
+        result = haar_discords(series, WINDOW, **kwargs)
+    else:
+        result = brute_force_discords(series, WINDOW, **kwargs)
+    return result, counter
+
+
+def signature(result, counter):
+    """Bit-exact comparison payload: discords + logical ledger."""
+    ledger = counter.ledger()
+    assert ledger["calls"] == ledger["true_calls"] + ledger["pruned"]
+    return (
+        [
+            (d.start, d.end, float(d.score).hex(), d.rank, float(d.nn_distance).hex())
+            for d in result.discords
+        ],
+        ledger["calls"],
+        ledger["true_calls"],
+        ledger["pruned"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Warm-equals-cold equivalence matrix
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("prune", [False, True])
+def test_cache_hit_bit_identical(
+    series, rra_candidates, engine, backend, prune, tmp_path
+):
+    plain = signature(
+        *run_engine(engine, series, rra_candidates, backend=backend, prune=prune)
+    )
+    cache = ResultCache(tmp_path / "store")
+    context = SearchContext()
+    cold_result, cold_counter = run_engine(
+        engine,
+        series,
+        rra_candidates,
+        backend=backend,
+        prune=prune,
+        cache=cache,
+        context=context,
+    )
+    assert not cold_result.from_cache
+    assert signature(cold_result, cold_counter) == plain
+    warm_result, warm_counter = run_engine(
+        engine,
+        series,
+        rra_candidates,
+        backend=backend,
+        prune=prune,
+        cache=cache,
+        context=context,
+    )
+    assert warm_result.from_cache
+    assert signature(warm_result, warm_counter) == plain
+    assert all(warm_result.rank_complete)
+    assert cache.hits == 1 and cache.misses == 1
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("engine", ENGINES)
+def test_cache_hit_across_worker_counts(
+    series, rra_candidates, engine, tmp_path
+):
+    """``n_workers`` is excluded from the key: a parallel run populates
+    the cache and a serial run is answered from it (and vice versa)."""
+    plain = signature(*run_engine(engine, series, rra_candidates))
+    cache = ResultCache(tmp_path / "store")
+    parallel = signature(
+        *run_engine(engine, series, rra_candidates, cache=cache, n_workers=2)
+    )
+    assert parallel == plain
+    warm_serial_result, warm_serial_counter = run_engine(
+        engine, series, rra_candidates, cache=cache
+    )
+    assert warm_serial_result.from_cache
+    assert signature(warm_serial_result, warm_serial_counter) == plain
+    warm_parallel_result, warm_parallel_counter = run_engine(
+        engine, series, rra_candidates, cache=cache, n_workers=2
+    )
+    assert warm_parallel_result.from_cache
+    assert signature(warm_parallel_result, warm_parallel_counter) == plain
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_context_alone_is_bit_identical(
+    series, rra_candidates, engine
+):
+    """The memoization context never changes results, only work."""
+    plain = signature(
+        *run_engine(engine, series, rra_candidates, prune=True)
+    )
+    context = SearchContext()
+    first = signature(
+        *run_engine(engine, series, rra_candidates, prune=True, context=context)
+    )
+    again = signature(
+        *run_engine(engine, series, rra_candidates, prune=True, context=context)
+    )
+    assert first == plain and again == plain
+    assert context.hits > 0  # the second run reused artifacts
+
+
+# ---------------------------------------------------------------------------
+# Store robustness
+# ---------------------------------------------------------------------------
+
+
+def _store_one(tmp_path, key=None):
+    cache = ResultCache(tmp_path / "store")
+    key = key or ("ab" * 32)
+    cache.put(key, {"value": 7})
+    return cache, key
+
+
+def test_store_roundtrip(tmp_path):
+    cache, key = _store_one(tmp_path)
+    assert cache.get(key) == {"value": 7}
+    assert cache.stats()["entries"] == 1
+
+
+def test_truncated_entry_recovers(tmp_path):
+    cache, key = _store_one(tmp_path)
+    path = os.path.join(cache.directory, key + ".json")
+    with open(path) as fh:
+        text = fh.read()
+    with open(path, "w") as fh:
+        fh.write(text[: len(text) // 2])
+    assert cache.get(key) is None
+    assert not os.path.exists(path)  # offender deleted
+    assert cache.misses == 1
+
+
+def test_garbage_entry_recovers(tmp_path):
+    cache, key = _store_one(tmp_path)
+    path = os.path.join(cache.directory, key + ".json")
+    with open(path, "wb") as fh:
+        fh.write(b"\x00\xff\x13garbage")
+    assert cache.get(key) is None
+    assert not os.path.exists(path)
+
+
+def test_format_mismatch_recovers(tmp_path):
+    cache, key = _store_one(tmp_path)
+    path = os.path.join(cache.directory, key + ".json")
+    with open(path) as fh:
+        document = json.load(fh)
+    document["format"] = "repro-result-cache/999"
+    with open(path, "w") as fh:
+        json.dump(document, fh)
+    assert cache.get(key) is None
+    assert not os.path.exists(path)
+
+
+def test_key_mismatch_recovers(tmp_path):
+    """An entry whose body disagrees with its filename is discarded."""
+    cache, key = _store_one(tmp_path)
+    other = "cd" * 32
+    os.rename(
+        os.path.join(cache.directory, key + ".json"),
+        os.path.join(cache.directory, other + ".json"),
+    )
+    assert cache.get(other) is None
+    assert cache.get(key) is None  # original name gone too
+
+
+def test_malformed_keys_are_safe(tmp_path):
+    cache = ResultCache(tmp_path / "store")
+    for bad in ("", "short", "../../../etc/passwd", "AB" * 32, "zz" * 32):
+        cache.put(bad, {"x": 1})
+        assert cache.get(bad) is None
+    assert cache.stats()["entries"] == 0
+
+
+def test_lru_eviction_respects_byte_cap(tmp_path):
+    cache = ResultCache(tmp_path / "store", max_bytes=1)
+    first = "aa" * 32
+    second = "bb" * 32
+    cache.put(first, {"payload": "x" * 100})
+    # A single oversized entry survives (the just-written entry is
+    # never evicted), so one result always caches.
+    assert cache.get(first) is not None
+    cache.put(second, {"payload": "y" * 100})
+    # The cap is enforced against older entries: first is evicted.
+    assert cache.stats()["entries"] == 1
+    assert cache.get(second) is not None
+    assert cache.evictions == 1
+
+
+def test_lru_get_refreshes_recency(tmp_path):
+    entry_bytes = None
+    cache = ResultCache(tmp_path / "store")
+    keys = [format(i, "02d") * 32 for i in range(3)]
+    for i, key in enumerate(keys):
+        cache.put(key, {"i": i})
+        path = os.path.join(cache.directory, key + ".json")
+        entry_bytes = os.path.getsize(path)
+        os.utime(path, ns=(i * 10**9, i * 10**9))  # deterministic ages
+    # Touch the oldest, then shrink the cap to two entries: the
+    # refreshed entry must survive, the stale middle one must go.
+    assert cache.get(keys[0]) is not None
+    cache.max_bytes = 2 * entry_bytes
+    cache.put(keys[2], {"i": 2})  # re-put triggers eviction
+    assert cache.get(keys[1]) is None
+    assert cache.get(keys[0]) is not None
+
+
+def test_cache_metrics_counters(tmp_path):
+    registry = MetricsRegistry()
+    cache = ResultCache(tmp_path / "store", max_bytes=1, metrics=registry)
+    key_a, key_b = "aa" * 32, "bb" * 32
+    assert cache.get(key_a) is None
+    cache.put(key_a, {"v": 1})
+    assert cache.get(key_a) == {"v": 1}
+    cache.put(key_b, {"v": 2})  # evicts key_a (cap = 1 byte)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["cache.miss"] == 1
+    assert snapshot["counters"]["cache.hit"] == 1
+    assert snapshot["counters"]["cache.evicted"] == 1
+    assert snapshot["gauges"]["cache.bytes"] > 0
+
+
+def test_context_metrics_counters(series):
+    registry = MetricsRegistry()
+    context = SearchContext(metrics=registry)
+    context.window_matrix(series, WINDOW)
+    context.window_matrix(series, WINDOW)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["context.hit"] >= 1
+    assert snapshot["counters"]["context.miss"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Keys and fingerprints
+# ---------------------------------------------------------------------------
+
+
+def test_series_digest_is_content_addressed():
+    a = np.arange(50, dtype=float)
+    b = np.arange(50, dtype=float)
+    assert a is not b
+    assert series_digest(a) == series_digest(b)
+    expected = hashlib.sha256(
+        np.ascontiguousarray(a, dtype=float).tobytes()
+    ).hexdigest()
+    assert series_digest(a) == expected
+
+
+def test_series_digest_memoizes_by_identity():
+    a = np.arange(64, dtype=float)
+    first = series_digest(a)
+    # Mutating in place is NOT rehashed for the same object — the memo
+    # is keyed by array identity, per the documented contract that
+    # searched series are treated as immutable.
+    a[0] = 123.0
+    assert series_digest(a) == first
+    fresh = np.array(a)
+    assert series_digest(fresh) != first
+
+
+def test_discord_search_key_sensitivity(series):
+    base = dict(window=40, num_discords=2, backend="kernel", prune=False)
+    key = discord_search_key(series, (), engine="hotsax", params=base)
+    assert len(key) == 64 and set(key) <= set("0123456789abcdef")
+    assert key == discord_search_key(series, (), engine="hotsax", params=dict(base))
+    assert key != discord_search_key(series, (), engine="haar", params=base)
+    assert key != discord_search_key(
+        series, (), engine="hotsax", params={**base, "prune": True}
+    )
+    rng = np.random.default_rng(0)
+    assert key != discord_search_key(
+        series, (), engine="hotsax", params=base, rng=rng
+    )
+
+
+def test_rng_fingerprint_tracks_state():
+    assert rng_fingerprint(None) == "none"
+    a, b = np.random.default_rng(0), np.random.default_rng(0)
+    assert rng_fingerprint(a) == rng_fingerprint(b)
+    a.random()
+    assert rng_fingerprint(a) != rng_fingerprint(b)
+
+
+def test_grid_cell_key_distinguishes_cells(series):
+    k1 = grid_cell_key(series, window=40, paa_size=4, alphabet_size=3)
+    k2 = grid_cell_key(series, window=40, paa_size=4, alphabet_size=4)
+    k3 = grid_cell_key(series, window=40, paa_size=5, alphabet_size=3)
+    assert len({k1, k2, k3}) == 3
+
+
+def test_ledger_delta_roundtrip():
+    before = {"calls": 10, "true_calls": 6, "lb_calls": 2, "pruned": 4}
+    after = {"calls": 25, "true_calls": 16, "lb_calls": 5, "pruned": 9}
+    delta = ledger_delta(before, after)
+    counter = DistanceCounter()
+    counter.calls, counter.true_calls = 10, 6
+    counter.lb_calls, counter.pruned = 2, 4
+    apply_ledger_delta(counter, delta)
+    assert counter.ledger() == after
+
+
+def test_discord_json_roundtrip():
+    discords = [
+        Discord(start=3, end=17, score=1.25, rank=0, nn_distance=1.25,
+                rule_id=7, source="rra"),
+        Discord(start=40, end=80, score=0.5, rank=1, nn_distance=0.5,
+                rule_id=None, source="hotsax"),
+    ]
+    assert discords_from_json(discords_to_json(discords)) == discords
+
+
+# ---------------------------------------------------------------------------
+# Budget / checkpoint interoperation
+# ---------------------------------------------------------------------------
+
+
+def test_truncated_search_is_not_cached(series, rra_candidates, tmp_path):
+    cache = ResultCache(tmp_path / "store")
+    result, _ = run_engine(
+        "rra",
+        series,
+        rra_candidates,
+        cache=cache,
+        budget=SearchBudget(max_calls=5),
+    )
+    assert not result.complete
+    assert cache.stats()["entries"] == 0
+    # The incomplete attempt never poisons later full runs.
+    full_result, full_counter = run_engine(
+        "rra", series, rra_candidates, cache=cache
+    )
+    assert not full_result.from_cache
+    plain = signature(*run_engine("rra", series, rra_candidates))
+    assert signature(full_result, full_counter) == plain
+
+
+def test_resumed_search_populates_cache(series, rra_candidates, tmp_path):
+    """A checkpointed run killed mid-search, then resumed to completion,
+    stores the same entry an uninterrupted run would."""
+    plain = signature(*run_engine("rra", series, rra_candidates))
+    checkpoint = str(tmp_path / "ckpt.json")
+    cache = ResultCache(tmp_path / "store")
+    counter = DistanceCounter()
+    partial = find_discords(
+        series,
+        rra_candidates,
+        num_discords=2,
+        counter=counter,
+        budget=SearchBudget(max_calls=60),
+        checkpoint_path=checkpoint,
+        checkpoint_every=1,
+        cache=cache,
+    )
+    assert not partial.complete and os.path.exists(checkpoint)
+    assert cache.stats()["entries"] == 0
+    counter = DistanceCounter()
+    resumed = find_discords(
+        series,
+        rra_candidates,
+        num_discords=2,
+        counter=counter,
+        resume_from=checkpoint,
+        cache=cache,
+    )
+    assert resumed.complete
+    assert signature(resumed, counter) == plain
+    assert cache.stats()["entries"] == 1
+    warm_result, warm_counter = run_engine(
+        "rra", series, rra_candidates, cache=cache
+    )
+    assert warm_result.from_cache
+    assert signature(warm_result, warm_counter) == plain
+
+
+def test_cache_hit_short_circuits_checkpointing(
+    series, rra_candidates, tmp_path
+):
+    cache = ResultCache(tmp_path / "store")
+    run_engine("rra", series, rra_candidates, cache=cache)
+    checkpoint = str(tmp_path / "never-written.json")
+    counter = DistanceCounter()
+    result = find_discords(
+        series,
+        rra_candidates,
+        num_discords=2,
+        counter=counter,
+        checkpoint_path=checkpoint,
+        checkpoint_every=1,
+        cache=cache,
+    )
+    assert result.from_cache
+    assert not os.path.exists(checkpoint)
+
+
+# ---------------------------------------------------------------------------
+# Pipeline integration
+# ---------------------------------------------------------------------------
+
+
+def test_pipeline_cache_path_coercion(series, tmp_path):
+    directory = tmp_path / "store"
+    detector = GrammarAnomalyDetector(
+        window=WINDOW, paa_size=4, alphabet_size=4, cache=str(directory)
+    )
+    assert isinstance(detector.cache, ResultCache)
+    detector.fit(series)
+    cold = detector.discords(num_discords=2)
+    assert not cold.from_cache
+    warm_detector = GrammarAnomalyDetector(
+        window=WINDOW, paa_size=4, alphabet_size=4, cache=directory
+    )
+    warm_detector.fit(series)
+    warm = warm_detector.discords(num_discords=2)
+    assert warm.from_cache
+    assert [
+        (d.start, d.end, float(d.score).hex()) for d in warm.discords
+    ] == [(d.start, d.end, float(d.score).hex()) for d in cold.discords]
+    assert warm.distance_calls == cold.distance_calls
+
+
+def test_pipeline_context_shared_across_fits(series):
+    context = SearchContext()
+    plain = GrammarAnomalyDetector(window=WINDOW, paa_size=4, alphabet_size=4)
+    expected = plain.fit(series)
+    for alphabet_size in (3, 4, 5):
+        detector = GrammarAnomalyDetector(
+            window=WINDOW, paa_size=4, alphabet_size=alphabet_size,
+            context=context,
+        )
+        fitted = detector.fit(series)
+        if alphabet_size == 4:
+            assert fitted.discretization.words == expected.discretization.words
+    # windowed_paa for (window, paa) was computed once, then shared.
+    assert context.hits > 0

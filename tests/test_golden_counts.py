@@ -79,7 +79,7 @@ def _rra_intervals(dataset):
 
 def run_engine(
     name: str, dataset, intervals, *, n_workers: int, prune: bool,
-    backend: str = "kernel",
+    backend: str = "kernel", cache=None,
 ):
     """Run one engine; return its ledger + discord tuples as a golden entry.
 
@@ -100,6 +100,7 @@ def run_engine(
             n_workers=n_workers,
             prune=prune,
             backend=backend,
+            cache=cache,
         )
     elif name == "hotsax":
         result = hotsax_discords(
@@ -112,6 +113,7 @@ def run_engine(
             n_workers=n_workers,
             prune=prune,
             backend=backend,
+            cache=cache,
         )
     elif name == "haar":
         result = haar_discords(
@@ -122,6 +124,7 @@ def run_engine(
             n_workers=n_workers,
             prune=prune,
             backend=backend,
+            cache=cache,
         )
     elif name == "brute_force":
         result = brute_force_discords(
@@ -132,6 +135,7 @@ def run_engine(
             n_workers=n_workers,
             prune=prune,
             backend=backend,
+            cache=cache,
         )
     else:  # pragma: no cover - config error
         raise ValueError(name)
@@ -268,6 +272,46 @@ def test_batch_parallel_counts_match_golden(
         backend="batch",
     )
     assert entry == golden["entries"][key], key
+
+
+@pytest.mark.parametrize(
+    "dataset_name, engine, prune",
+    CASES,
+    ids=[_entry_key(*case) for case in CASES],
+)
+def test_cached_counts_match_golden(
+    golden, datasets, rra_intervals, dataset_name, engine, prune, tmp_path
+):
+    """A warm result-cache hit must reproduce the SAME golden entry.
+
+    The first run populates the store; the second is answered from it
+    (asserted via the store's hit tally) and must replay the identical
+    logical ledger triple and discord list — cached results are pinned
+    against the live goldens, never separate cached numbers.
+    """
+    from repro.cache import ResultCache
+
+    key = _entry_key(dataset_name, engine, prune)
+    cache = ResultCache(tmp_path / "store")
+    cold = run_engine(
+        engine,
+        datasets[dataset_name],
+        rra_intervals[dataset_name],
+        n_workers=1,
+        prune=prune,
+        cache=cache,
+    )
+    assert cold == golden["entries"][key], key
+    warm = run_engine(
+        engine,
+        datasets[dataset_name],
+        rra_intervals[dataset_name],
+        n_workers=1,
+        prune=prune,
+        cache=cache,
+    )
+    assert warm == golden["entries"][key], key
+    assert cache.hits == 1 and cache.misses == 1, key
 
 
 def test_golden_file_covers_every_case(golden):

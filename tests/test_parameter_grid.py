@@ -99,3 +99,82 @@ class TestStudy:
         assert counts["total"] == len(points)
         assert 0 <= counts["density_hits"] <= counts["total"]
         assert 0 <= counts["rra_hits"] <= counts["total"]
+
+
+class TestSweepMemoization:
+    def test_one_discretization_pass_per_pair(self, bump, monkeypatch):
+        """Varying only the alphabet must not re-run ``windowed_paa``.
+
+        The PAA coefficients depend on ``(window, paa_size)`` alone, so a
+        context-backed sweep over A alphabet sizes performs exactly one
+        discretization pass per valid pair — not one per cell.
+        """
+        import sys
+
+        import repro.core.parameter_grid as grid_mod
+        import repro.sax.discretize  # noqa: F401 - ensure module is loaded
+        from repro.cache import SearchContext
+
+        # ``repro.sax`` re-exports a *function* named ``discretize``,
+        # which shadows the submodule on attribute access — go through
+        # sys.modules to reach the module itself.
+        discretize_mod = sys.modules["repro.sax.discretize"]
+
+        real = discretize_mod.windowed_paa
+        calls: list[tuple[int, int]] = []
+
+        def counting(series, window, paa_size, **kwargs):
+            calls.append((int(window), int(paa_size)))
+            return real(series, window, paa_size, **kwargs)
+
+        # The context imports lazily from the module; the grid binds the
+        # name at import time — patch both entry points.
+        monkeypatch.setattr(discretize_mod, "windowed_paa", counting)
+        monkeypatch.setattr(grid_mod, "windowed_paa", counting)
+
+        study = ParameterGridStudy(bump.series, bump.anomalies[0], min_overlap=0.3)
+        points = study.sweep(
+            windows=[40, 80],
+            paa_sizes=[4, 6],
+            alphabet_sizes=[3, 4, 5],
+            context=SearchContext(),
+        )
+        assert points
+        expected_pairs = {(40, 4), (40, 6), (80, 4), (80, 6)}
+        assert sorted(calls) == sorted(expected_pairs)
+
+    def test_sweep_cache_warm_equals_cold(self, bump, tmp_path):
+        from repro.cache import ResultCache
+
+        study = ParameterGridStudy(bump.series, bump.anomalies[0], min_overlap=0.3)
+        grid = dict(windows=[40, 80], paa_sizes=[4], alphabet_sizes=[3, 4])
+        plain = study.sweep(**grid)
+        cache = ResultCache(tmp_path / "store")
+        cold = study.sweep(**grid, cache=cache)
+        assert cold == plain
+        warm = study.sweep(**grid, cache=cache)
+        assert warm == plain
+        assert cache.hits == len(plain)
+        # An overlapping, larger grid reuses the stored cells and only
+        # computes the new ones.
+        wider = study.sweep(
+            windows=[40, 80], paa_sizes=[4], alphabet_sizes=[3, 4, 5],
+            cache=cache,
+        )
+        assert all(point in wider for point in plain)
+
+    @pytest.mark.slow
+    def test_parallel_sweep_cache_matches_serial(self, bump, tmp_path):
+        from repro.cache import ResultCache
+
+        study = ParameterGridStudy(bump.series, bump.anomalies[0], min_overlap=0.3)
+        grid = dict(windows=[40, 80], paa_sizes=[4], alphabet_sizes=[3, 4])
+        plain = study.sweep(**grid)
+        cache = ResultCache(tmp_path / "store")
+        # Cold parallel sweep populates; warm parallel sweep is answered
+        # from the store without sharding any work.
+        cold = study.sweep(**grid, cache=cache, n_workers=2)
+        assert cold == plain
+        warm = study.sweep(**grid, cache=cache, n_workers=2)
+        assert warm == plain
+        assert cache.hits >= len(plain)
