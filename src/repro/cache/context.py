@@ -256,6 +256,101 @@ class SearchContext:
             ),
         )
 
+    # -- grammar front half ----------------------------------------------
+
+    def sax_tokens(
+        self,
+        series: np.ndarray,
+        window: int,
+        paa_size: int,
+        alphabet_size: int,
+        strategy,
+    ):
+        """The pipeline's numerosity-reduced :class:`Discretization`.
+
+        Builds on :meth:`windowed_paa`, so every ``alphabet_size`` (and
+        every refit) of the same ``(window, paa_size)`` shares the
+        sliding-window/znorm/PAA front half.
+        """
+        from repro.sax.discretize import discretize
+
+        key = (
+            "sax_tokens",
+            self._series_key(series),
+            int(window),
+            int(paa_size),
+            int(alphabet_size),
+            strategy.value,
+        )
+        return self.memo(
+            key,
+            lambda: discretize(
+                series,
+                window,
+                paa_size,
+                alphabet_size,
+                strategy=strategy,
+                paa_values=self.windowed_paa(series, window, paa_size),
+            ),
+        )
+
+    def grammar_front(
+        self,
+        series: np.ndarray,
+        window: int,
+        paa_size: int,
+        alphabet_size: int,
+        strategy,
+        algorithm: str = "sequitur",
+    ):
+        """The pipeline front half: ``(disc, grammar, intervals, gaps)``.
+
+        Everything the detector's :meth:`~repro.core.pipeline.
+        GrammarAnomalyDetector.fit` derives from the token stream before
+        any distance work — the induced grammar, its occurrence
+        intervals, and the uncovered-token gaps — memoized per
+        ``(series content, window, paa_size, alphabet_size, strategy,
+        algorithm)``.  RRA candidate generation, density ranking, and
+        repeated sweep cells all reuse one induction.  The density curve
+        is deliberately *not* memoized: it is O(n) from *intervals* and
+        recomputing it per fit keeps the density metrics gauges behaving
+        identically on memo hits and misses.
+        """
+        key = (
+            "grammar_front",
+            self._series_key(series),
+            int(window),
+            int(paa_size),
+            int(alphabet_size),
+            strategy.value,
+            algorithm,
+        )
+
+        def build():
+            from repro.grammar.intervals import (
+                rule_intervals,
+                uncovered_intervals,
+            )
+
+            disc = self.sax_tokens(
+                series, window, paa_size, alphabet_size, strategy
+            )
+            if algorithm == "repair":
+                from repro.grammar.repair import repair_grammar
+
+                grammar = repair_grammar(disc.tokens())
+            else:
+                from repro.grammar.sequitur import induce_grammar_interned
+
+                grammar = induce_grammar_interned(
+                    disc.token_ids, disc.vocabulary, tokens=disc.tokens()
+                )
+            intervals = rule_intervals(grammar, disc)
+            gaps = uncovered_intervals(grammar, disc)
+            return disc, grammar, intervals, gaps
+
+        return self.memo(key, build)
+
     # -- RRA artifacts --------------------------------------------------
 
     def rra_candidate_set(self, series: np.ndarray, intervals):

@@ -29,7 +29,7 @@ import numpy as np
 from repro.core.rule_density import rule_density_curve
 from repro.exceptions import ParameterError
 from repro.grammar.intervals import rule_intervals
-from repro.grammar.sequitur import induce_grammar
+from repro.grammar.sequitur import induce_grammar_interned
 from repro.sax.discretize import discretize
 
 
@@ -126,7 +126,9 @@ def grammar_health(
         return None
     if len(disc) < 4:
         return None
-    grammar = induce_grammar(disc.tokens())
+    grammar = induce_grammar_interned(
+        disc.token_ids, disc.vocabulary, tokens=disc.tokens()
+    )
     intervals = rule_intervals(grammar, disc)
     curve = rule_density_curve(intervals, series.size)
 

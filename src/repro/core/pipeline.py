@@ -26,7 +26,7 @@ from repro.grammar.intervals import (
     uncovered_intervals,
 )
 from repro.grammar.repair import repair_grammar
-from repro.grammar.sequitur import induce_grammar
+from repro.grammar.sequitur import induce_grammar_interned
 from repro.observability.metrics import MetricsRegistry, ensure_metrics
 from repro.observability.report import write_run_report
 from repro.parallel.pool import effective_workers
@@ -225,29 +225,54 @@ class GrammarAnomalyDetector:
             # The gate repaired the series, so any precomputed PAA matrix
             # describes the wrong data — fall back to recomputing it.
             paa_values = None
-        elif paa_values is None and self.context is not None:
-            # The context's windowed_paa is the same arithmetic the
-            # discretizer would run — memoized per series content, so
-            # refits and sweeps sharing this context skip it.
-            paa_values = self.context.windowed_paa(
-                series, self.window, self.paa_size
-            )
-        with metrics.span("pipeline.discretize"):
-            disc = discretize(
-                series,
-                self.window,
-                self.paa_size,
-                self.alphabet_size,
-                strategy=self.numerosity_reduction,
-                paa_values=paa_values,
-            )
-        with metrics.span("pipeline.grammar", algorithm=self.grammar_algorithm):
-            if self.grammar_algorithm == "repair":
-                grammar = repair_grammar(disc.tokens())
-            else:
-                grammar = induce_grammar(disc.tokens())
-        intervals = rule_intervals(grammar, disc)
-        gaps = uncovered_intervals(grammar, disc)
+        if self.context is not None and not report.bad_spans:
+            # The context memoizes the whole grammar front half per
+            # (series content, window, paa_size, alphabet_size, strategy,
+            # algorithm): discretization, induced grammar, occurrence
+            # intervals, and uncovered gaps.  Refits, repeated sweep
+            # cells, and the density/RRA queries of one fit all share a
+            # single induction; the build path runs the exact same
+            # arithmetic as the uncontexted branch below.
+            with metrics.span("pipeline.discretize"):
+                disc = self.context.sax_tokens(
+                    series,
+                    self.window,
+                    self.paa_size,
+                    self.alphabet_size,
+                    self.numerosity_reduction,
+                )
+            with metrics.span(
+                "pipeline.grammar", algorithm=self.grammar_algorithm
+            ):
+                disc, grammar, intervals, gaps = self.context.grammar_front(
+                    series,
+                    self.window,
+                    self.paa_size,
+                    self.alphabet_size,
+                    self.numerosity_reduction,
+                    self.grammar_algorithm,
+                )
+        else:
+            with metrics.span("pipeline.discretize"):
+                disc = discretize(
+                    series,
+                    self.window,
+                    self.paa_size,
+                    self.alphabet_size,
+                    strategy=self.numerosity_reduction,
+                    paa_values=paa_values,
+                )
+            with metrics.span(
+                "pipeline.grammar", algorithm=self.grammar_algorithm
+            ):
+                if self.grammar_algorithm == "repair":
+                    grammar = repair_grammar(disc.tokens())
+                else:
+                    grammar = induce_grammar_interned(
+                        disc.token_ids, disc.vocabulary, tokens=disc.tokens()
+                    )
+            intervals = rule_intervals(grammar, disc)
+            gaps = uncovered_intervals(grammar, disc)
         density = rule_density_curve(intervals, series.size, metrics=metrics)
         if metrics.enabled:
             metrics.gauge("pipeline.words_reduced").set(len(disc))

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.core.anomaly import Anomaly
 from repro.exceptions import ParameterError
-from repro.grammar.intervals import RuleInterval
+from repro.grammar.intervals import RuleInterval, interval_endpoints
 from repro.observability.metrics import ensure_metrics
 
 
@@ -47,18 +47,29 @@ def rule_density_curve(
     -----
     Implemented with a difference array + cumulative sum, so the cost is
     O(len(intervals) + series_length) regardless of interval lengths.
+    The endpoint accumulation is a pair of :func:`numpy.bincount` calls
+    over the interval endpoints — no per-interval Python iteration.
+    Intervals starting at or past ``series_length`` contribute nothing
+    (an empty interval list yields the all-zeros curve).
     """
     if series_length < 0:
         raise ParameterError(f"series_length must be >= 0, got {series_length}")
-    diff = np.zeros(series_length + 1, dtype=np.int64)
-    covering = 0
-    for iv in intervals:
-        if iv.start >= series_length:
-            continue
-        covering += 1
-        diff[iv.start] += 1
-        diff[min(iv.end, series_length)] -= 1
-    curve = np.cumsum(diff[:-1])
+    n = len(intervals)
+    if n == 0:
+        curve = np.zeros(series_length, dtype=np.int64)
+        covering = 0
+    else:
+        starts, ends = interval_endpoints(intervals)
+        valid = starts < series_length
+        if not valid.all():
+            starts = starts[valid]
+            ends = ends[valid]
+        covering = int(starts.size)
+        diff = np.bincount(starts, minlength=series_length + 1)
+        diff -= np.bincount(
+            np.minimum(ends, series_length), minlength=series_length + 1
+        )
+        curve = np.cumsum(diff[:series_length])
     metrics = ensure_metrics(metrics)
     if metrics.enabled:
         metrics.gauge("density.interval_count").set(covering)
@@ -92,25 +103,29 @@ def density_minima_intervals(
     Returns
     -------
     list of (start, end) half-open intervals, in series order.
+
+    Notes
+    -----
+    Runs of below-threshold points are extracted by diffing the padded
+    boolean mask — a rising edge opens an interval, a falling edge
+    closes it — so the scan is O(len(curve)) in vectorized numpy rather
+    than a per-point Python loop.
     """
     curve = np.asarray(curve)
     if curve.size == 0:
         return []
     if threshold is None:
         threshold = float(curve.min())
-    mask = curve <= threshold
-    intervals: list[tuple[int, int]] = []
-    start = None
-    for pos, below in enumerate(mask):
-        if below and start is None:
-            start = pos
-        elif not below and start is not None:
-            if pos - start >= min_length:
-                intervals.append((start, pos))
-            start = None
-    if start is not None and curve.size - start >= min_length:
-        intervals.append((start, int(curve.size)))
-    return intervals
+    padded = np.zeros(curve.size + 2, dtype=np.int8)
+    padded[1:-1] = curve <= threshold
+    edges = np.diff(padded)
+    starts = np.flatnonzero(edges == 1)
+    ends = np.flatnonzero(edges == -1)
+    return [
+        (int(s), int(e))
+        for s, e in zip(starts.tolist(), ends.tolist())
+        if e - s >= min_length
+    ]
 
 
 def find_density_anomalies(

@@ -22,6 +22,7 @@ from repro.sax.discretize import Discretization
 
 __all__ = [
     "RuleInterval",
+    "RuleIntervalList",
     "rule_intervals",
     "uncovered_intervals",
     "zero_coverage_gaps",
@@ -66,6 +67,59 @@ class RuleInterval:
         return f"RuleInterval({tag}, [{self.start}, {self.end}), usage={self.usage})"
 
 
+class RuleIntervalList(list):
+    """A list of :class:`RuleInterval` with cached endpoint arrays.
+
+    :func:`rule_intervals` returns this type so that the accumulation
+    passes downstream (:func:`repro.core.rule_density.rule_density_curve`,
+    :func:`zero_coverage_gaps`) can read every interval's endpoints as
+    two ``int64`` arrays instead of re-reading per-object attributes on
+    each call.  The arrays are built lazily on first use and reused for
+    the lifetime of the list — one projected interval list typically
+    serves the density curve, the gap scan, and (under a
+    :class:`~repro.cache.SearchContext`) every refit of the same cell.
+
+    The cache is invalidated by a length change (append/extend); callers
+    that *replace* elements in place should not rely on it.  The arrays
+    follow the list's element order at build time; the consumers here
+    treat them as an order-independent endpoint multiset.
+    """
+
+    __slots__ = ("_starts", "_ends")
+
+    def __init__(self, iterable=()):
+        super().__init__(iterable)
+        self._starts: np.ndarray | None = None
+        self._ends: np.ndarray | None = None
+
+    def __reduce__(self):
+        # Pickle as the plain element list (works at every protocol
+        # despite __slots__); the receiving side rebuilds the endpoint
+        # arrays lazily on first use.
+        return (type(self), (list(self),))
+
+    def endpoint_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(starts, ends)`` as ``int64`` arrays, cached."""
+        n = len(self)
+        if self._starts is None or self._starts.size != n:
+            self._starts = np.fromiter(
+                (iv.start for iv in self), np.int64, count=n
+            )
+            self._ends = np.fromiter((iv.end for iv in self), np.int64, count=n)
+        return self._starts, self._ends
+
+
+def interval_endpoints(intervals) -> tuple[np.ndarray, np.ndarray]:
+    """Endpoint arrays of any interval sequence, cached when possible."""
+    getter = getattr(intervals, "endpoint_arrays", None)
+    if getter is not None:
+        return getter()
+    n = len(intervals)
+    starts = np.fromiter((iv.start for iv in intervals), np.int64, count=n)
+    ends = np.fromiter((iv.end for iv in intervals), np.int64, count=n)
+    return starts, ends
+
+
 def rule_intervals(
     grammar: Grammar,
     discretization: Discretization,
@@ -89,15 +143,25 @@ def rule_intervals(
     list[RuleInterval]
         Sorted by (start, end, rule_id).
     """
-    intervals: list[RuleInterval] = []
+    # Inlined span_to_interval: one grammar over a long stream yields
+    # ~1e5 occurrences, so the per-occurrence bounds checks and function
+    # calls dominate.  Occurrence spans come from the freeze and are
+    # in range by construction (grammar.verify() checks this).
+    offs = discretization.offsets.tolist()
+    window = discretization.window
+    series_length = discretization.series_length
+    intervals = RuleIntervalList()
+    append = intervals.append
     for rule in grammar:
-        if rule.rule_id == START_RULE_ID and not include_start_rule:
+        rule_id = rule.rule_id
+        if rule_id == START_RULE_ID and not include_start_rule:
             continue
+        usage = rule.usage
         for occ in rule.occurrences:
-            start, end = discretization.span_to_interval(occ.start, occ.end)
-            intervals.append(
-                RuleInterval(rule.rule_id, start, end, usage=rule.usage)
-            )
+            end = offs[occ.end] + window
+            if end > series_length:
+                end = series_length
+            append(RuleInterval(rule_id, offs[occ.start], end, usage=usage))
     intervals.sort(key=lambda iv: (iv.start, iv.end, iv.rule_id))
     return intervals
 
@@ -153,24 +217,28 @@ def zero_coverage_gaps(
     i.e. exactly where the rule density curve is 0.  Gaps shorter than
     *min_length* points are ignored (a 1-point gap carries no shape).
     """
-    coverage = np.zeros(series_length + 1, dtype=np.int64)
-    for iv in intervals:
-        coverage[iv.start] += 1
-        coverage[min(iv.end, series_length)] -= 1
-    covered = np.cumsum(coverage[:-1]) > 0
+    n = len(intervals)
+    if n:
+        iv_starts, iv_ends = interval_endpoints(intervals)
+        coverage = np.bincount(
+            np.minimum(iv_starts, series_length), minlength=series_length + 1
+        )
+        coverage -= np.bincount(
+            np.minimum(iv_ends, series_length), minlength=series_length + 1
+        )
+        covered = np.cumsum(coverage[:series_length]) > 0
+    else:
+        covered = np.zeros(series_length, dtype=bool)
 
-    gaps: list[RuleInterval] = []
-    in_gap = False
-    gap_start = 0
-    for pos in range(series_length):
-        if not covered[pos]:
-            if not in_gap:
-                in_gap = True
-                gap_start = pos
-        elif in_gap:
-            in_gap = False
-            if pos - gap_start >= min_length:
-                gaps.append(RuleInterval(-1, gap_start, pos, usage=0))
-    if in_gap and series_length - gap_start >= min_length:
-        gaps.append(RuleInterval(-1, gap_start, series_length, usage=0))
-    return gaps
+    # Uncovered runs via edge detection on the padded mask (same trick
+    # as density_minima_intervals): O(series_length), no Python scan.
+    padded = np.zeros(series_length + 2, dtype=np.int8)
+    padded[1:-1] = ~covered
+    edges = np.diff(padded)
+    run_starts = np.flatnonzero(edges == 1)
+    run_ends = np.flatnonzero(edges == -1)
+    return [
+        RuleInterval(-1, int(s), int(e), usage=0)
+        for s, e in zip(run_starts.tolist(), run_ends.tolist())
+        if e - s >= min_length
+    ]

@@ -60,23 +60,24 @@ def prune_rules(
     for interval in intervals:
         by_rule.setdefault(interval.rule_id, []).append(interval)
 
-    def total_points(rule_intervals_: list[RuleInterval]) -> int:
-        covered = np.zeros(discretization.series_length, dtype=bool)
-        for iv in rule_intervals_:
-            covered[iv.start : iv.end] = True
-        return int(covered.sum())
-
-    order = sorted(
-        by_rule.items(),
-        key=lambda item: (-total_points(item[1]), item[0]),
-    )
-
-    covered = np.zeros(discretization.series_length, dtype=bool)
-    kept: list[PrunedRule] = []
-    for rule_id, rule_ivs in order:
+    # Build each rule's coverage mask exactly once and reuse it for both
+    # the ordering key and the greedy pass (previously the masks were
+    # rebuilt inside the loop, doubling the dominant cost of pruning).
+    masks: dict[int, np.ndarray] = {}
+    totals: dict[int, int] = {}
+    for rule_id, rule_ivs in by_rule.items():
         mask = np.zeros(discretization.series_length, dtype=bool)
         for iv in rule_ivs:
             mask[iv.start : iv.end] = True
+        masks[rule_id] = mask
+        totals[rule_id] = int(mask.sum())
+
+    order = sorted(by_rule, key=lambda rule_id: (-totals[rule_id], rule_id))
+
+    covered = np.zeros(discretization.series_length, dtype=bool)
+    kept: list[PrunedRule] = []
+    for rule_id in order:
+        mask = masks[rule_id]
         new_points = int((mask & ~covered).sum())
         if new_points >= min_new_points:
             covered |= mask
@@ -85,7 +86,7 @@ def prune_rules(
                     rule_id=rule_id,
                     usage=grammar.rules[rule_id].usage,
                     new_points=new_points,
-                    total_points=int(mask.sum()),
+                    total_points=totals[rule_id],
                 )
             )
     return kept

@@ -11,255 +11,454 @@ Sequitur maintains two invariants at all times:
 * **rule utility** — every rule is used at least twice; a rule whose use
   count drops to one is inlined and deleted.
 
-The implementation follows the classic doubly-linked-list design: each
-rule owns a circular symbol list closed by a *guard* node, and a global
-digram index maps symbol-pair keys to the left symbol of their (unique)
-occurrence.
+This module runs the induction over *interned integer tokens*: input
+tokens are mapped to dense ids once, and the invariant machinery works
+on parallel ``code``/``prv``/``nxt`` arrays with a digram index keyed by
+packed integer pairs instead of tuple-of-tuple string keys.  Two
+bit-identical engines implement that design:
+
+* a C core (:mod:`repro.grammar.ccore`), compiled on first use from
+  ``_sequitur_core.c`` when a system compiler is available;
+* :class:`_FastSequitur`, the pure-Python array engine, used as the
+  fallback when the C core cannot be built or is disabled via
+  ``REPRO_SEQUITUR_CORE=off``.
+
+Both produce grammars equal to the original object-based implementation
+preserved in :mod:`repro.grammar.legacy`; the equivalence tests and the
+golden grammar fingerprints enforce this.
+
+Symbol encoding shared by both engines: terminal token id ``t`` is code
+``2t`` (even), a reference to rule serial ``s`` is ``2s + 1`` (odd), and
+the guard node of rule serial ``s`` carries ``-s - 1`` (negative).  A
+digram ``(a, b)`` is indexed under the packed key
+``code(a) << 42 | code(b)``.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+import ctypes
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.exceptions import GrammarError
+from repro.grammar import ccore
 from repro.grammar.grammar import (
     Grammar,
     GrammarRule,
     RuleOccurrence,
     START_RULE_ID,
-    compute_levels,
 )
 
-
-class _Rule:
-    """Internal Sequitur rule: a circular, guard-closed symbol list."""
-
-    __slots__ = ("ctx", "serial", "refcount", "guard")
-
-    def __init__(self, ctx: "_Sequitur") -> None:
-        self.ctx = ctx
-        self.serial = ctx.next_serial()
-        self.refcount = 0
-        self.guard = _Symbol(ctx, guard_of=self)
-        self.guard.next = self.guard
-        self.guard.prev = self.guard
-        ctx.rules[self.serial] = self
-
-    def first(self) -> "_Symbol":
-        return self.guard.next
-
-    def last(self) -> "_Symbol":
-        return self.guard.prev
-
-    def reuse(self) -> None:
-        self.refcount += 1
-
-    def deuse(self) -> None:
-        self.refcount -= 1
-
-    def symbols(self) -> Iterable["_Symbol"]:
-        """Iterate the body symbols, guard excluded."""
-        sym = self.first()
-        while not sym.is_guard:
-            yield sym
-            sym = sym.next
-
-    def drop(self) -> None:
-        """Remove this rule from the registry (after inlining)."""
-        del self.ctx.rules[self.serial]
+_KSHIFT = 42
+_NEW_OCC = RuleOccurrence.__new__
+_SET = object.__setattr__
 
 
-class _Symbol:
-    """A node in a rule body: terminal, non-terminal, or guard."""
+class _FastSequitur:
+    """Array-based Sequitur over interned integer token codes.
 
-    __slots__ = ("ctx", "token", "rule", "is_guard", "owner", "prev", "next")
+    Nodes live in three parallel lists (``code``/``prv``/``nxt``); ``-1``
+    means "none".  ``guards[serial]`` is the guard node of the rule with
+    that serial (``-1`` once the rule has been inlined), and
+    ``refcount[serial]`` its use count.  The layout and the order of
+    every index/refcount update mirror the reference implementation in
+    :mod:`repro.grammar.legacy` exactly, so both engines build the same
+    rules in the same serial order.
+    """
 
-    def __init__(
-        self,
-        ctx: "_Sequitur",
-        *,
-        token: Optional[str] = None,
-        rule: Optional[_Rule] = None,
-        guard_of: Optional[_Rule] = None,
-    ) -> None:
-        self.ctx = ctx
-        self.token = token
-        self.rule = rule
-        self.is_guard = guard_of is not None
-        self.owner = guard_of
-        self.prev: Optional[_Symbol] = None
-        self.next: Optional[_Symbol] = None
-        if rule is not None:
-            rule.reuse()
-
-    # -- identity -----------------------------------------------------
-
-    @property
-    def is_nonterminal(self) -> bool:
-        return self.rule is not None and not self.is_guard
-
-    def key(self):
-        """Hashable identity used in digram keys."""
-        if self.is_nonterminal:
-            return ("R", self.rule.serial)
-        return ("t", self.token)
-
-    def digram_key(self):
-        """Key of the digram (self, self.next)."""
-        return (self.key(), self.next.key())
-
-    # -- linking ------------------------------------------------------
-
-    @staticmethod
-    def join(left: "_Symbol", right: "_Symbol") -> None:
-        """Link *left* -> *right*, maintaining the digram index.
-
-        If *left* previously had a right neighbour, the old digram is
-        removed from the index.  The two inner conditionals re-index the
-        first pair of an overlapping triple (e.g. in ``...aaa...`` only
-        the second ``aa`` is indexed; when it disappears, the first one
-        must be remembered again) — this is the classic fix from the
-        reference implementation.
-        """
-        ctx = left.ctx
-        if left.next is not None:
-            left.delete_digram()
-            if (
-                right.prev is not None
-                and right.next is not None
-                and not right.is_guard
-                and not right.prev.is_guard
-                and not right.next.is_guard
-                and right.key() == right.prev.key()
-                and right.key() == right.next.key()
-            ):
-                ctx.index[right.digram_key()] = right
-            if (
-                left.prev is not None
-                and left.next is not None
-                and not left.is_guard
-                and not left.prev.is_guard
-                and not left.next.is_guard
-                and left.key() == left.next.key()
-                and left.key() == left.prev.key()
-            ):
-                ctx.index[left.prev.digram_key()] = left.prev
-        left.next = right
-        right.prev = left
-
-    def insert_after(self, symbol: "_Symbol") -> None:
-        """Insert *symbol* immediately after self."""
-        _Symbol.join(symbol, self.next)
-        _Symbol.join(self, symbol)
-
-    def delete_digram(self) -> None:
-        """Remove the digram (self, self.next) from the index if present."""
-        if self.is_guard or self.next is None or self.next.is_guard:
-            return
-        key = self.digram_key()
-        if self.ctx.index.get(key) is self:
-            del self.ctx.index[key]
-
-    def unlink(self) -> None:
-        """Remove self from its list with full bookkeeping.
-
-        Mirrors the reference destructor: unlink, drop the (self, next)
-        digram from the index, and decrement a referenced rule's use
-        count.
-        """
-        _Symbol.join(self.prev, self.next)
-        if not self.is_guard:
-            self.delete_digram()
-            if self.is_nonterminal:
-                self.rule.deuse()
-
-    # -- the Sequitur invariants ---------------------------------------
-
-    def check(self) -> bool:
-        """Enforce digram uniqueness on the digram (self, self.next).
-
-        Returns True when a match was found and processed (the grammar
-        changed), False when the digram was merely indexed.
-        """
-        if self.is_guard or self.next is None or self.next.is_guard:
-            return False
-        key = self.digram_key()
-        found = self.ctx.index.get(key)
-        if found is None:
-            self.ctx.index[key] = self
-            return False
-        if found.next is not self:  # overlapping digrams (aaa) are ignored
-            self._process_match(found)
-        return True
-
-    def _process_match(self, match: "_Symbol") -> None:
-        """Digram (self, self.next) == digram at *match*: factor it out."""
-        ctx = self.ctx
-        if match.prev.is_guard and match.next.next.is_guard:
-            # The match is the complete body of an existing rule: reuse it.
-            rule = match.prev.owner
-            self._substitute(rule)
-        else:
-            rule = _Rule(ctx)
-            rule.last().insert_after(self.copy())
-            rule.last().insert_after(self.next.copy())
-            match._substitute(rule)
-            self._substitute(rule)
-            ctx.index[rule.first().digram_key()] = rule.first()
-        # Rule utility: inline a rule that is now used only once.
-        first = rule.first()
-        if first.is_nonterminal and first.rule.refcount == 1:
-            first.expand()
-
-    def copy(self) -> "_Symbol":
-        """A fresh symbol with the same value (bumps rule refcount)."""
-        if self.is_nonterminal:
-            return _Symbol(self.ctx, rule=self.rule)
-        return _Symbol(self.ctx, token=self.token)
-
-    def _substitute(self, rule: _Rule) -> None:
-        """Replace the digram (self, self.next) by a reference to *rule*."""
-        prev = self.prev
-        prev.next.unlink()
-        prev.next.unlink()
-        prev.insert_after(_Symbol(self.ctx, rule=rule))
-        if not prev.check():
-            prev.next.check()
-
-    def expand(self) -> None:
-        """Inline the once-used rule this non-terminal refers to."""
-        rule = self.rule
-        left = self.prev
-        right = self.next
-        first = rule.first()
-        last = rule.last()
-        self.delete_digram()
-        _Symbol.join(left, first)
-        _Symbol.join(last, right)
-        self.ctx.index[last.digram_key()] = last
-        rule.drop()
-
-
-class _Sequitur:
-    """Mutable induction state: rule registry and digram index."""
+    __slots__ = ("code", "prv", "nxt", "guards", "refcount", "index")
 
     def __init__(self) -> None:
-        self.rules: dict[int, _Rule] = {}
-        self.index: dict[tuple, _Symbol] = {}
-        self._serial = 0
-        self.start = _Rule(self)
+        self.code = [-1]  # node 0 = guard of the start rule (serial 0)
+        self.prv = [0]
+        self.nxt = [0]
+        self.guards = [0]  # serial -> guard node id (-1 = dropped)
+        self.refcount = [0]  # serial -> use count
+        self.index: dict[int, int] = {}
 
-    def next_serial(self) -> int:
-        serial = self._serial
-        self._serial += 1
-        return serial
+    def _join(self, left: int, right: int) -> None:
+        """Link *left* -> *right* with full digram-index bookkeeping."""
+        code, prv, nxt, index = self.code, self.prv, self.nxt, self.index
+        if nxt[left] != -1:
+            lc = code[left]
+            ln = nxt[left]
+            if lc >= 0 and code[ln] >= 0:
+                key = lc << _KSHIFT | code[ln]
+                if index.get(key) == left:
+                    del index[key]
+            # Re-index the first pair of an overlapping triple (the
+            # classic ``aaa`` fix from the reference implementation).
+            rc = code[right]
+            if rc >= 0:
+                rp, rn = prv[right], nxt[right]
+                if rp != -1 and rn != -1 and code[rp] == rc and code[rn] == rc:
+                    index[rc << _KSHIFT | rc] = right
+            if lc >= 0:
+                lp = prv[left]
+                if lp != -1 and ln != -1 and code[ln] == lc and code[lp] == lc:
+                    index[lc << _KSHIFT | lc] = lp
+        nxt[left] = right
+        prv[right] = left
 
-    def push_token(self, token: str) -> None:
-        """Append one input token and restore the invariants."""
-        self.start.last().insert_after(_Symbol(self, token=token))
-        last = self.start.last()
-        if last.prev is not None and not last.prev.is_guard:
-            last.prev.check()
+    def _check(self, i: int) -> bool:
+        """Enforce digram uniqueness on the digram starting at node *i*."""
+        code, nxt = self.code, self.nxt
+        ci = code[i]
+        if ci < 0:
+            return False
+        n = nxt[i]
+        if n == -1 or code[n] < 0:
+            return False
+        key = ci << _KSHIFT | code[n]
+        found = self.index.setdefault(key, i)
+        if found == i:
+            return False
+        if nxt[found] != i:  # overlapping digrams (aaa) are ignored
+            self._process_match(i, found)
+        return True
+
+    def _process_match(self, i: int, match: int) -> None:
+        """Digram at *i* equals digram at *match*: factor it out."""
+        code, prv, nxt = self.code, self.prv, self.nxt
+        refcount, guards = self.refcount, self.guards
+        if code[prv[match]] < 0 and code[nxt[nxt[match]]] < 0:
+            # The match is the complete body of an existing rule: reuse it.
+            serial = -code[prv[match]] - 1
+            self._substitute(i, serial)
+        else:
+            serial = len(guards)
+            guard = len(code)
+            code.append(-serial - 1)
+            prv.append(guard)
+            nxt.append(guard)
+            guards.append(guard)
+            refcount.append(0)
+            ca = code[i]
+            cb = code[nxt[i]]
+            a = guard + 1
+            code.append(ca)
+            prv.append(guard)
+            nxt.append(guard)
+            if ca & 1:
+                refcount[ca >> 1] += 1
+            b = a + 1
+            code.append(cb)
+            prv.append(a)
+            nxt.append(guard)
+            if cb & 1:
+                refcount[cb >> 1] += 1
+            nxt[guard] = a
+            nxt[a] = b
+            prv[guard] = b
+            self._substitute(match, serial)
+            self._substitute(i, serial)
+            self.index[ca << _KSHIFT | cb] = a
+        # Rule utility: inline a rule that is now used only once.
+        first = nxt[guards[serial]]
+        fc = code[first]
+        if fc & 1 and fc >= 0 and refcount[fc >> 1] == 1:
+            self._expand(first)
+
+    def _substitute(self, i: int, serial: int) -> None:
+        """Replace the digram starting at node *i* by a rule reference."""
+        code, prv, nxt, index = self.code, self.prv, self.nxt, self.index
+        p = prv[i]
+        # Unlink the two digram symbols — (nxt[p], nxt[nxt[p]]) — with
+        # the same bookkeeping order as the reference ``unlink``.
+        for _ in (0, 1):
+            d = nxt[p]
+            dn = nxt[d]
+            pc = code[p]
+            if pc >= 0 and code[d] >= 0:
+                key = pc << _KSHIFT | code[d]
+                if index.get(key) == p:
+                    del index[key]
+            dc = code[dn]
+            if dc >= 0:
+                dp, dnn = prv[dn], nxt[dn]
+                if dp != -1 and dnn != -1 and code[dp] == dc and code[dnn] == dc:
+                    index[dc << _KSHIFT | dc] = dn
+            if pc >= 0:
+                pp = prv[p]
+                if pp != -1 and code[d] == pc and code[pp] == pc:
+                    index[pc << _KSHIFT | pc] = prv[p]
+            nxt[p] = dn
+            prv[dn] = p
+            dc2 = code[d]
+            if dc2 >= 0:
+                if dn != -1 and code[dn] >= 0:
+                    key = dc2 << _KSHIFT | code[dn]
+                    if index.get(key) == d:
+                        del index[key]
+                if dc2 & 1:
+                    self.refcount[dc2 >> 1] -= 1
+        node = len(code)
+        code.append(2 * serial + 1)
+        prv.append(-1)
+        nxt.append(-1)
+        self.refcount[serial] += 1
+        self._join(node, nxt[p])
+        self._join(p, node)
+        if not self._check(p):
+            self._check(nxt[p])
+
+    def _expand(self, i: int) -> None:
+        """Inline the once-used rule referenced by node *i*."""
+        code, prv, nxt, index = self.code, self.prv, self.nxt, self.index
+        serial = code[i] >> 1
+        guard = self.guards[serial]
+        left, right = prv[i], nxt[i]
+        first, last = nxt[guard], prv[guard]
+        ci = code[i]
+        if right != -1 and code[right] >= 0:
+            key = ci << _KSHIFT | code[right]
+            if index.get(key) == i:
+                del index[key]
+        self._join(left, first)
+        self._join(last, right)
+        ln = nxt[last]
+        if code[ln] >= 0:
+            index[code[last] << _KSHIFT | code[ln]] = last
+        self.guards[serial] = -1
+        self.refcount[serial] = 0
+
+    def push_code(self, c: int) -> None:
+        """Append one pre-doubled terminal code and restore invariants."""
+        self.push_many((c,))
+
+    def push_many(self, codes) -> None:
+        """Consume pre-doubled terminal codes (``2 * token_id`` each)."""
+        code, prv, nxt = self.code, self.prv, self.nxt
+        setdefault = self.index.setdefault
+        process = self._process_match
+        guard = self.guards[0]
+        for c in codes:
+            node = len(code)
+            last = prv[guard]
+            code.append(c)
+            prv.append(last)
+            nxt.append(guard)
+            nxt[last] = node
+            prv[guard] = node
+            lc = code[last]
+            if lc < 0:
+                continue
+            key = lc << _KSHIFT | c
+            found = setdefault(key, last)
+            if found != last and nxt[found] != last:
+                process(last, found)
+
+
+# ---------------------------------------------------------------------
+# Freeze: array state -> immutable Grammar
+# ---------------------------------------------------------------------
+
+
+def _prep_python(fs: _FastSequitur, n_tokens: int):
+    """Freeze preparation on the pure-Python engine.
+
+    Returns ``(bodies, levels, lengths, starts)`` in the shared
+    materialization format: rules renumbered BFS-first from R0, each
+    body a list of codes where terminal id ``t`` is ``2t`` and public
+    rule id ``p`` is ``2p + 1``; ``starts[pid]`` lists the sorted
+    occurrence start positions.
+    """
+    code, nxt, guards = fs.code, fs.nxt, fs.guards
+
+    # BFS id assignment in order of first reference from R0 (matches the
+    # legacy freeze's queue order).
+    id_map = {0: START_RULE_ID}
+    queue = [0]
+    qi = 0
+    bodies: list[list[int]] = []
+    while qi < len(queue):
+        serial = queue[qi]
+        qi += 1
+        guard = guards[serial]
+        body: list[int] = []
+        i = nxt[guard]
+        while code[i] >= 0:
+            c = code[i]
+            if c & 1:
+                s = c >> 1
+                pid = id_map.get(s)
+                if pid is None:
+                    pid = id_map[s] = len(id_map)
+                    queue.append(s)
+                body.append(2 * pid + 1)
+            else:
+                body.append(c)
+            i = nxt[i]
+        bodies.append(body)
+
+    n_rules = len(queue)
+
+    # Hierarchy levels: iterative post-order DP (same values as
+    # ``compute_levels`` on the finished grammar).
+    levels = [0] * n_rules
+    for root in range(n_rules):
+        if levels[root]:
+            continue
+        stack = [root]
+        while stack:
+            top = stack[-1]
+            if levels[top]:
+                stack.pop()
+                continue
+            best = 0
+            ready = True
+            for c in bodies[top]:
+                if c & 1:
+                    lv = levels[c >> 1]
+                    if not lv:
+                        stack.append(c >> 1)
+                        ready = False
+                    elif lv > best:
+                        best = lv
+            if ready:
+                levels[top] = best + 1
+                stack.pop()
+
+    order = sorted(range(n_rules), key=levels.__getitem__)
+
+    # Expansion lengths + child refs, children before parents.
+    lengths = [0] * n_rules
+    rhs_refs: list = [None] * n_rules
+    for pid in order:
+        total = 0
+        refs = []
+        for c in bodies[pid]:
+            if c & 1:
+                refs.append((total, c >> 1))
+                total += lengths[c >> 1]
+            else:
+                total += 1
+        lengths[pid] = total
+        rhs_refs[pid] = refs
+
+    # Occurrence starts: parents (higher level) propagate to children.
+    starts: list[list[int]] = [[] for _ in range(n_rules)]
+    if n_tokens:
+        starts[START_RULE_ID].append(0)
+    for pid in reversed(order):
+        mine = starts[pid]
+        mine.sort()
+        for offset, child in rhs_refs[pid]:
+            cs = starts[child]
+            if offset:
+                for s in mine:
+                    cs.append(s + offset)
+            else:
+                cs += mine
+
+    return bodies, levels, lengths, starts
+
+
+def _materialize(bodies, levels, lengths, starts, tokens, vocab) -> Grammar:
+    """Build the immutable Grammar from shared freeze-prep arrays."""
+    rules: dict[int, GrammarRule] = {}
+    for pid in range(len(bodies)):
+        rhs = [c >> 1 if c & 1 else vocab[c >> 1] for c in bodies[pid]]
+        rule = GrammarRule(rule_id=pid, rhs=rhs)
+        rule.level = levels[pid]
+        length = lengths[pid]
+        mine = starts[pid]
+        if mine:
+            s0 = mine[0]
+            rule.expansion = tokens[s0 : s0 + length]
+        occs = []
+        last = length - 1
+        ap = occs.append
+        for s in mine:
+            # RuleOccurrence.__new__ + setattr skips dataclass __init__
+            # overhead; at ~1e5 occurrences per grammar the constructor
+            # dominates the freeze otherwise.
+            occ = _NEW_OCC(RuleOccurrence)
+            _SET(occ, "start", s)
+            _SET(occ, "end", s + last)
+            ap(occ)
+        rule.occurrences = occs
+        rules[pid] = rule
+    return Grammar(tokens=tokens, rules=rules, algorithm="sequitur")
+
+
+def _induce_c(lib, codes: np.ndarray, tokens: list, vocab: list) -> Grammar:
+    """Run push + freeze prep inside the C core, materialize in Python."""
+    h = lib.seq_new()
+    if not h or lib.seq_oom(h):
+        if h:
+            lib.seq_free(h)
+        raise MemoryError("seq_new failed")
+    try:
+        rc = lib.seq_push(h, codes.ctypes.data_as(ctypes.c_void_p), codes.size)
+        if rc != 0:
+            raise MemoryError("seq_push failed")
+        fz = lib.seq_freeze_prep(h, len(tokens))
+        if not fz:
+            raise MemoryError("seq_freeze_prep failed")
+        try:
+            if lib.seq_frozen_oom(fz):
+                raise MemoryError("seq_freeze_prep out of memory")
+            n_rules = lib.seq_frozen_n_rules(fz)
+            nb = lib.seq_frozen_body_total(fz)
+            ns = lib.seq_frozen_starts_total(fz)
+            body_flat = np.ctypeslib.as_array(
+                lib.seq_frozen_body_flat(fz), shape=(max(nb, 1),)
+            ).tolist()
+            body_off = np.ctypeslib.as_array(
+                lib.seq_frozen_body_off(fz), shape=(n_rules + 1,)
+            ).tolist()
+            levels = np.ctypeslib.as_array(
+                lib.seq_frozen_levels(fz), shape=(n_rules,)
+            ).tolist()
+            lengths = np.ctypeslib.as_array(
+                lib.seq_frozen_lengths(fz), shape=(n_rules,)
+            ).tolist()
+            starts_flat = np.ctypeslib.as_array(
+                lib.seq_frozen_starts_flat(fz), shape=(max(ns, 1),)
+            ).tolist()
+            starts_off = np.ctypeslib.as_array(
+                lib.seq_frozen_starts_off(fz), shape=(n_rules + 1,)
+            ).tolist()
+        finally:
+            lib.seq_frozen_free(fz)
+    finally:
+        lib.seq_free(h)
+
+    bodies = [body_flat[body_off[p] : body_off[p + 1]] for p in range(n_rules)]
+    starts = [starts_flat[starts_off[p] : starts_off[p + 1]] for p in range(n_rules)]
+    return _materialize(bodies, levels, lengths, starts, tokens, vocab)
+
+
+def _induce_interned(ids: np.ndarray, vocab: list, tokens: list) -> Grammar:
+    """Dispatch interned induction to the C core or the Python engine."""
+    codes = np.ascontiguousarray(ids, dtype=np.int64) * 2
+    lib = ccore.load()
+    if lib is not None:
+        try:
+            return _induce_c(lib, codes, tokens, vocab)
+        except MemoryError:
+            pass  # allocation failure inside the core: retry in Python
+    fs = _FastSequitur()
+    fs.push_many(codes.tolist())
+    bodies, levels, lengths, starts = _prep_python(fs, len(tokens))
+    return _materialize(bodies, levels, lengths, starts, tokens, vocab)
+
+
+def intern_tokens(tokens: Sequence[str]) -> tuple[np.ndarray, list[str]]:
+    """Map tokens to dense int ids: ``(ids, vocabulary)``.
+
+    ``vocabulary[ids[k]] == tokens[k]`` for every position.  The
+    vocabulary order (lexicographic, from :func:`numpy.unique`) is
+    irrelevant to induction: grammars depend only on the equality
+    structure of the sequence, not on which id a token received.
+    """
+    if not len(tokens):
+        return np.empty(0, dtype=np.int64), []
+    arr = np.asarray(tokens)
+    uniq, inverse = np.unique(arr, return_inverse=True)
+    return inverse.astype(np.int64, copy=False).ravel(), uniq.tolist()
 
 
 def induce_grammar(tokens: Sequence[str]) -> Grammar:
@@ -269,7 +468,7 @@ def induce_grammar(tokens: Sequence[str]) -> Grammar:
     ----------
     tokens:
         The input sequence; each element is treated as an atomic terminal
-        (e.g. a SAX word).
+        (e.g. a SAX word).  Non-string elements are coerced with ``str``.
 
     Returns
     -------
@@ -278,46 +477,43 @@ def induce_grammar(tokens: Sequence[str]) -> Grammar:
         from R0, with expansions, occurrence spans, and hierarchy levels
         filled in.
     """
-    state = _Sequitur()
     token_list = [str(t) for t in tokens]
-    for token in token_list:
-        state.push_token(token)
-    return _freeze(state, token_list)
+    ids, vocab = intern_tokens(token_list)
+    return _induce_interned(ids, vocab, token_list)
 
 
-def _freeze(state: _Sequitur, tokens: list[str]) -> Grammar:
-    """Convert mutable induction state into the immutable data model."""
-    id_map: dict[int, int] = {state.start.serial: START_RULE_ID}
-    order: list[_Rule] = [state.start]
+def induce_grammar_interned(
+    token_ids: Sequence[int] | np.ndarray,
+    vocabulary: Sequence[str],
+    tokens: Optional[list[str]] = None,
+) -> Grammar:
+    """Induce from pre-interned tokens, skipping the interning pass.
 
-    # Assign public ids in pre-order of first reference from R0.
-    stack = [state.start]
-    visited = {state.start.serial}
-    while stack:
-        rule = stack.pop(0)
-        for sym in rule.symbols():
-            if sym.is_nonterminal and sym.rule.serial not in visited:
-                visited.add(sym.rule.serial)
-                id_map[sym.rule.serial] = len(order)
-                order.append(sym.rule)
-                stack.append(sym.rule)
+    The SAX front end (:func:`repro.sax.discretize.discretize`) already
+    produces dense ``token_ids`` plus a ``vocabulary``; feeding them here
+    avoids re-hashing every word string.
 
-    rules: dict[int, GrammarRule] = {}
-    for internal in order:
-        public_id = id_map[internal.serial]
-        rhs: list = []
-        for sym in internal.symbols():
-            if sym.is_nonterminal:
-                rhs.append(id_map[sym.rule.serial])
-            else:
-                rhs.append(sym.token)
-        rules[public_id] = GrammarRule(rule_id=public_id, rhs=rhs)
+    Parameters
+    ----------
+    token_ids:
+        Dense int ids, each indexing *vocabulary*.
+    vocabulary:
+        Distinct token strings; ``vocabulary[token_ids[k]]`` is the
+        *k*-th input token.
+    tokens:
+        Optional pre-built token-string list (must equal the decoded
+        sequence); supplied by callers that already hold it.
+    """
+    ids = np.ascontiguousarray(token_ids, dtype=np.int64)
+    vocab = list(vocabulary)
+    if tokens is None:
+        tokens = [vocab[i] for i in ids.tolist()]
+    return _induce_interned(ids, vocab, tokens)
 
-    _fill_expansions(rules)
-    _fill_occurrences(rules, len(tokens))
-    compute_levels(rules)
-    grammar = Grammar(tokens=tokens, rules=rules, algorithm="sequitur")
-    return grammar
+
+# ---------------------------------------------------------------------
+# Shared helpers for derived engines (repair, legacy reference)
+# ---------------------------------------------------------------------
 
 
 def _fill_expansions(rules: dict[int, GrammarRule]) -> None:

@@ -76,6 +76,14 @@ class Discretization:
     raw_word_count:
         Number of words before numerosity reduction (== number of
         sliding windows).
+    token_ids:
+        Dense interned id of each surviving word (``int64``, aligned
+        with ``words``); ``vocabulary[token_ids[k]] == words[k].word``.
+        Grammar induction consumes these directly
+        (:func:`repro.grammar.sequitur.induce_grammar_interned`) so the
+        word strings never need re-hashing.
+    vocabulary:
+        The distinct surviving word strings (sorted lexicographically).
     """
 
     words: list[SAXWord]
@@ -86,6 +94,8 @@ class Discretization:
     strategy: NumerosityReduction
     raw_word_count: int = 0
     _offsets: np.ndarray = field(default=None, repr=False, compare=False)
+    token_ids: np.ndarray = field(default=None, repr=False, compare=False)
+    vocabulary: list[str] = field(default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.words)
@@ -101,6 +111,9 @@ class Discretization:
 
     def tokens(self) -> list[str]:
         """The plain word strings, in order (Sequitur's input)."""
+        if self.token_ids is not None and self.vocabulary is not None:
+            vocab = self.vocabulary
+            return [vocab[i] for i in self.token_ids.tolist()]
         return [w.word for w in self.words]
 
     def span_to_interval(self, first_token: int, last_token: int) -> tuple[int, int]:
@@ -259,11 +272,20 @@ def discretize(
             )
     letter_idx = np.searchsorted(cuts, paa_values, side="right")
 
-    alphabet = [chr(ord("a") + i) for i in range(alphabet_size)]
-    raw_words = ["".join(alphabet[i] for i in row) for row in letter_idx]
+    kept = _kept_indices(letter_idx, strategy)
+    kept_rows = letter_idx[kept]
+    uniq_rows, inverse = np.unique(kept_rows, axis=0, return_inverse=True)
+    token_ids = inverse.astype(np.int64, copy=False).ravel()
 
-    kept = _reduce(raw_words, strategy, alphabet_size, window)
-    words = [SAXWord(raw_words[i], i) for i in kept]
+    # Word strings are built once per *distinct* surviving row — on real
+    # streams that is orders of magnitude fewer joins than one per window.
+    alphabet = [chr(ord("a") + i) for i in range(alphabet_size)]
+    vocabulary = ["".join(alphabet[i] for i in row) for row in uniq_rows.tolist()]
+
+    words = [
+        SAXWord(vocabulary[tid], off)
+        for tid, off in zip(token_ids.tolist(), kept.tolist())
+    ]
     return Discretization(
         words=words,
         window=window,
@@ -271,8 +293,51 @@ def discretize(
         alphabet_size=alphabet_size,
         series_length=series.size,
         strategy=strategy,
-        raw_word_count=len(raw_words),
+        raw_word_count=letter_idx.shape[0],
+        _offsets=kept.astype(int, copy=False),
+        token_ids=token_ids,
+        vocabulary=vocabulary,
     )
+
+
+def _kept_indices(
+    letter_idx: np.ndarray, strategy: NumerosityReduction
+) -> np.ndarray:
+    """Surviving window indices, computed on integer letter rows.
+
+    Equivalent to :func:`_reduce` over the word strings (each letter
+    maps to exactly one index, so row equality == word equality), but
+    EXACT reduction vectorizes: a word survives iff its row differs from
+    the previous row, and comparing to the previous *kept* word equals
+    comparing to the previous *raw* word by induction (a dropped word is
+    identical to the last kept one).
+
+    MINDIST keeps a word iff its lower-bound distance to the last kept
+    word is positive, which for the SAX distance table means some letter
+    pair is at least two apart — collapses are not transitive, so this
+    stays a sequential scan (over plain Python ints, not array rows).
+    """
+    n = letter_idx.shape[0]
+    if strategy is NumerosityReduction.NONE or n == 0:
+        return np.arange(n, dtype=np.int64)
+    if strategy is NumerosityReduction.EXACT:
+        changed = np.flatnonzero(np.any(letter_idx[1:] != letter_idx[:-1], axis=1))
+        return np.concatenate(
+            (np.zeros(1, dtype=np.int64), changed.astype(np.int64, copy=False) + 1)
+        )
+    if strategy is NumerosityReduction.MINDIST:
+        rows = letter_idx.tolist()
+        kept = [0]
+        last = rows[0]
+        for i in range(1, n):
+            row = rows[i]
+            for a, b in zip(row, last):
+                if a - b > 1 or b - a > 1:
+                    kept.append(i)
+                    last = row
+                    break
+        return np.asarray(kept, dtype=np.int64)
+    raise ParameterError(f"unknown numerosity reduction strategy: {strategy!r}")
 
 
 def _reduce(
@@ -281,7 +346,12 @@ def _reduce(
     alphabet_size: int,
     window: int,
 ) -> list[int]:
-    """Indices of the words that survive numerosity reduction."""
+    """Indices of the words that survive numerosity reduction.
+
+    Reference implementation over word strings, kept for the
+    equivalence tests; :func:`discretize` uses :func:`_kept_indices`
+    on the integer letter rows instead.
+    """
     if strategy is NumerosityReduction.NONE or not raw_words:
         return list(range(len(raw_words)))
     kept = [0]

@@ -6,12 +6,19 @@ alive between pushes so a stream consumer can interleave tokens and
 grammar queries.  Snapshots (full :class:`Grammar` objects with
 expansions/occurrences) cost O(grammar + derivation) and are intended
 for periodic, not per-token, use.
+
+The live state is the interned array engine from
+:mod:`repro.grammar.sequitur` (:class:`_FastSequitur`): tokens are
+interned to dense int ids as they arrive, and the digram machinery runs
+over packed integer keys.  Snapshots go through the same freeze path as
+the offline engine, so a snapshot equals ``induce_grammar`` over the
+same prefix — bit for bit.
 """
 
 from __future__ import annotations
 
 from repro.grammar.grammar import Grammar
-from repro.grammar.sequitur import _Sequitur, _freeze
+from repro.grammar.sequitur import _FastSequitur, _materialize, _prep_python
 
 
 class IncrementalSequitur:
@@ -28,14 +35,20 @@ class IncrementalSequitur:
     """
 
     def __init__(self) -> None:
-        self._state = _Sequitur()
+        self._state = _FastSequitur()
+        self._intern: dict[str, int] = {}
+        self._vocab: list[str] = []
         self._tokens: list[str] = []
 
     def push(self, token: str) -> None:
         """Append one token and restore the Sequitur invariants."""
         token = str(token)
         self._tokens.append(token)
-        self._state.push_token(token)
+        code = self._intern.get(token)
+        if code is None:
+            code = self._intern[token] = 2 * len(self._vocab)
+            self._vocab.append(token)
+        self._state.push_code(code)
 
     def push_many(self, tokens) -> None:
         """Append a batch of tokens."""
@@ -50,7 +63,7 @@ class IncrementalSequitur:
     @property
     def rule_count(self) -> int:
         """Live rules (start rule included) without snapshotting."""
-        return len(self._state.rules)
+        return sum(1 for g in self._state.guards if g != -1)
 
     def tokens(self) -> list[str]:
         """The tokens consumed so far (a copy)."""
@@ -60,43 +73,53 @@ class IncrementalSequitur:
         """Maximal terminal runs in the live start rule, as token spans.
 
         This is the streaming detector's primary signal — computed
-        directly from the live linked-list state (no snapshot needed):
-        a terminal still sitting in R0 after the stream has moved on is
-        a token the grammar could not compress.
+        directly from the live array state (no snapshot needed): a
+        terminal still sitting in R0 after the stream has moved on is a
+        token the grammar could not compress.
 
         Returns inclusive ``(first_token_index, last_token_index)``
         pairs.  Cost: O(|R0 body| + total expansion of its rule refs),
         using cached expansion lengths where possible.
         """
+        state = self._state
+        code, nxt = state.code, state.nxt
         runs: list[tuple[int, int]] = []
         position = 0
         run_start: int | None = None
         length_cache: dict[int, int] = {}
-        for symbol in self._state.start.symbols():
-            if symbol.is_nonterminal:
+        i = nxt[state.guards[0]]
+        while code[i] >= 0:
+            c = code[i]
+            if c & 1:
                 if run_start is not None:
                     runs.append((run_start, position - 1))
                     run_start = None
-                position += self._expansion_length(symbol.rule, length_cache)
+                position += self._expansion_length(c >> 1, length_cache)
             else:
                 if run_start is None:
                     run_start = position
                 position += 1
+            i = nxt[i]
         if run_start is not None:
             runs.append((run_start, position - 1))
         return runs
 
-    def _expansion_length(self, rule, cache: dict[int, int]) -> int:
-        cached = cache.get(rule.serial)
+    def _expansion_length(self, serial: int, cache: dict[int, int]) -> int:
+        cached = cache.get(serial)
         if cached is not None:
             return cached
+        state = self._state
+        code, nxt = state.code, state.nxt
         total = 0
-        for symbol in rule.symbols():
-            if symbol.is_nonterminal:
-                total += self._expansion_length(symbol.rule, cache)
+        i = nxt[state.guards[serial]]
+        while code[i] >= 0:
+            c = code[i]
+            if c & 1:
+                total += self._expansion_length(c >> 1, cache)
             else:
                 total += 1
-        cache[rule.serial] = total
+            i = nxt[i]
+        cache[serial] = total
         return total
 
     def snapshot(self) -> Grammar:
@@ -104,4 +127,9 @@ class IncrementalSequitur:
 
         The live state is not consumed — pushing may continue afterwards.
         """
-        return _freeze(self._state, list(self._tokens))
+        bodies, levels, lengths, starts = _prep_python(
+            self._state, len(self._tokens)
+        )
+        return _materialize(
+            bodies, levels, lengths, starts, list(self._tokens), self._vocab
+        )
