@@ -23,6 +23,10 @@ True
 from repro.core import (
     Anomaly,
     Discord,
+    EnsembleDetector,
+    EnsembleDiscord,
+    EnsembleMember,
+    EnsembleResult,
     GrammarAnomalyDetector,
     Motif,
     ParameterGridStudy,
@@ -52,6 +56,7 @@ from repro.exceptions import (
     DiscordSearchError,
     DiscretizationError,
     GrammarError,
+    GridCellError,
     ParameterError,
     ReproError,
     TrajectoryError,
@@ -68,6 +73,10 @@ __all__ = [
     # core
     "Anomaly",
     "Discord",
+    "EnsembleDetector",
+    "EnsembleDiscord",
+    "EnsembleMember",
+    "EnsembleResult",
     "GrammarAnomalyDetector",
     "ParameterGridStudy",
     "PipelineResult",
@@ -114,6 +123,7 @@ __all__ = [
     "GrammarError",
     "DiscordSearchError",
     "DatasetError",
+    "GridCellError",
     "DataQualityError",
     "CheckpointError",
     "TrajectoryError",

@@ -26,6 +26,7 @@ from repro.cache.context import SearchContext
 from repro.cache.keys import (
     CACHE_KEY_VERSION,
     discord_search_key,
+    ensemble_member_key,
     grid_cell_key,
     rng_fingerprint,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "discord_search_key",
     "discords_from_json",
     "discords_to_json",
+    "ensemble_member_key",
     "grid_cell_key",
     "ledger_delta",
     "rng_fingerprint",

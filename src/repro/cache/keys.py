@@ -28,6 +28,7 @@ __all__ = [
     "CACHE_KEY_VERSION",
     "rng_fingerprint",
     "discord_search_key",
+    "ensemble_member_key",
     "grid_cell_key",
 ]
 
@@ -70,6 +71,37 @@ def discord_search_key(
     merged["__cache_key_version__"] = CACHE_KEY_VERSION
     merged["__cache_rng__"] = rng_fingerprint(rng)
     return search_fingerprint(series, intervals, merged)
+
+
+def ensemble_member_key(
+    series: np.ndarray,
+    *,
+    window: int,
+    paa_size: int,
+    alphabet_size: int,
+    params: Optional[dict] = None,
+) -> str:
+    """Cache key for one :class:`~repro.core.ensemble.EnsembleDetector`
+    member: the member's raw evidence (density curve + discords) for one
+    series and discretization triple.
+
+    Like every key here, ``n_workers`` is excluded; so is the distance
+    backend, because the engines guarantee bit-identical discords and
+    ledgers across backends (pinned by the golden-count suite).  The
+    *params* dict must carry everything else that shapes the stored
+    payload (``num_discords``, ``seed``).
+    """
+    merged = dict(params or {})
+    merged.update(
+        {
+            "__cache_engine__": "ensemble_member",
+            "__cache_key_version__": CACHE_KEY_VERSION,
+            "window": int(window),
+            "paa_size": int(paa_size),
+            "alphabet_size": int(alphabet_size),
+        }
+    )
+    return search_fingerprint(series, (), merged)
 
 
 def grid_cell_key(

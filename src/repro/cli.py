@@ -12,6 +12,9 @@ Subcommands
     Report the top recurrent variable-length patterns (frequent rules).
 ``suggest``
     Suggest discretization parameters for a series (grammar health).
+``ensemble``
+    Run a grid of (window, PAA, alphabet) members and report the
+    aggregated, parameter-free anomaly verdict with per-member provenance.
 ``table1``
     Regenerate the paper's Table 1 on the synthetic stand-in datasets.
 ``demo``
@@ -26,6 +29,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.core.ensemble import AGGREGATIONS, NORMALIZATIONS
 from repro.core.pipeline import GrammarAnomalyDetector
 from repro.exceptions import ReproError
 from repro.timeseries.kernels import BACKENDS
@@ -134,6 +138,89 @@ def _cmd_find(args: argparse.Namespace) -> int:
                 + ", ".join(f"[{a.start}, {a.end})" for a in rra.fallback),
                 file=sys.stderr,
             )
+    return 0
+
+
+def _parse_grid(spec: str):
+    """Parse ``WINDOWS:PAAS:ALPHABETS`` (comma-separated ints) into members.
+
+    Example: ``60,120:4,6:3,5`` → the 2x2x2 cartesian grid (minus any
+    member with PAA larger than its window).
+    """
+    from repro.core.ensemble import ensemble_grid
+
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise ReproError(
+            f"--grid expects WINDOWS:PAAS:ALPHABETS (e.g. 60,120:4,6:3,5), "
+            f"got {spec!r}"
+        )
+    try:
+        axes = [
+            [int(v) for v in part.split(",") if v.strip()] for part in parts
+        ]
+    except ValueError as exc:
+        raise ReproError(f"--grid values must be integers: {exc}") from exc
+    if not all(axes):
+        raise ReproError(f"--grid axis is empty in {spec!r}")
+    return ensemble_grid(*axes)
+
+
+def _cmd_ensemble(args: argparse.Namespace) -> int:
+    from repro.core.ensemble import EnsembleDetector, default_grid
+    from repro.observability import MetricsRegistry
+    from repro.resilience import SearchBudget
+
+    series = _load_series(args.path, args.column)
+    grid = _parse_grid(args.grid) if args.grid else default_grid(len(series))
+    metrics = MetricsRegistry() if args.trace else None
+    detector = EnsembleDetector(
+        grid,
+        normalization=args.normalize,
+        aggregation=args.aggregate,
+        num_discords=args.discords,
+        backend=args.backend,
+        n_workers=args.workers,
+        metrics=metrics,
+        cache=args.cache_dir,
+    )
+    budget = None
+    if args.deadline is not None or args.max_calls is not None:
+        budget = SearchBudget(deadline=args.deadline, max_calls=args.max_calls)
+    result = detector.fit(series, budget=budget)
+
+    counts = result.member_counts()
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    print(
+        f"ensemble: {len(result.members)} members ({summary}); "
+        f"aggregate={result.aggregation} normalize={result.normalization}"
+    )
+    print(f"{'rank':>4s} {'start':>7s} {'end':>7s} {'support':>7s} {'score':>8s}")
+    for discord in result.discords:
+        print(
+            f"{discord.rank:>4d} {discord.start:>7d} {discord.end:>7d} "
+            f"{discord.support:>7d} {discord.score:>8.4f}"
+        )
+    if not result.discords:
+        print("(no ensemble discords)")
+    if args.ledger:
+        print("\nper-member ledger:", file=sys.stderr)
+        for entry in result.ledger():
+            print(
+                f"  W={entry['window']:<5d} P={entry['paa_size']:<3d} "
+                f"A={entry['alphabet_size']:<3d} {entry['status']:>9s} "
+                f"calls={entry['distance_calls']}",
+                file=sys.stderr,
+            )
+    if result.degraded:
+        print(
+            "ensemble degraded: some members were dropped "
+            f"({summary}); the aggregate uses {result.contributing} "
+            f"of {len(result.members)} members",
+            file=sys.stderr,
+        )
+    if args.trace and metrics is not None:
+        print(_format_trace(metrics), file=sys.stderr)
     return 0
 
 
@@ -314,6 +401,63 @@ def build_parser() -> argparse.ArgumentParser:
              "bit-identically instead of recomputed",
     )
     find.set_defaults(func=_cmd_find)
+
+    ensemble = sub.add_parser(
+        "ensemble",
+        help="parameter-free detection: aggregate a grid of members",
+    )
+    ensemble.add_argument("path", help="CSV or whitespace-separated series file")
+    ensemble.add_argument("--column", "-c", type=int, default=0, help="CSV column index")
+    ensemble.add_argument(
+        "--grid", default=None, metavar="W:P:A",
+        help="member grid as WINDOWS:PAAS:ALPHABETS, each a comma list "
+             "(e.g. 60,120:4,6:3,5); default: a data-driven grid from "
+             "the series length",
+    )
+    ensemble.add_argument(
+        "--aggregate", choices=list(AGGREGATIONS), default="mean",
+        help="how member score curves are combined",
+    )
+    ensemble.add_argument(
+        "--normalize", choices=list(NORMALIZATIONS), default="minmax",
+        help="per-member curve normalization before aggregation",
+    )
+    ensemble.add_argument(
+        "--discords", "-k", type=int, default=3,
+        help="discords per member before merging",
+    )
+    ensemble.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for member evaluation (aggregate and "
+             "discords are bit-identical for any value; default 1)",
+    )
+    ensemble.add_argument(
+        "--backend", choices=list(BACKENDS), default="kernel",
+        help="distance backend shared by every member",
+    )
+    ensemble.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget across the whole ensemble (a tripped "
+             "budget yields a partial, degraded aggregate)",
+    )
+    ensemble.add_argument(
+        "--max-calls", type=int, default=None, metavar="N",
+        help="distance-call budget across the whole ensemble",
+    )
+    ensemble.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent per-member result cache: a warm (or grid-"
+             "overlapping) rerun answers members from DIR bit-identically",
+    )
+    ensemble.add_argument(
+        "--ledger", action="store_true",
+        help="print the per-member provenance ledger to stderr",
+    )
+    ensemble.add_argument(
+        "--trace", action="store_true",
+        help="print trace events and counters to stderr",
+    )
+    ensemble.set_defaults(func=_cmd_ensemble)
 
     density = sub.add_parser("density", help="print the rule density curve")
     density.add_argument("path")

@@ -20,6 +20,14 @@ from repro.core.rule_density import (
 from repro.core.rra import RRAResult, find_discord, find_discords
 from repro.core.pipeline import GrammarAnomalyDetector, PipelineResult
 from repro.core.parameter_grid import GridPoint, ParameterGridStudy
+from repro.core.ensemble import (
+    EnsembleDetector,
+    EnsembleDiscord,
+    EnsembleMember,
+    EnsembleResult,
+    default_grid,
+    ensemble_grid,
+)
 from repro.core.motifs import Motif, find_motifs, motif_cover_fraction
 from repro.core.auto_params import (
     ParameterSuggestion,
@@ -41,6 +49,12 @@ __all__ = [
     "PipelineResult",
     "GridPoint",
     "ParameterGridStudy",
+    "EnsembleDetector",
+    "EnsembleDiscord",
+    "EnsembleMember",
+    "EnsembleResult",
+    "default_grid",
+    "ensemble_grid",
     "Motif",
     "find_motifs",
     "motif_cover_fraction",

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.cache import ResultCache, SearchContext, grid_cell_key
 from repro.core.pipeline import GrammarAnomalyDetector
-from repro.exceptions import ParameterError
+from repro.exceptions import GridCellError, ParameterError
 from repro.parallel.pool import effective_workers
 from repro.sax.discretize import Discretization, windowed_paa
 from repro.timeseries.paa import paa
@@ -230,37 +230,58 @@ class ParameterGridStudy:
         except Exception:
             return None
 
-        # Symmetric criterion: each algorithm's single top-ranked answer
-        # must overlap the truth (the paper counts a combination as
-        # successful when the algorithm "discovered the anomaly").
-        from repro.core.rule_density import find_density_anomalies
+        # A cell whose discretization cannot be fitted is an expected
+        # invalid grid point (None, above).  A cell that fits but then
+        # blows up in the detectors is a genuine bug: re-raise it with
+        # the failing triple attached, so one bad cell in a
+        # thousand-cell sweep (possibly deep inside a pool worker) is
+        # localizable from the exception message alone.
+        try:
+            # Symmetric criterion: each algorithm's single top-ranked
+            # answer must overlap the truth (the paper counts a
+            # combination as successful when the algorithm "discovered
+            # the anomaly").
+            from repro.core.rule_density import find_density_anomalies
 
-        density_paper = [
-            (a.start, a.end)
-            for a in find_density_anomalies(
-                fitted.density, max_anomalies=1, edge_exclusion=0
-            )
-        ]
-        density_enhanced = [
-            (a.start, a.end) for a in detector.density_anomalies(max_anomalies=1)
-        ]
-        rra = detector.discords(num_discords=1)
-        rra_found = [(d.start, d.end) for d in rra.discords]
+            density_paper = [
+                (a.start, a.end)
+                for a in find_density_anomalies(
+                    fitted.density, max_anomalies=1, edge_exclusion=0
+                )
+            ]
+            density_enhanced = [
+                (a.start, a.end)
+                for a in detector.density_anomalies(max_anomalies=1)
+            ]
+            rra = detector.discords(num_discords=1)
+            rra_found = [(d.start, d.end) for d in rra.discords]
 
-        true_start, true_end = self.true_anomaly
-        if approx_distance is None:
-            stride = max(1, window // 4)
-            approx_distance = approximation_distance(
-                self.series,
-                window,
-                paa_size,
-                sample_stride=stride,
-                normalized_rows=(
-                    context.approx_normalized_rows(self.series, window, stride)
-                    if context is not None
-                    else None
-                ),
-            )
+            true_start, true_end = self.true_anomaly
+            if approx_distance is None:
+                stride = max(1, window // 4)
+                approx_distance = approximation_distance(
+                    self.series,
+                    window,
+                    paa_size,
+                    sample_stride=stride,
+                    normalized_rows=(
+                        context.approx_normalized_rows(
+                            self.series, window, stride
+                        )
+                        if context is not None
+                        else None
+                    ),
+                )
+        except GridCellError:
+            raise
+        except Exception as exc:
+            cell = (int(window), int(paa_size), int(alphabet_size))
+            raise GridCellError(
+                f"grid cell (window={cell[0]}, paa_size={cell[1]}, "
+                f"alphabet_size={cell[2]}) failed: "
+                f"{type(exc).__name__}: {exc}",
+                cell,
+            ) from exc
         point = GridPoint(
             window=window,
             paa_size=paa_size,

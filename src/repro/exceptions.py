@@ -31,6 +31,24 @@ class DatasetError(ReproError):
     """A dataset generator or loader received inconsistent arguments."""
 
 
+class GridCellError(ReproError):
+    """One parameter-grid sweep cell failed; the message names the
+    failing ``(window, paa_size, alphabet_size)`` triple so a single bad
+    cell in a thousand-cell sweep is immediately localizable.
+
+    Built with a plain message string (and the triple re-attached as
+    :attr:`cell`) so instances survive the pickling round trip from a
+    pool worker intact.
+    """
+
+    def __init__(self, message: str, cell: tuple = ()) -> None:
+        super().__init__(message)
+        self.cell = tuple(cell)
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.cell))
+
+
 class DataQualityError(ReproError):
     """The input series failed the data-quality gate (NaN/Inf/gaps)."""
 

@@ -62,6 +62,7 @@ __all__ = [
     "parallel_rra_rank",
     "parallel_grid_pairs",
     "parallel_grid_sweep",
+    "parallel_ensemble_members",
 ]
 
 #: Diagnostic telemetry of the most recent parallel run in this process:
@@ -571,7 +572,6 @@ _GRID_CONTEXTS: dict = {}
 
 def _grid_pair_task(payload: dict) -> list:
     """Worker: evaluate one (window, paa_size) pair over all alphabets."""
-    from repro.cache import SearchContext
     from repro.core.parameter_grid import ParameterGridStudy
 
     series = np.array(attach(payload["series"]))
@@ -580,11 +580,7 @@ def _grid_pair_task(payload: dict) -> list:
         tuple(payload["true_anomaly"]),
         min_overlap=payload["min_overlap"],
     )
-    ctx_key = payload["series"].name
-    context = _GRID_CONTEXTS.get(ctx_key)
-    if context is None:
-        _GRID_CONTEXTS.clear()
-        context = _GRID_CONTEXTS[ctx_key] = SearchContext()
+    context = _worker_series_context(payload["series"])
     return study._evaluate_pair(
         payload["window"],
         payload["paa_size"],
@@ -623,6 +619,159 @@ def parallel_grid_pairs(study, pairs, *, n_workers: int) -> list:
     for pair_points in results:
         points.extend(pair_points or [])
     return points
+
+
+def _worker_series_context(series_spec):
+    """The worker-global :class:`SearchContext` for one shared series.
+
+    Shared with the grid-sweep tasks: pool workers are reused across
+    tasks, so every member/pair a worker evaluates for one fan-out
+    shares its per-series memoized artifacts.
+    """
+    from repro.cache import SearchContext
+
+    ctx_key = series_spec.name
+    context = _GRID_CONTEXTS.get(ctx_key)
+    if context is None:
+        _GRID_CONTEXTS.clear()
+        context = _GRID_CONTEXTS[ctx_key] = SearchContext()
+    return context
+
+
+def _ensemble_member_task(payload: dict) -> list:
+    """Worker: evaluate one (window, paa_size) group of ensemble members.
+
+    Returns ``(index, MemberOutcome)`` pairs.  A ``skip`` payload (the
+    parent's budget tripped before this group was submitted) produces
+    ``"skipped"`` outcomes without touching the series.
+    """
+    from repro.core.ensemble import (
+        EnsembleMember,
+        MemberOutcome,
+        evaluate_member,
+    )
+
+    items = [tuple(item) for item in payload["items"]]
+    if payload.get("skip"):
+        return [
+            (idx, MemberOutcome(EnsembleMember(w, p, a), "skipped"))
+            for idx, w, p, a in items
+        ]
+    series = np.array(attach(payload["series"]))
+    context = _worker_series_context(payload["series"])
+    spec = payload.get("budget")
+    budget = SearchBudget(**spec) if spec else None
+    out = []
+    local_calls = 0
+    for idx, w, p, a in items:
+        member = EnsembleMember(w, p, a)
+        if budget is not None and budget.interrupted(local_calls) is not None:
+            out.append((idx, MemberOutcome(member, "skipped")))
+            continue
+        outcome = evaluate_member(
+            series,
+            member,
+            num_discords=payload["num_discords"],
+            backend=payload["backend"],
+            seed=payload["seed"],
+            context=context,
+            budget=budget,
+        )
+        local_calls += outcome.distance_calls
+        out.append((idx, outcome))
+    return out
+
+
+def parallel_ensemble_members(
+    series,
+    pending,
+    *,
+    num_discords: int,
+    backend: str,
+    seed: int,
+    budget,
+    n_workers: int,
+):
+    """Fan ensemble members out one pool task per (window, paa) group.
+
+    *pending* is a list of ``(index, EnsembleMember)`` in canonical
+    grid order; the returned dict maps each index to its
+    :class:`~repro.core.ensemble.MemberOutcome`.  Grouping by
+    (window, paa_size) preserves the sweep layer's front-half sharing:
+    every alphabet of a pair reuses one discretization pass through the
+    worker's context.
+
+    With a *budget*, groups are dispatched in canonical waves and each
+    payload is resolved at submission time against the calls already
+    merged from delivered groups — so a tripped call ceiling truncates
+    on a group boundary ("skipped" outcomes), while deadlines and
+    cancellation travel into the workers and can truncate an individual
+    member mid-group.  Full (untripped) runs are bit-identical to the
+    serial member loop for any worker count.
+    """
+    pending = list(pending)
+    if not pending:
+        return {}
+    group_order: list[tuple[int, int]] = []
+    groups: dict[tuple[int, int], list] = {}
+    for idx, member in pending:
+        key = (member.window, member.paa_size)
+        if key not in groups:
+            groups[key] = []
+            group_order.append(key)
+        groups[key].append((idx, member))
+    state = {"calls": 0}
+    outcomes: dict = {}
+    with SharedArrays() as arena:
+        series_spec = arena.share(
+            np.ascontiguousarray(np.asarray(series, dtype=float))
+        )
+
+        def make_payload(items):
+            base = {
+                "series": series_spec,
+                "items": [
+                    (idx, m.window, m.paa_size, m.alphabet_size)
+                    for idx, m in items
+                ],
+                "num_discords": int(num_discords),
+                "backend": backend,
+                "seed": int(seed),
+                "budget": None,
+            }
+            if budget is None:
+                return base
+
+            def build():
+                if budget.interrupted(state["calls"]) is not None:
+                    return {**base, "skip": True}
+                remaining = budget.remaining_deadline()
+                spec = (
+                    None
+                    if remaining is None
+                    else {"deadline": remaining, "max_calls": None}
+                )
+                return {**base, "budget": spec}
+
+            return build
+
+        def on_result(_index, result):
+            for _idx, outcome in result or []:
+                state["calls"] += outcome.distance_calls
+
+        payloads = [make_payload(groups[key]) for key in group_order]
+        results = run_tasks(
+            _ensemble_member_task,
+            payloads,
+            n_workers=n_workers,
+            budget=budget,
+            on_result=on_result,
+            wave_size=n_workers if budget is not None else None,
+        )
+    for result in results:
+        for idx, outcome in result or []:
+            outcomes[idx] = outcome
+    return outcomes
 
 
 def parallel_grid_sweep(

@@ -538,3 +538,137 @@ def test_pipeline_context_shared_across_fits(series):
             assert fitted.discretization.words == expected.discretization.words
     # windowed_paa for (window, paa) was computed once, then shared.
     assert context.hits > 0
+
+
+# -- ensemble / cache interplay -------------------------------------------
+
+
+def _ensemble_grid():
+    from repro.core.ensemble import ensemble_grid
+
+    return ensemble_grid([WINDOW, 60], [4, 6], [3, 4])
+
+
+def test_ensemble_cold_run_populates_per_member_entries(series, tmp_path):
+    """A cold ensemble run stores one cache entry per evaluated member."""
+    from repro.core.ensemble import EnsembleDetector
+
+    cache = ResultCache(tmp_path / "store")
+    grid = _ensemble_grid()
+    result = EnsembleDetector(grid, num_discords=2, cache=cache).fit(series)
+    assert result.member_counts() == {"ok": len(grid)}
+    assert cache.misses == len(grid)
+    assert cache.hits == 0
+    entries = list((tmp_path / "store").glob("*.json"))
+    assert len(entries) == len(grid)
+
+
+def test_ensemble_warm_run_is_bit_identical(series, tmp_path):
+    """The warm run answers every member from the store, same bits."""
+    from repro.core.ensemble import EnsembleDetector
+
+    cache = ResultCache(tmp_path / "store")
+    grid = _ensemble_grid()
+    cold = EnsembleDetector(grid, num_discords=2, cache=cache).fit(series)
+    warm = EnsembleDetector(grid, num_discords=2, cache=cache).fit(series)
+    assert cache.hits == len(grid)
+    assert warm.member_counts() == {"cached": len(grid)}
+    assert warm.score_digest() == cold.score_digest()
+    assert [
+        (d.start, d.end, d.support, d.votes, float(d.score).hex())
+        for d in warm.discords
+    ] == [
+        (d.start, d.end, d.support, d.votes, float(d.score).hex())
+        for d in cold.discords
+    ]
+    assert not warm.degraded
+
+
+def test_ensemble_warm_run_ignores_aggregation_knobs(series, tmp_path):
+    """Cached members store RAW evidence; knob changes still hit.
+
+    The cache key covers the member geometry and search parameters but
+    deliberately not the normalization/aggregation knobs — those are
+    applied at aggregate time, so one cold run warms every knob combo.
+    """
+    from repro.core.ensemble import EnsembleDetector
+
+    cache = ResultCache(tmp_path / "store")
+    grid = _ensemble_grid()
+    EnsembleDetector(grid, num_discords=2, cache=cache).fit(series)
+    rank_vote = EnsembleDetector(
+        grid, num_discords=2, cache=cache,
+        normalization="rank", aggregation="vote",
+    ).fit(series)
+    assert cache.hits == len(grid)
+    assert rank_vote.member_counts() == {"cached": len(grid)}
+    fresh = EnsembleDetector(
+        grid, num_discords=2, normalization="rank", aggregation="vote"
+    ).fit(series)
+    assert rank_vote.score_digest() == fresh.score_digest()
+
+
+def test_ensemble_truncated_members_are_never_cached(series, tmp_path):
+    """Budget-truncated members must not poison the store.
+
+    A tripped budget yields partial member evidence; caching it would
+    let a degraded run masquerade as a complete one forever after.
+    Only ``"ok"`` members are stored, so the follow-up unbudgeted run
+    recomputes everything the budget cut short.
+    """
+    from repro.core.ensemble import EnsembleDetector
+
+    cache = ResultCache(tmp_path / "store")
+    grid = _ensemble_grid()
+    budgeted = EnsembleDetector(grid, num_discords=2, cache=cache).fit(
+        series, budget=SearchBudget(max_calls=1)
+    )
+    assert budgeted.degraded
+    counts = budgeted.member_counts()
+    stored = counts.get("ok", 0)
+    assert counts.get("truncated", 0) + counts.get("skipped", 0) > 0
+    entries = list((tmp_path / "store").glob("*.json"))
+    assert len(entries) == stored
+    full = EnsembleDetector(grid, num_discords=2, cache=cache).fit(series)
+    assert not full.degraded
+    assert full.contributing == len(grid)
+    reference = EnsembleDetector(grid, num_discords=2).fit(series)
+    assert full.score_digest() == reference.score_digest()
+
+
+def test_ensemble_member_key_sensitivity(series):
+    """Member keys split on geometry and search params, not topology."""
+    from repro.cache.keys import ensemble_member_key
+
+    base = ensemble_member_key(
+        series, window=WINDOW, paa_size=4, alphabet_size=4,
+        params={"num_discords": 2, "seed": 0},
+    )
+    same = ensemble_member_key(
+        series, window=WINDOW, paa_size=4, alphabet_size=4,
+        params={"num_discords": 2, "seed": 0},
+    )
+    assert base == same
+    for other in (
+        ensemble_member_key(
+            series, window=WINDOW + 1, paa_size=4, alphabet_size=4,
+            params={"num_discords": 2, "seed": 0},
+        ),
+        ensemble_member_key(
+            series, window=WINDOW, paa_size=5, alphabet_size=4,
+            params={"num_discords": 2, "seed": 0},
+        ),
+        ensemble_member_key(
+            series, window=WINDOW, paa_size=4, alphabet_size=3,
+            params={"num_discords": 2, "seed": 0},
+        ),
+        ensemble_member_key(
+            series, window=WINDOW, paa_size=4, alphabet_size=4,
+            params={"num_discords": 3, "seed": 0},
+        ),
+        ensemble_member_key(
+            np.append(series, 1.0), window=WINDOW, paa_size=4,
+            alphabet_size=4, params={"num_discords": 2, "seed": 0},
+        ),
+    ):
+        assert other != base

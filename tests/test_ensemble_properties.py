@@ -1,0 +1,222 @@
+"""Hypothesis property tests for the ensemble layer's algebra.
+
+The ensemble's determinism story rests on four algebraic promises that
+hold for *any* input, not just the golden datasets:
+
+* aggregation is bit-invariant under member permutation — the aggregate
+  never depends on which member finished first (the foundation of the
+  any-worker-count guarantee);
+* both normalizers are antitone in the raw density (lower density =
+  less compressible = higher anomaly score), bounded in ``[0, 1]``, and
+  the rank normalizer is invariant under any positive affine transform
+  of the densities;
+* a single-member ensemble reproduces the plain pipeline bit for bit —
+  the ensemble machinery adds exactly nothing for ``m == 1``;
+* members that cannot run for a given series (window too long) are
+  recorded and dropped without ever raising or perturbing the
+  aggregate the remaining members produce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ensemble import (
+    AGGREGATIONS,
+    EnsembleDetector,
+    EnsembleMember,
+    aggregate_score_digest,
+    aggregate_scores,
+    ensemble_grid,
+    normalize_density,
+)
+from repro.core.pipeline import GrammarAnomalyDetector
+
+# -- strategies -----------------------------------------------------------
+
+# Integer rule-density curves, like the real rule_density_curve output.
+density_curves = st.lists(
+    st.integers(min_value=0, max_value=500), min_size=2, max_size=60
+).map(lambda xs: np.array(xs, dtype=float))
+
+# Score stacks in [0, 1], shaped like normalized member curves.
+score_stacks = st.integers(min_value=1, max_value=6).flatmap(
+    lambda m: st.integers(min_value=1, max_value=40).flatmap(
+        lambda n: st.lists(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            ),
+            min_size=m,
+            max_size=m,
+        ).map(lambda rows: np.array(rows, dtype=float))
+    )
+)
+
+
+# -- aggregation: permutation invariance ----------------------------------
+
+
+@given(score_stacks, st.randoms(use_true_random=False))
+def test_aggregation_is_permutation_invariant(stack, rnd):
+    """Shuffling member rows never changes a single output bit."""
+    order = list(range(stack.shape[0]))
+    rnd.shuffle(order)
+    shuffled = stack[order]
+    for method in AGGREGATIONS:
+        a = aggregate_scores(stack, method)
+        b = aggregate_scores(shuffled, method)
+        assert aggregate_score_digest(a) == aggregate_score_digest(b), method
+
+
+@given(score_stacks)
+def test_aggregation_stays_in_unit_interval(stack):
+    for method in AGGREGATIONS:
+        out = aggregate_scores(stack, method)
+        assert out.shape == (stack.shape[1],)
+        assert np.all(out >= 0.0) and np.all(out <= 1.0), method
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        min_size=1,
+        max_size=40,
+    ).map(lambda xs: np.array(xs, dtype=float))
+)
+def test_single_row_mean_and_median_are_identity(row):
+    """For one member, mean/median must return the row's exact bits."""
+    stack = row[None, :]
+    for method in ("mean", "median"):
+        out = aggregate_scores(stack, method)
+        assert out.tobytes() == row.tobytes(), method
+
+
+# -- normalizers ----------------------------------------------------------
+
+
+@given(density_curves, st.sampled_from(["minmax", "rank"]))
+def test_normalizers_are_bounded_and_antitone(density, method):
+    """Scores live in [0, 1] and never increase with density."""
+    scores = normalize_density(density, method)
+    assert scores.shape == density.shape
+    assert np.all(scores >= 0.0) and np.all(scores <= 1.0)
+    order = np.argsort(density)
+    # Walking densities in ascending order, scores must be non-increasing.
+    assert np.all(np.diff(scores[order]) <= 1e-12)
+    # Equal densities must get equal scores (no positional leakage).
+    for value in np.unique(density):
+        tied = scores[density == value]
+        assert np.all(tied == tied[0])
+
+
+@given(density_curves)
+def test_constant_curve_carries_no_evidence(density):
+    flat = np.full_like(density, float(density[0]))
+    for method in ("minmax", "rank"):
+        assert not normalize_density(flat, method).any(), method
+
+
+@given(
+    density_curves,
+    st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+    st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+)
+def test_rank_normalizer_is_affine_invariant(density, scale, shift):
+    """Rank scores depend only on ordering: exact under a > 0 affine map."""
+    base = normalize_density(density, "rank")
+    mapped = normalize_density(density * scale + shift, "rank")
+    assert base.tobytes() == mapped.tobytes()
+
+
+@given(density_curves, st.floats(min_value=-50.0, max_value=50.0, allow_nan=False))
+def test_minmax_normalizer_is_shift_invariant(density, shift):
+    """Shifts cancel exactly in (max - d) and (max - min)."""
+    base = normalize_density(density, "minmax")
+    shifted = normalize_density(density + shift, "minmax")
+    assert np.allclose(base, shifted, atol=1e-9)
+
+
+# -- whole-detector properties (small fixed series, a few examples) -------
+
+
+def _series(seed: int, length: int = 360) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    series = np.sin(2 * np.pi * t / 40) + 0.05 * rng.standard_normal(length)
+    series[length // 2 : length // 2 + 25] += 1.5
+    return series
+
+
+member_params = st.tuples(
+    st.sampled_from([24, 40, 60]),
+    st.sampled_from([3, 4]),
+    st.sampled_from([3, 4]),
+)
+
+
+@settings(max_examples=8, deadline=None)
+@given(member_params, st.integers(min_value=0, max_value=3))
+def test_single_member_ensemble_matches_pipeline(params, seed):
+    """m == 1: ensemble scores and discords are the pipeline's bits."""
+    window, paa, alphabet = params
+    series = _series(seed)
+    member = EnsembleMember(window, paa, alphabet)
+    result = EnsembleDetector([member], num_discords=2).fit(series)
+
+    detector = GrammarAnomalyDetector(window, paa, alphabet)
+    detector.fit(series)
+    expected_scores = normalize_density(detector.density_curve(), "minmax")
+    assert result.scores.tobytes() == expected_scores.tobytes()
+
+    rra = detector.discords(num_discords=2)
+    got = {
+        (v[5], v[6], v[7]) for d in result.discords for v in d.votes
+    }
+    want = {(d.start, d.end, float(d.nn_distance)) for d in rra.discords}
+    assert got == want
+    assert all(d.support == 1 for d in result.discords)
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    st.lists(member_params, min_size=1, max_size=4, unique=True),
+    st.integers(min_value=0, max_value=3),
+)
+def test_invalid_members_never_raise_or_perturb(valid_params, seed):
+    """Members whose window exceeds the series are dropped cleanly.
+
+    The padded grid (valid members + impossible ones) must produce the
+    same aggregate bits as the valid members alone, with the impossible
+    members recorded as ``"invalid"`` — present in the ledger, absent
+    from the evidence, and not enough to mark the result degraded.
+    """
+    series = _series(seed)
+    valid = [EnsembleMember(*p) for p in valid_params]
+    impossible = [
+        EnsembleMember(len(series), 4, 3),
+        EnsembleMember(len(series) + 100, 4, 3),
+    ]
+    clean = EnsembleDetector(valid, num_discords=2).fit(series)
+    padded = EnsembleDetector(valid + impossible, num_discords=2).fit(series)
+
+    assert padded.score_digest() == clean.score_digest()
+    assert padded.member_counts().get("invalid", 0) == len(impossible)
+    assert padded.contributing == clean.contributing == len(valid)
+    assert not padded.degraded
+    assert [
+        (d.start, d.end, d.support) for d in padded.discords
+    ] == [(d.start, d.end, d.support) for d in clean.discords]
+
+
+def test_all_members_invalid_raises_parameter_error():
+    from repro.exceptions import ParameterError
+
+    series = _series(0, length=64)
+    grid = ensemble_grid([128, 256], [4], [3])
+    with pytest.raises(ParameterError):
+        EnsembleDetector(grid).fit(series)

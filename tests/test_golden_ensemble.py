@@ -1,0 +1,245 @@
+"""Golden regression suite for the ensemble layer.
+
+The ensemble promise is stronger than any single member's: the
+*aggregate* anomaly-score curve and the merged, ranked ensemble
+discords must be bit-identical for any worker count and any cold/warm
+cache state, because members are always combined in canonical grid
+order.  This suite pins the aggregate-curve SHA-256 digest, the top
+ensemble discords (with their member support), and the stable member
+ledger for a small matrix of (dataset, normalization, aggregation)
+configurations against the checked-in ``tests/golden/ensemble_scores.json``.
+
+Each golden entry is keyed by ``dataset/normalization/aggregation``
+only: the serial run and the ``n_workers=2`` run must BOTH reproduce
+the same entry, which asserts the parallel bit-identity guarantee
+directly rather than pinning separate parallel numbers.  The same
+entry must also come back from a warm per-member result cache.
+
+The ledger counts pinned here are the *stable* ones —
+``members`` / ``contributing`` / ``degraded`` — not per-status tallies:
+a cold run reports members as ``ok`` while a warm run reports them as
+``cached``, and both must hash to the same golden entry.
+
+Regenerate after an *intentional* change with::
+
+    PYTHONPATH=src python tests/test_golden_ensemble.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import EnsembleDetector, ensemble_grid
+from repro.datasets import synthetic_ecg
+from repro.datasets.synthetic import sine_with_anomaly
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "ensemble_scores.json"
+GOLDEN_FORMAT = "repro-golden-ensemble/1"
+
+# Two seeded bundled datasets with compact member grids: small enough
+# that the full matrix stays inside the tier-1 time budget, big enough
+# that normalization and merging do non-trivial work (distinct window
+# scales, overlapping candidate discords).
+DATASETS = {
+    "sine": dict(kind="sine", length=1200, period=100, seed=7),
+    "ecg": dict(kind="ecg", num_beats=8, anomaly_beats=(5,), seed=3),
+}
+GRIDS = {
+    "sine": ([60, 100], [4, 6], [3, 5]),
+    "ecg": ([80, 120], [4, 6], [3, 4]),
+}
+CONFIGS = (
+    ("minmax", "mean"),
+    ("rank", "median"),
+    ("minmax", "vote"),
+)
+NUM_DISCORDS = 2
+TOP_K = 3
+
+
+def _load_dataset(name: str):
+    spec = DATASETS[name]
+    if spec["kind"] == "sine":
+        return sine_with_anomaly(
+            length=spec["length"], period=spec["period"], seed=spec["seed"]
+        )
+    return synthetic_ecg(
+        num_beats=spec["num_beats"],
+        anomaly_beats=spec["anomaly_beats"],
+        seed=spec["seed"],
+    )
+
+
+def run_ensemble(
+    name: str, dataset, normalization: str, aggregation: str,
+    *, n_workers: int = 1, cache=None,
+):
+    """Run one configuration; return its golden entry.
+
+    The entry pins the aggregate curve by digest (the full curve is too
+    large to check in), the top-``TOP_K`` merged discords with their
+    member support, and the stable ledger counts.
+    """
+    detector = EnsembleDetector(
+        ensemble_grid(*GRIDS[name]),
+        normalization=normalization,
+        aggregation=aggregation,
+        num_discords=NUM_DISCORDS,
+        n_workers=n_workers,
+        cache=cache,
+    )
+    result = detector.fit(dataset.series)
+    return {
+        "score_digest": result.score_digest(),
+        "discords": [
+            [d.start, d.end, d.support, float(np.round(d.score, 10))]
+            for d in result.discords[:TOP_K]
+        ],
+        "members": len(result.members),
+        "contributing": result.contributing,
+        "degraded": result.degraded,
+    }
+
+
+def _entry_key(dataset: str, normalization: str, aggregation: str) -> str:
+    return f"{dataset}/{normalization}/{aggregation}"
+
+
+def _golden() -> dict:
+    with GOLDEN_PATH.open() as fh:
+        data = json.load(fh)
+    assert data["format"] == GOLDEN_FORMAT
+    return data
+
+
+CASES = [
+    (ds, norm, agg) for ds in DATASETS for norm, agg in CONFIGS
+]
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return _golden()
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return {name: _load_dataset(name) for name in DATASETS}
+
+
+@pytest.mark.parametrize(
+    "dataset_name, normalization, aggregation",
+    CASES,
+    ids=[_entry_key(*case) for case in CASES],
+)
+def test_serial_ensemble_matches_golden(
+    golden, datasets, dataset_name, normalization, aggregation
+):
+    key = _entry_key(dataset_name, normalization, aggregation)
+    entry = run_ensemble(
+        dataset_name, datasets[dataset_name], normalization, aggregation
+    )
+    assert entry == golden["entries"][key], key
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "dataset_name, normalization, aggregation",
+    CASES,
+    ids=[_entry_key(*case) for case in CASES],
+)
+def test_parallel_ensemble_matches_golden(
+    golden, datasets, dataset_name, normalization, aggregation
+):
+    """n_workers=2 must reproduce the SAME golden entry as the serial run."""
+    key = _entry_key(dataset_name, normalization, aggregation)
+    entry = run_ensemble(
+        dataset_name,
+        datasets[dataset_name],
+        normalization,
+        aggregation,
+        n_workers=2,
+    )
+    assert entry == golden["entries"][key], key
+
+
+@pytest.mark.parametrize(
+    "dataset_name, normalization, aggregation",
+    [CASES[0], CASES[3]],
+    ids=[_entry_key(*CASES[0]), _entry_key(*CASES[3])],
+)
+def test_cached_ensemble_matches_golden(
+    golden, datasets, dataset_name, normalization, aggregation, tmp_path
+):
+    """A warm per-member cache must reproduce the SAME golden entry.
+
+    The cold run populates one store entry per member; the warm run is
+    answered entirely from the store (asserted via the hit tally) and
+    must reproduce the identical digest, discords, and stable counts.
+    """
+    from repro.cache import ResultCache
+
+    key = _entry_key(dataset_name, normalization, aggregation)
+    cache = ResultCache(tmp_path / "store")
+    cold = run_ensemble(
+        dataset_name, datasets[dataset_name], normalization, aggregation,
+        cache=cache,
+    )
+    assert cold == golden["entries"][key], key
+    warm = run_ensemble(
+        dataset_name, datasets[dataset_name], normalization, aggregation,
+        cache=cache,
+    )
+    assert warm == golden["entries"][key], key
+    assert cache.hits == cold["members"], key
+    assert cache.misses == cold["members"], key
+
+
+def test_golden_file_covers_every_case(golden):
+    expected = {_entry_key(*case) for case in CASES}
+    assert set(golden["entries"]) == expected
+
+
+def test_no_golden_entry_is_degraded(golden):
+    """Unbudgeted full-grid runs must never record a degraded aggregate."""
+    for key, entry in golden["entries"].items():
+        assert entry["degraded"] is False, key
+        assert entry["contributing"] == entry["members"], key
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance entry point
+    entries = {}
+    for name in DATASETS:
+        dataset = _load_dataset(name)
+        for normalization, aggregation in CONFIGS:
+            key = _entry_key(name, normalization, aggregation)
+            entries[key] = run_ensemble(
+                name, dataset, normalization, aggregation
+            )
+            print(key, entries[key]["score_digest"][:16], entries[key]["discords"])
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": GOLDEN_FORMAT,
+        "datasets": {k: {**v, "anomaly_beats": list(v.get("anomaly_beats", []))}
+                     if "anomaly_beats" in v else v
+                     for k, v in DATASETS.items()},
+        "grids": {k: list(map(list, v)) for k, v in GRIDS.items()},
+        "num_discords": NUM_DISCORDS,
+        "top_k": TOP_K,
+        "entries": entries,
+    }
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    if "--regen" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)

@@ -178,3 +178,66 @@ class TestSweepMemoization:
         warm = study.sweep(**grid, cache=cache, n_workers=2)
         assert warm == plain
         assert cache.hits >= len(plain)
+
+
+class TestGridCellError:
+    """One bad cell in a sweep must surface with its triple attached.
+
+    Fit failures are expected invalid cells (``None``), but a cell that
+    fits and then blows up in a detector is a genuine bug — the old
+    behaviour was a bare re-raise with no hint of which of the hundreds
+    of cells died.
+    """
+
+    def test_post_fit_failure_names_the_triple(self, bump, monkeypatch):
+        from repro.core.pipeline import GrammarAnomalyDetector
+        from repro.exceptions import GridCellError
+
+        def boom(self, **kwargs):
+            raise RuntimeError("synthetic detector failure")
+
+        monkeypatch.setattr(GrammarAnomalyDetector, "discords", boom)
+        study = ParameterGridStudy(bump.series, (700, 790))
+        with pytest.raises(GridCellError) as excinfo:
+            study.evaluate_point(100, 4, 4)
+        message = str(excinfo.value)
+        assert "window=100" in message
+        assert "paa_size=4" in message
+        assert "alphabet_size=4" in message
+        assert "RuntimeError" in message
+        assert excinfo.value.cell == (100, 4, 4)
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+    def test_sweep_surfaces_the_failing_cell(self, bump, monkeypatch):
+        from repro.core.pipeline import GrammarAnomalyDetector
+        from repro.exceptions import GridCellError
+
+        original = GrammarAnomalyDetector.discords
+
+        def boom_only_w120(self, **kwargs):
+            if self.window == 120:
+                raise RuntimeError("synthetic detector failure")
+            return original(self, **kwargs)
+
+        monkeypatch.setattr(GrammarAnomalyDetector, "discords", boom_only_w120)
+        study = ParameterGridStudy(bump.series, (700, 790))
+        with pytest.raises(GridCellError) as excinfo:
+            study.sweep([100, 120], [4], [4])
+        assert excinfo.value.cell == (120, 4, 4)
+
+    def test_fit_failures_stay_invalid_cells(self, bump):
+        # Geometrically impossible cells still come back as None, not
+        # as GridCellError: window longer than the series.
+        study = ParameterGridStudy(bump.series, (700, 790))
+        assert study.evaluate_point(len(bump.series) + 10, 4, 4) is None
+
+    def test_pickle_roundtrip_keeps_cell(self):
+        import pickle
+
+        from repro.exceptions import GridCellError
+
+        err = GridCellError("grid cell (window=9, ...) failed", (9, 4, 3))
+        clone = pickle.loads(pickle.dumps(err))
+        assert isinstance(clone, GridCellError)
+        assert str(clone) == str(err)
+        assert clone.cell == (9, 4, 3)
